@@ -1,0 +1,351 @@
+(* The IRIS command-line interface.
+
+   Mirrors the paper's user-space CLI on top of the manager's
+   xc_vmcs_fuzzing-style API: choose the operation mode, record VM
+   behaviors into trace files, replay them through a dummy VM, and run
+   PoC fuzzing campaigns.
+
+     dune exec bin/iris_cli.exe -- record --workload cpu-bound -o cpu.iris
+     dune exec bin/iris_cli.exe -- info cpu.iris
+     dune exec bin/iris_cli.exe -- replay --workload cpu-bound
+     dune exec bin/iris_cli.exe -- fuzz --workload idle --reason RDTSC *)
+
+open Cmdliner
+module Manager = Iris_core.Manager
+module Trace = Iris_core.Trace
+module Analysis = Iris_core.Analysis
+module Replayer = Iris_core.Replayer
+module W = Iris_guest.Workload
+module R = Iris_vtx.Exit_reason
+
+(* --- shared options --- *)
+
+let workload_conv =
+  let parse s =
+    match W.of_name s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (try: %s)" s
+               (String.concat ", " (List.map W.name W.all))))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt (W.name w))
+
+let workload =
+  Arg.(
+    value
+    & opt workload_conv W.Cpu_bound
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"Guest workload: os-boot, cpu-bound, mem-bound, i-o-bound, idle.")
+
+let exits =
+  Arg.(
+    value
+    & opt int 5000
+    & info [ "n"; "exits" ] ~docv:"N" ~doc:"VM exits to record (trace length).")
+
+let prng_seed =
+  Arg.(
+    value
+    & opt int 2023
+    & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Deterministic PRNG seed.")
+
+let boot_scale =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "boot-scale" ] ~docv:"F"
+        ~doc:
+          "Scale of the unrecorded boot used to reach a valid post-boot \
+           state (1.0 = full ~500K-exit boot).")
+
+(* --- record --- *)
+
+let record_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the trace here.")
+  in
+  let full_boot =
+    Arg.(
+      value & flag
+      & info [ "full-boot" ]
+          ~doc:"For os-boot: record the BIOS phase too (Fig. 4 style).")
+  in
+  let run workload exits prng_seed boot_scale out full_boot =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
+      (W.name workload) prng_seed;
+    let recording =
+      Manager.record ~record_full_boot:full_boot mgr workload ~exits
+    in
+    let trace = recording.Manager.trace in
+    Format.printf "%a@." Trace.pp_summary trace;
+    Printf.printf "wall time in guest: %.3f s\n"
+      (Iris_vtx.Clock.cycles_to_seconds trace.Trace.wall_cycles);
+    match out with
+    | Some path ->
+        Trace.save trace ~path;
+        Printf.printf "trace written to %s (%d seed bytes)\n" path
+          (Trace.total_seed_bytes trace)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a VM behavior as a trace of VM seeds.")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ out $ full_boot)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:
+            "Replay onto a never-booted dummy VM (the paper's §VI-B \
+             experiment: post-boot seeds crash with 'bad RIP for mode 0').")
+  in
+  let run workload exits prng_seed boot_scale fresh =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    Printf.printf "recording %d exits of %s...\n%!" exits (W.name workload);
+    let recording = Manager.record mgr workload ~exits in
+    Printf.printf "replaying through the dummy VM%s...\n%!"
+      (if fresh then " (fresh, no snapshot revert)" else "");
+    let replay =
+      if fresh then Manager.replay_from_fresh mgr recording.Manager.trace
+      else Manager.replay mgr recording
+    in
+    (match replay.Manager.outcome with
+    | Replayer.Replayed ->
+        Printf.printf "replayed %d/%d seeds successfully\n"
+          replay.Manager.submitted
+          (Trace.length recording.Manager.trace)
+    | Replayer.Vm_crashed msg ->
+        Printf.printf "dummy VM crashed after %d seeds: %s\n"
+          replay.Manager.submitted msg);
+    let eff =
+      Analysis.efficiency ~recorded:recording.Manager.trace
+        ~replay_cycles:replay.Manager.replay_cycles
+        ~submitted:replay.Manager.submitted
+    in
+    Printf.printf
+      "real VM: %.3f s   IRIS VM: %.3f s   decrease %.1f%%   throughput %.0f \
+       exits/s\n"
+      eff.Analysis.real_seconds eff.Analysis.replay_seconds
+      eff.Analysis.pct_decrease eff.Analysis.replay_exits_per_sec;
+    if not fresh then begin
+      let acc =
+        Analysis.accuracy ~recorded:recording.Manager.trace
+          ~replayed:replay.Manager.replay_trace
+      in
+      Printf.printf "coverage fitting %.1f%%   VMWRITE fitting %.1f%%\n"
+        acc.Analysis.fitting_pct acc.Analysis.vmwrite_fit_pct
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Record a behavior and replay it through a dummy VM.")
+    Term.(const run $ workload $ exits $ prng_seed $ boot_scale $ fresh)
+
+(* --- fuzz --- *)
+
+let reason_conv =
+  let parse s =
+    let s' = String.uppercase_ascii s in
+    match
+      List.find_opt
+        (fun r ->
+          String.uppercase_ascii (R.short_name r) = s'
+          || String.uppercase_ascii (R.name r) = s')
+        R.all
+    with
+    | Some r -> Ok r
+    | None -> Error (`Msg (Printf.sprintf "unknown exit reason %S" s))
+  in
+  Arg.conv (parse, fun fmt r -> Format.pp_print_string fmt (R.short_name r))
+
+let fuzz_cmd =
+  let reason =
+    Arg.(
+      value
+      & opt reason_conv R.Rdtsc
+      & info [ "r"; "reason" ] ~docv:"REASON"
+          ~doc:"Exit reason of the target seed (e.g. RDTSC, CPUID, 'CR ACC.').")
+  in
+  let area =
+    Arg.(
+      value
+      & opt (enum [ ("vmcs", Iris_fuzzer.Mutation.Area_vmcs);
+                    ("gpr", Iris_fuzzer.Mutation.Area_gpr) ])
+          Iris_fuzzer.Mutation.Area_vmcs
+      & info [ "a"; "area" ] ~docv:"AREA" ~doc:"Seed area to mutate.")
+  in
+  let mutations =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "m"; "mutations" ] ~docv:"N"
+          ~doc:"Mutated seed versions per test case (paper: 10000).")
+  in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "g"; "guided" ]
+          ~doc:
+            "Use the coverage-guided loop (corpus + bitmap novelty) instead \
+             of the PoC's naive single bit-flips.")
+  in
+  let run workload exits prng_seed boot_scale reason area mutations guided =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    Printf.printf "recording %d exits of %s...\n%!" exits (W.name workload);
+    let recording = Manager.record mgr workload ~exits in
+    Printf.printf "fuzzing: reason=%s area=%s N=%d%s...\n%!"
+      (R.short_name reason)
+      (Iris_fuzzer.Mutation.area_name area)
+      mutations
+      (if guided then " (coverage-guided)" else "");
+    if guided then begin
+      let config =
+        { Iris_fuzzer.Guided.default_config with
+          Iris_fuzzer.Guided.iterations = mutations;
+          prng_seed }
+      in
+      match
+        Iris_fuzzer.Guided.run ~config ~manager:mgr ~recording ~reason
+      with
+      | None ->
+          Printf.printf "the trace has no seed with exit reason %s\n"
+            (R.short_name reason)
+      | Some g ->
+          Printf.printf
+            "VMseed_R = #%d   baseline %d LOC -> %d LOC, corpus %d entries\n"
+            g.Iris_fuzzer.Guided.seed_index
+            g.Iris_fuzzer.Guided.baseline_lines
+            g.Iris_fuzzer.Guided.unique_lines
+            g.Iris_fuzzer.Guided.corpus_size;
+          Printf.printf "failures: %d VM crashes, %d hypervisor crashes\n"
+            g.Iris_fuzzer.Guided.vm_crashes g.Iris_fuzzer.Guided.hv_crashes;
+          List.iteri
+            (fun i (_, cls, detail) ->
+              if i < 10 then
+                Printf.printf "  [%s] %s\n"
+                  (Iris_fuzzer.Campaign.failure_name cls)
+                  detail)
+            g.Iris_fuzzer.Guided.crashing
+    end
+    else begin
+    let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
+    match
+      Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area
+    with
+    | None ->
+        Printf.printf "the trace has no seed with exit reason %s\n"
+          (R.short_name reason)
+    | Some r ->
+        Printf.printf
+          "VMseed_R = #%d   baseline %d LOC -> %d LOC (%s new coverage)\n"
+          r.Iris_fuzzer.Campaign.seed_index
+          r.Iris_fuzzer.Campaign.baseline_lines
+          r.Iris_fuzzer.Campaign.fuzz_lines
+          (Iris_fuzzer.Campaign.pct_string r);
+        Printf.printf "failures: %d VM crashes, %d hypervisor crashes\n"
+          r.Iris_fuzzer.Campaign.vm_crashes r.Iris_fuzzer.Campaign.hv_crashes;
+        List.iteri
+          (fun i v ->
+            if i < 10 then
+              Printf.printf "  [%s] %s -> %s\n"
+                (Iris_fuzzer.Campaign.failure_name v.Iris_fuzzer.Campaign.failure)
+                (Iris_fuzzer.Mutation.describe v.Iris_fuzzer.Campaign.mutation)
+                v.Iris_fuzzer.Campaign.detail)
+          r.Iris_fuzzer.Campaign.crashing
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Run one PoC fuzzing test case (replay to S_R, mutate, triage).")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ reason $ area
+      $ mutations $ guided)
+
+(* --- info --- *)
+
+let info_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by 'record -o'.")
+  in
+  let run path =
+    match Trace.load ~path with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" path e;
+        exit 1
+    | Ok trace ->
+        Format.printf "%a@." Trace.pp_summary trace;
+        Printf.printf
+          "seed bytes total %d, max rw records per seed %d (worst-case \
+           pre-allocation %d bytes/exit)\n"
+          (Trace.total_seed_bytes trace)
+          (Trace.max_rw_records trace)
+          Iris_core.Seed.preallocated_bytes
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarise a recorded trace file.")
+    Term.(const run $ file)
+
+(* --- port --- *)
+
+let port_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by 'record -o'.")
+  in
+  let run path =
+    match Trace.load ~path with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" path e;
+        exit 1
+    | Ok trace ->
+        Printf.printf
+          "%s: %.1f%% of VMREAD records translate to AMD VMCB fields\n"
+          path
+          (Iris_svm.Port.coverage_pct trace);
+        let dropped = Hashtbl.create 16 in
+        Array.iter
+          (fun s ->
+            let t = Iris_svm.Port.translate s in
+            List.iter
+              (fun d ->
+                let f = d.Iris_svm.Port.vmcs_field in
+                Hashtbl.replace dropped f
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt dropped f)))
+              t.Iris_svm.Port.dropped)
+          trace.Trace.seeds;
+        Hashtbl.fold (fun f n acc -> (f, n) :: acc) dropped []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.iter (fun (f, n) ->
+               Printf.printf "  VT-x-only: %-28s dropped %d times\n"
+                 (Iris_vmcs.Field.name f) n)
+  in
+  Cmd.v
+    (Cmd.info "port"
+       ~doc:"Report how much of a recorded trace ports to AMD SVM (§IX).")
+    Term.(const run $ file)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "iris" ~version:"1.0.0"
+             ~doc:
+               "Record and replay of hardware-assisted virtualization \
+                behaviors (IRIS, DSN'23) on a simulated Xen/VT-x substrate.")
+          [ record_cmd; replay_cmd; fuzz_cmd; info_cmd; port_cmd ]))

@@ -1,0 +1,1 @@
+examples/crafted_seed.ml: Array Gpr Int64 Iris_core Iris_coverage Iris_vmcs Iris_vtx Iris_x86 List Printf

@@ -1,0 +1,1 @@
+examples/fuzz_campaign.ml: Iris_core Iris_fuzzer Iris_guest Iris_vtx List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iris_core Iris_guest Iris_vtx List Printf

@@ -1,0 +1,1 @@
+examples/record_and_replay.ml: Array Filename Iris_core Iris_guest Iris_vtx Iris_x86 List Printf Sys

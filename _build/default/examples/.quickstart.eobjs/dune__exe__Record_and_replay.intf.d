@@ -1,0 +1,1 @@
+examples/record_and_replay.mli:

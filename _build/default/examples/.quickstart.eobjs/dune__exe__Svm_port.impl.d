@@ -1,0 +1,1 @@
+examples/svm_port.ml: Array Format Iris_core Iris_guest Iris_svm Iris_vmcs Iris_vtx Iris_x86 List Printf

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Int64 Iris_coverage Iris_vmcs Iris_vtx Iris_x86 List Metrics Trace

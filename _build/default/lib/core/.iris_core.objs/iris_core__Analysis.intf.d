@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Iris_coverage Iris_x86 Trace

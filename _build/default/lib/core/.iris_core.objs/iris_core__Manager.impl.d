@@ -1,0 +1,1 @@
+lib/core/manager.ml: Array Int64 Iris_coverage Iris_guest Iris_hv Iris_memory Iris_vmcs Iris_vtx Metrics Recorder Replayer Seed Trace

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Iris_guest Iris_hv Iris_memory Metrics Replayer Seed Trace

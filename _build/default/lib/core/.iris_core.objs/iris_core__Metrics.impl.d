@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Int64 Iris_coverage Iris_vmcs List

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Iris_coverage Iris_vmcs

@@ -1,0 +1,1 @@
+lib/core/recorder.mli: Iris_hv Trace

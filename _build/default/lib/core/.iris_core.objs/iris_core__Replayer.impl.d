@@ -1,0 +1,1 @@
+lib/core/replayer.ml: Array Hashtbl Iris_hv Iris_vmcs Iris_vtx Iris_x86 List Queue Seed

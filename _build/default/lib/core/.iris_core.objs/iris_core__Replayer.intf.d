@@ -1,0 +1,1 @@
+lib/core/replayer.mli: Iris_hv Seed

@@ -1,0 +1,1 @@
+lib/core/seed.ml: Format Iris_util Iris_vmcs Iris_vtx Iris_x86 List Printf

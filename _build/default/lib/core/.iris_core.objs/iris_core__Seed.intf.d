@@ -1,0 +1,1 @@
+lib/core/seed.mli: Format Iris_vmcs Iris_vtx Iris_x86

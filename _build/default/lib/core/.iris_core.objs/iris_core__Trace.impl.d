@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Bytes Format Hashtbl Iris_coverage Iris_util Iris_vmcs Iris_vtx List Metrics Option Seed

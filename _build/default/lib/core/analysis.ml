@@ -1,0 +1,115 @@
+module Cov = Iris_coverage.Cov
+module Diff = Iris_coverage.Diff
+module F = Iris_vmcs.Field
+
+type accuracy = {
+  fitting_pct : float;
+  record_curve : int array;
+  replay_curve : int array;
+  diff_summary : Diff.summary;
+  divergent_pct : float;
+  vmwrite_fit_pct : float;
+}
+
+let cumulative_counts metrics =
+  let acc = ref Cov.Pset.empty in
+  Array.map
+    (fun m ->
+      acc := Cov.Pset.union !acc m.Metrics.coverage;
+      Cov.Pset.cardinal !acc)
+    metrics
+
+let union_all metrics =
+  Array.fold_left
+    (fun acc m -> Cov.Pset.union acc m.Metrics.coverage)
+    Cov.Pset.empty metrics
+
+(* Per-seed record/replay coverage differences, on the aligned prefix
+   both traces share.  Repeated identical seeds are deduplicated the
+   way the paper filters them when reporting divergence frequency. *)
+let per_seed_diffs ~recorded ~replayed =
+  let n =
+    min (Array.length recorded.Trace.metrics)
+      (Array.length replayed.Trace.metrics)
+  in
+  List.init n (fun i ->
+      Diff.diff
+        ~recorded:recorded.Trace.metrics.(i).Metrics.coverage
+        ~replayed:replayed.Trace.metrics.(i).Metrics.coverage)
+
+let accuracy ~recorded ~replayed =
+  let record_curve = cumulative_counts recorded.Trace.metrics in
+  let replay_curve = cumulative_counts replayed.Trace.metrics in
+  let fitting_pct =
+    Diff.fitting_pct
+      ~recorded_cumulative:(union_all recorded.Trace.metrics)
+      ~replayed_cumulative:(union_all replayed.Trace.metrics)
+  in
+  let diffs = per_seed_diffs ~recorded ~replayed in
+  let diff_summary = Diff.summarise diffs in
+  let total = max 1 (List.length diffs) in
+  let divergent_pct =
+    100.0 *. float_of_int diff_summary.Diff.divergent /. float_of_int total
+  in
+  let vmwrite_fit_pct =
+    Metrics.vmwrite_fitting_pct
+      ~recorded:(Array.to_list recorded.Trace.metrics)
+      ~replayed:(Array.to_list replayed.Trace.metrics)
+  in
+  { fitting_pct; record_curve; replay_curve; diff_summary; divergent_pct;
+    vmwrite_fit_pct }
+
+type efficiency = {
+  real_seconds : float;
+  replay_seconds : float;
+  pct_decrease : float;
+  speedup : float;
+  replay_exits_per_sec : float;
+}
+
+let efficiency ~recorded ~replay_cycles ~submitted =
+  let real_seconds =
+    Iris_vtx.Clock.cycles_to_seconds recorded.Trace.wall_cycles
+  in
+  let replay_seconds = Iris_vtx.Clock.cycles_to_seconds replay_cycles in
+  let pct_decrease =
+    if real_seconds > 0.0 then
+      100.0 *. (real_seconds -. replay_seconds) /. real_seconds
+    else 0.0
+  in
+  let speedup =
+    if replay_seconds > 0.0 then real_seconds /. replay_seconds else infinity
+  in
+  let replay_exits_per_sec =
+    if replay_seconds > 0.0 then float_of_int submitted /. replay_seconds
+    else 0.0
+  in
+  { real_seconds; replay_seconds; pct_decrease; speedup;
+    replay_exits_per_sec }
+
+let mode_trace trace =
+  let points = ref [] in
+  Array.iteri
+    (fun i m ->
+      List.iter
+        (fun (f, v) ->
+          if f = F.cr0_read_shadow then
+            points := (i, Iris_x86.Cpu_mode.of_cr0 v) :: !points)
+        m.Metrics.writes)
+    trace.Trace.metrics;
+  Array.of_list (List.rev !points)
+
+let handler_times_us trace =
+  Array.map
+    (fun m ->
+      Int64.to_float m.Metrics.handler_cycles /. Iris_vtx.Clock.hz *. 1e6)
+    trace.Trace.metrics
+
+let ideal_throughput_exits_per_sec =
+  let cycles_per_loop =
+    Iris_vtx.Cost.exit_transition + Iris_vtx.Cost.dispatch_base
+    + Iris_vtx.Cost.entry_transition
+    + (2 * Iris_vtx.Cost.vmread_cost)
+    + Iris_vtx.Cost.vmwrite_cost + 100
+  in
+  Iris_vtx.Clock.hz /. float_of_int cycles_per_loop

@@ -1,0 +1,45 @@
+(** Accuracy and efficiency analysis of record-vs-replay runs — the
+    computations behind Figures 6 through 10. *)
+
+type accuracy = {
+  fitting_pct : float;
+      (** replayed share of recorded cumulative unique lines (Fig. 6's
+          end-of-curve fit) *)
+  record_curve : int array;
+      (** cumulative unique covered lines per recorded exit *)
+  replay_curve : int array;
+  diff_summary : Iris_coverage.Diff.summary;
+      (** per-seed difference clustering (Fig. 7) *)
+  divergent_pct : float;
+      (** share of seeds with a >30-LOC difference (paper: 0.36 % /
+          0.18 % / 1.16 %) *)
+  vmwrite_fit_pct : float;
+      (** share of seeds whose guest-state VMWRITE sequence replayed
+          exactly (Fig. 8's 100 % claim) *)
+}
+
+val accuracy :
+  recorded:Trace.t -> replayed:Trace.t -> accuracy
+(** Both traces must carry metrics. *)
+
+type efficiency = {
+  real_seconds : float;       (** Fig. 9 "Real VM" *)
+  replay_seconds : float;     (** Fig. 9 "IRIS VM" *)
+  pct_decrease : float;
+  speedup : float;
+  replay_exits_per_sec : float;
+}
+
+val efficiency :
+  recorded:Trace.t -> replay_cycles:int64 -> submitted:int -> efficiency
+
+val mode_trace : Trace.t -> (int * Iris_x86.Cpu_mode.t) array
+(** Operating mode after each exit that wrote CR0, derived from the
+    recorded CR0-read-shadow VMWRITEs (Fig. 8's x/y series). *)
+
+val handler_times_us : Trace.t -> float array
+(** Per-exit handler service time in microseconds (Fig. 10 samples). *)
+
+val ideal_throughput_exits_per_sec : float
+(** Throughput of an empty preemption-timer exit/entry loop under the
+    cost model (the paper's ~50 K exits/s upper bound). *)

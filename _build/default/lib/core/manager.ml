@@ -1,0 +1,240 @@
+module Ctx = Iris_hv.Ctx
+module Hooks = Iris_hv.Hooks
+module Xen = Iris_hv.Xen
+module Cov = Iris_coverage.Cov
+module F = Iris_vmcs.Field
+module C = Iris_vmcs.Controls
+module W = Iris_guest.Workload
+
+type t = {
+  seed0 : int;
+  boot_scale : float;
+}
+
+let create ?(boot_scale = 0.05) ~prng_seed () =
+  { seed0 = prng_seed; boot_scale }
+
+let prng_seed t = t.seed0
+
+type recording = {
+  workload : W.t;
+  trace : Trace.t;
+  snapshot : Iris_hv.Domain.snapshot;
+  record_ctx : Ctx.t;
+  boot_exits : int;
+  final_memory : Iris_memory.Gmem.t;
+}
+
+(* Bring a fresh test VM to the state recording starts from: full
+   (scaled) boot for post-boot workloads, BIOS only for OS BOOT. *)
+let prepare_test_vm t workload =
+  let cov = Cov.create () in
+  let hooks = Hooks.create () in
+  let ctx =
+    Xen.construct ~cov ~hooks ~name:(W.name workload ^ "-testvm") ()
+  in
+  let boot_fetch =
+    if W.needs_boot workload then
+      Some (Iris_guest.Os_boot.program ~scale:t.boot_scale ~seed:t.seed0 ())
+    else None
+  in
+  let boot_exits =
+    match boot_fetch with
+    | None -> 0
+    | Some fetch ->
+        let res = Xen.run ctx ~fetch in
+        (match res.Xen.stop with
+        | Xen.Completed -> ()
+        | Xen.Crashed msg -> failwith ("test VM crashed during boot: " ^ msg)
+        | Xen.Budget -> assert false);
+        res.Xen.exits
+  in
+  (ctx, boot_exits)
+
+let record ?(store_seeds = true) ?(store_metrics = true)
+    ?(record_full_boot = false) t workload ~exits =
+  let ctx, boot_exits = prepare_test_vm t workload in
+  let bios_exits = ref 0 in
+  (* The paper's OS BOOT trace starts after the last BIOS exit. *)
+  if workload = W.Os_boot && not record_full_boot then begin
+    let bios = Iris_guest.Os_boot.bios ~seed:t.seed0 in
+    let res = Xen.run ctx ~fetch:bios in
+    (match res.Xen.stop with
+    | Xen.Completed -> ()
+    | Xen.Crashed msg -> failwith ("BIOS crashed: " ^ msg)
+    | Xen.Budget -> assert false);
+    bios_exits := res.Xen.exits
+  end;
+  let snapshot = Iris_hv.Domain.snapshot ctx.Ctx.dom in
+  let recorder = Recorder.start ~store_seeds ~store_metrics ctx in
+  let fetch =
+    if workload = W.Os_boot && not record_full_boot then
+      W.post_bios_program workload ~seed:t.seed0
+    else W.program workload ~seed:t.seed0
+  in
+  let res = Xen.run ctx ~fetch ~max_exits:exits in
+  (match res.Xen.stop with
+  | Xen.Completed | Xen.Budget -> ()
+  | Xen.Crashed msg -> failwith ("test VM crashed while recording: " ^ msg));
+  let trace =
+    Recorder.stop recorder ~workload:(W.name workload) ~prng_seed:t.seed0
+  in
+  { workload; trace; snapshot; record_ctx = ctx;
+    boot_exits = boot_exits + !bios_exits;
+    final_memory = Iris_memory.Gmem.copy ctx.Ctx.dom.Iris_hv.Domain.mem }
+
+(* Turn a dummy domain into the snapshot's state while preserving its
+   dummy nature: empty guest memory, preemption timer armed, no host
+   timer. *)
+let arm_dummy ctx ~revert_to ~keep_memory =
+  let dom = ctx.Ctx.dom in
+  (match revert_to with
+  | Some snapshot ->
+      Iris_hv.Domain.revert dom snapshot;
+      (* The paper's design point: guest memory is not part of a VM
+         seed, so the dummy runs without it.  [keep_memory] is the
+         ablation that shows what recording memory would buy. *)
+      if not keep_memory then
+        Iris_memory.Gmem.clear dom.Iris_hv.Domain.mem
+  | None -> ());
+  let vcpu = dom.Iris_hv.Domain.vcpu in
+  vcpu.Iris_vtx.Vcpu.host_timer_deadline <- 0L;
+  vcpu.Iris_vtx.Vcpu.host_timer_period <- 0L;
+  vcpu.Iris_vtx.Vcpu.pending_extint <- None;
+  let pin = Iris_hv.Access.vmread_raw ctx F.pin_based_vm_exec_control in
+  Iris_hv.Access.vmwrite_raw ctx F.pin_based_vm_exec_control
+    (Int64.logor pin C.pin_preemption_timer);
+  Iris_hv.Access.vmwrite_raw ctx F.guest_preemption_timer 0L;
+  vcpu.Iris_vtx.Vcpu.preemption_timer <- 0L;
+  dom.Iris_hv.Domain.blocked <- false
+
+let make_dummy t ?revert_to ?(keep_memory = false) () =
+  ignore t;
+  let cov = Cov.create () in
+  let hooks = Hooks.create () in
+  let ctx = Xen.construct ~dummy:true ~cov ~hooks ~name:"dummy-vm" () in
+  arm_dummy ctx ~revert_to ~keep_memory;
+  Replayer.create ctx
+
+type replay_run = {
+  replay_trace : Trace.t;
+  submitted : int;
+  outcome : Replayer.outcome;
+  replay_cycles : int64;
+  replay_ctx : Ctx.t;
+}
+
+let run_replay ?(keep_memory = false) ?(configure = fun _ -> ()) t ~revert_to
+    seeds =
+  let replayer = make_dummy t ?revert_to ~keep_memory () in
+  configure replayer;
+  let ctx = Replayer.ctx replayer in
+  (* Replay mode together with record mode: gather metrics of the
+     replayed seeds (§IV-C). *)
+  let recorder = Recorder.start ~store_seeds:true ~store_metrics:true ctx in
+  let start = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let submitted, outcome = Replayer.submit_all replayer seeds in
+  let replay_cycles =
+    Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) start
+  in
+  let replay_trace =
+    Recorder.stop recorder ~workload:"replay" ~prng_seed:t.seed0
+  in
+  { replay_trace; submitted; outcome; replay_cycles; replay_ctx = ctx }
+
+let replay ?(keep_memory = false) ?configure t recording =
+  let configure replayer =
+    (* Memory oracle: give the dummy the recording's final guest
+       memory (instruction bytes included) before submission. *)
+    if keep_memory then begin
+      let dom = (Replayer.ctx replayer).Ctx.dom in
+      Iris_memory.Gmem.transplant ~into:dom.Iris_hv.Domain.mem
+        ~from:recording.final_memory
+    end;
+    match configure with Some f -> f replayer | None -> ()
+  in
+  run_replay ~configure t
+    ~revert_to:(Some recording.snapshot)
+    recording.trace.Trace.seeds
+
+let replay_from_fresh t trace =
+  run_replay t ~revert_to:None trace.Trace.seeds
+
+let replay_seeds t ?revert_to seeds =
+  run_replay t ~revert_to seeds
+
+(* --- hypercall façade --- *)
+
+type hypercall_op =
+  | Op_set_mode of [ `Off | `Record | `Replay | `Replay_record ]
+  | Op_fetch_trace
+  | Op_submit_seed of Seed.t
+  | Op_fetch_metrics
+
+type hypercall_result =
+  | R_ok
+  | R_trace of Trace.t option
+  | R_metrics of Metrics.t list
+  | R_error of string
+
+type session_state =
+  | S_off
+  | S_recording of Recorder.t * Ctx.t
+  | S_replaying of Replayer.t * Recorder.t option
+
+type session = {
+  mgr : t;
+  mutable state : session_state;
+  mutable last_trace : Trace.t option;
+  mutable replay_metrics : Metrics.t list;
+}
+
+let open_session mgr =
+  { mgr; state = S_off; last_trace = None; replay_metrics = [] }
+
+let xc_vmcs_fuzzing s op =
+  match (op, s.state) with
+  | Op_set_mode `Off, S_recording (recorder, _) ->
+      s.last_trace <-
+        Some
+          (Recorder.stop recorder ~workload:"session" ~prng_seed:s.mgr.seed0);
+      s.state <- S_off;
+      R_ok
+  | Op_set_mode `Off, S_replaying (_, recorder) ->
+      (match recorder with
+      | Some r ->
+          let trace =
+            Recorder.stop r ~workload:"session-replay"
+              ~prng_seed:s.mgr.seed0
+          in
+          s.replay_metrics <- Array.to_list trace.Trace.metrics
+      | None -> ());
+      s.state <- S_off;
+      R_ok
+  | Op_set_mode `Off, S_off -> R_ok
+  | Op_set_mode `Record, S_off ->
+      let cov = Cov.create () in
+      let hooks = Hooks.create () in
+      let ctx = Xen.construct ~cov ~hooks ~name:"session-testvm" () in
+      let recorder = Recorder.start ctx in
+      s.state <- S_recording (recorder, ctx);
+      R_ok
+  | Op_set_mode `Replay, S_off ->
+      let replayer = make_dummy s.mgr () in
+      s.state <- S_replaying (replayer, None);
+      R_ok
+  | Op_set_mode `Replay_record, S_off ->
+      let replayer = make_dummy s.mgr () in
+      let recorder = Recorder.start (Replayer.ctx replayer) in
+      s.state <- S_replaying (replayer, Some recorder);
+      R_ok
+  | Op_set_mode _, (S_recording _ | S_replaying _) ->
+      R_error "mode already set; switch off first"
+  | Op_fetch_trace, _ -> R_trace s.last_trace
+  | Op_submit_seed seed, S_replaying (replayer, _) -> (
+      match Replayer.submit replayer seed with
+      | Replayer.Replayed -> R_ok
+      | Replayer.Vm_crashed msg -> R_error ("dummy VM crashed: " ^ msg))
+  | Op_submit_seed _, (S_off | S_recording _) ->
+      R_error "not in replay mode"
+  | Op_fetch_metrics, _ -> R_metrics s.replay_metrics

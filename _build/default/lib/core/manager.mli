@@ -1,0 +1,106 @@
+(** The IRIS manager (§IV-C, §V-C).
+
+    Orchestrates the record and replay operation modes over a test VM
+    and a dummy VM, mirroring the paper's architecture: the manager
+    boots and snapshots the test VM, enables recording (seeds,
+    metrics, or both), and later constructs a dummy VM — optionally
+    reverted to the test VM's snapshot — through which seeds are
+    submitted on demand.  Replay mode can run with record mode
+    enabled, which is how accuracy metrics of replayed seeds are
+    gathered. *)
+
+type t
+
+val create : ?boot_scale:float -> prng_seed:int -> unit -> t
+(** [boot_scale] shrinks the unrecorded boot used to reach a valid VM
+    state before recording post-boot workloads (default 0.05; the
+    recorded OS BOOT workload itself is never scaled). *)
+
+val prng_seed : t -> int
+
+type recording = {
+  workload : Iris_guest.Workload.t;
+  trace : Trace.t;
+  snapshot : Iris_hv.Domain.snapshot;
+      (** test-VM state at the start of recording *)
+  record_ctx : Iris_hv.Ctx.t;
+      (** the hypervisor the recording ran on (holds its coverage) *)
+  boot_exits : int;
+      (** exits consumed reaching the recording start point *)
+  final_memory : Iris_memory.Gmem.t;
+      (** guest memory at the end of recording — used only by the
+          memory-oracle ablation ([replay ~keep_memory]); the paper's
+          IRIS never records it *)
+}
+
+val record :
+  ?store_seeds:bool -> ?store_metrics:bool -> ?record_full_boot:bool ->
+  t -> Iris_guest.Workload.t -> exits:int -> recording
+(** Record [exits] VM exits of a workload.  Post-boot workloads run
+    on a freshly booted test VM; OS BOOT records from the BIOS
+    handoff (the paper's trace skips the ~10 K BIOS exits) unless
+    [record_full_boot] is set, in which case the BIOS is recorded
+    too (Fig. 4). *)
+
+type replay_run = {
+  replay_trace : Trace.t;
+      (** seeds + metrics observed while replaying (record mode on) *)
+  submitted : int;
+  outcome : Replayer.outcome;
+  replay_cycles : int64;
+      (** dummy-VM time to submit all seeds — Fig. 9's "IRIS VM" *)
+  replay_ctx : Iris_hv.Ctx.t;
+}
+
+val replay :
+  ?keep_memory:bool -> ?configure:(Replayer.t -> unit) -> t -> recording ->
+  replay_run
+(** Replay a recording through a dummy VM reverted to the recording's
+    snapshot (guest memory deliberately left empty).
+
+    [keep_memory] is the DESIGN.md §4 memory-oracle ablation: revert
+    the dummy *with* the test VM's memory, making memory-dependent
+    emulation paths reproducible.  [configure] runs on the fresh
+    replayer before submission (ablation switches). *)
+
+val replay_from_fresh : t -> Trace.t -> replay_run
+(** Replay onto a dummy VM in its freshly-created (never-booted)
+    state — the §VI-B experiment that crashes with
+    "bad RIP for mode 0" for post-boot workloads. *)
+
+val replay_seeds :
+  t -> ?revert_to:Iris_hv.Domain.snapshot -> Seed.t array -> replay_run
+(** Lower-level entry point used by the fuzzer: submit an explicit
+    seed sequence (recorded, sliced, or mutated). *)
+
+val make_dummy :
+  t -> ?revert_to:Iris_hv.Domain.snapshot -> ?keep_memory:bool -> unit ->
+  Replayer.t
+(** Construct a dummy VM (optionally reverted) and its replayer,
+    without submitting anything: on-demand seed submission. *)
+
+(** {2 The [xc_vmcs_fuzzing] hypercall interface}
+
+    The user-space CLI controls IRIS through one multiplexed
+    hypercall (§V-C); this mirrors its operation codes. *)
+
+type hypercall_op =
+  | Op_set_mode of [ `Off | `Record | `Replay | `Replay_record ]
+  | Op_fetch_trace
+  | Op_submit_seed of Seed.t
+  | Op_fetch_metrics
+
+type hypercall_result =
+  | R_ok
+  | R_trace of Trace.t option
+  | R_metrics of Metrics.t list
+  | R_error of string
+
+type session
+
+val open_session : t -> session
+val xc_vmcs_fuzzing : session -> hypercall_op -> hypercall_result
+(** A thin, stateful façade over record/replay for CLI-style use:
+    [`Record] starts recording on a fresh booted test VM, [`Off]
+    stops it, [`Replay]/[`Replay_record] set up a dummy VM and accept
+    [Op_submit_seed]. *)

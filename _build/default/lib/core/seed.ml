@@ -1,0 +1,114 @@
+module F = Iris_vmcs.Field
+module Gpr = Iris_x86.Gpr
+module Codec = Iris_util.Codec
+
+type entry_kind = K_gpr | K_read | K_write
+
+let kind_flag = function K_gpr -> 0 | K_read -> 1 | K_write -> 2
+
+let kind_of_flag = function
+  | 0 -> Some K_gpr
+  | 1 -> Some K_read
+  | 2 -> Some K_write
+  | _ -> None
+
+type t = {
+  index : int;
+  reason : Iris_vtx.Exit_reason.t;
+  gprs : (Gpr.reg * int64) list;
+  reads : (F.t * int64) list;
+  writes : (F.t * int64) list;
+}
+
+let record_bytes = 10
+
+let worst_case_rw = 32
+
+let worst_case_bytes = (Gpr.count + worst_case_rw) * record_bytes
+
+let size_bytes t =
+  (List.length t.gprs + List.length t.reads + List.length t.writes)
+  * record_bytes
+
+let preallocated_bytes = worst_case_bytes
+
+let encode t =
+  let w = Codec.writer () in
+  Codec.w_u32 w t.index;
+  Codec.w_u8 w (Iris_vtx.Exit_reason.code t.reason);
+  let n = List.length t.gprs + List.length t.reads + List.length t.writes in
+  Codec.w_u32 w n;
+  let record kind enc value =
+    Codec.w_u8 w (kind_flag kind);
+    Codec.w_u8 w enc;
+    Codec.w_i64 w value
+  in
+  List.iter (fun (r, v) -> record K_gpr (Gpr.encode r) v) t.gprs;
+  List.iter (fun (f, v) -> record K_read (F.compact f) v) t.reads;
+  List.iter (fun (f, v) -> record K_write (F.compact f) v) t.writes;
+  Codec.contents w
+
+let decode buf =
+  match
+    let r = Codec.reader buf in
+    let index = Codec.r_u32 r in
+    let reason_code = Codec.r_u8 r in
+    let n = Codec.r_u32 r in
+    let reason =
+      match Iris_vtx.Exit_reason.of_code reason_code with
+      | Some x -> x
+      | None -> failwith (Printf.sprintf "bad exit reason %d" reason_code)
+    in
+    let gprs = ref [] and reads = ref [] and writes = ref [] in
+    for _ = 1 to n do
+      let flag = Codec.r_u8 r in
+      let enc = Codec.r_u8 r in
+      let value = Codec.r_i64 r in
+      match kind_of_flag flag with
+      | Some K_gpr -> (
+          match Gpr.decode enc with
+          | Some reg -> gprs := (reg, value) :: !gprs
+          | None -> failwith (Printf.sprintf "bad GPR encoding %d" enc))
+      | Some K_read -> (
+          match F.of_compact enc with
+          | Some f -> reads := (f, value) :: !reads
+          | None -> failwith (Printf.sprintf "bad field encoding %d" enc))
+      | Some K_write -> (
+          match F.of_compact enc with
+          | Some f -> writes := (f, value) :: !writes
+          | None -> failwith (Printf.sprintf "bad field encoding %d" enc))
+      | None -> failwith (Printf.sprintf "bad record flag %d" flag)
+    done;
+    if not (Codec.at_end r) then failwith "trailing bytes";
+    { index;
+      reason;
+      gprs = List.rev !gprs;
+      reads = List.rev !reads;
+      writes = List.rev !writes }
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+  | exception Codec.Truncated -> Error "truncated seed"
+
+let gpr_value t reg =
+  match List.assoc_opt reg t.gprs with Some v -> v | None -> 0L
+
+let first_read t field = List.assoc_opt field t.reads
+
+let equal a b =
+  a.index = b.index && a.reason = b.reason && a.gprs = b.gprs
+  && a.reads = b.reads && a.writes = b.writes
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v2>seed #%d (%s):@ " t.index
+    (Iris_vtx.Exit_reason.name t.reason);
+  List.iter
+    (fun (r, v) -> Format.fprintf fmt "gpr %s = 0x%Lx@ " (Gpr.name r) v)
+    t.gprs;
+  List.iter
+    (fun (f, v) -> Format.fprintf fmt "read %s = 0x%Lx@ " (F.name f) v)
+    t.reads;
+  List.iter
+    (fun (f, v) -> Format.fprintf fmt "write %s = 0x%Lx@ " (F.name f) v)
+    t.writes;
+  Format.fprintf fmt "@]"

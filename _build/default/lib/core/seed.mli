@@ -1,0 +1,56 @@
+(** The VM seed (paper §IV, §V-A).
+
+    One seed captures everything the hypervisor consumed while
+    handling one VM exit: the fifteen general-purpose register values
+    (saved by the hypervisor, not the VMCS) and the ordered VMCS
+    {field, value} pairs returned by VMREADs.  The VMWRITE pairs
+    performed during handling ride along as the accuracy metric.
+
+    Wire format, per the paper: an array of 10-byte records — a
+    1-byte kind flag, a 1-byte compact encoding (15 GPRs / ~150 VMCS
+    fields), and an 8-byte value.  15 GPR records plus the measured
+    worst case of 32 VMREAD/VMWRITE records gives the 470-byte
+    worst-case seed the paper reports (§VI-D). *)
+
+type entry_kind = K_gpr | K_read | K_write
+
+type t = {
+  index : int;
+      (** position within its trace *)
+  reason : Iris_vtx.Exit_reason.t;
+      (** basic exit reason (also present as the first recorded read
+          of the exit-reason field) *)
+  gprs : (Iris_x86.Gpr.reg * int64) list;
+      (** all 15, in encoding order *)
+  reads : (Iris_vmcs.Field.t * int64) list;
+      (** VMREAD traffic, in execution order *)
+  writes : (Iris_vmcs.Field.t * int64) list;
+      (** VMWRITE traffic, in execution order (metric) *)
+}
+
+val record_bytes : int
+(** 10. *)
+
+val worst_case_rw : int
+(** 32 — the paper's measured worst-case VMREAD+VMWRITE count. *)
+
+val worst_case_bytes : int
+(** 470 = (15 + 32) × 10. *)
+
+val size_bytes : t -> int
+(** Encoded size of this seed's records. *)
+
+val preallocated_bytes : int
+(** What the recorder pre-allocates per exit (worst case), §VI-D. *)
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+
+val gpr_value : t -> Iris_x86.Gpr.reg -> int64
+(** 0 if absent. *)
+
+val first_read : t -> Iris_vmcs.Field.t -> int64 option
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/coverage/bitmap.mli: Cov

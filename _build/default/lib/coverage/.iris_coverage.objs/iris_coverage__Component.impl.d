@@ -1,0 +1,1 @@
+lib/coverage/component.ml: Format List

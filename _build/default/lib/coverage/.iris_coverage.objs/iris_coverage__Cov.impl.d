@@ -1,0 +1,1 @@
+lib/coverage/cov.ml: Component Format Hashtbl Int List Set

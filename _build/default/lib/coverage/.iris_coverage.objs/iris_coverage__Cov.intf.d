@@ -1,0 +1,1 @@
+lib/coverage/cov.mli: Component Format Set

@@ -1,0 +1,1 @@
+lib/coverage/diff.ml: Component Cov Hashtbl List

@@ -1,0 +1,1 @@
+lib/coverage/diff.mli: Component Cov

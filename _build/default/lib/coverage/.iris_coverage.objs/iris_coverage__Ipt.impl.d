@@ -1,0 +1,1 @@
+lib/coverage/ipt.ml: Array Component Cov

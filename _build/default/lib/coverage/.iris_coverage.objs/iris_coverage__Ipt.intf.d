@@ -1,0 +1,1 @@
+lib/coverage/ipt.mli: Component Cov

@@ -1,0 +1,40 @@
+type t = { map : Bytes.t; mask : int }
+
+let create ?(size = 65536) () =
+  assert (size > 0 && size land (size - 1) = 0);
+  { map = Bytes.make size '\000'; mask = size - 1 }
+
+let size t = Bytes.length t.map
+
+(* Fibonacci hashing of the packed point. *)
+let slot t p = (p * 0x9E3779B1) lsr 11 land t.mask
+
+let record t p =
+  let i = slot t (p : Cov.point :> int) in
+  let v = Char.code (Bytes.get t.map i) in
+  if v < 255 then Bytes.set t.map i (Char.chr (v + 1))
+
+let record_set t pset = Cov.Pset.iter (record t) pset
+
+let set_bytes t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.map;
+  !n
+
+let merge_new ~virgin t =
+  assert (size virgin = size t);
+  let fresh = ref 0 in
+  Bytes.iteri
+    (fun i c ->
+      if c <> '\000' then begin
+        if Bytes.get virgin.map i = '\000' then incr fresh;
+        let acc = Char.code (Bytes.get virgin.map i) in
+        let add = Char.code c in
+        Bytes.set virgin.map i (Char.chr (min 255 (acc + add)))
+      end)
+    t.map;
+  !fresh
+
+let reset t = Bytes.fill t.map 0 (Bytes.length t.map) '\000'
+
+let copy t = { map = Bytes.copy t.map; mask = t.mask }

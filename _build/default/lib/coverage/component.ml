@@ -1,0 +1,51 @@
+type t =
+  | Vmx_c
+  | Vmcs_c
+  | Hvm_c
+  | Emulate_c
+  | Intr_c
+  | Irq_c
+  | Vlapic_c
+  | Vpt_c
+  | Io_c
+  | Msr_c
+  | Cpuid_c
+  | Realmode_c
+  | Ept_c
+  | Hypercall_c
+  | Iris_c
+
+let all =
+  [ Vmx_c; Vmcs_c; Hvm_c; Emulate_c; Intr_c; Irq_c; Vlapic_c; Vpt_c;
+    Io_c; Msr_c; Cpuid_c; Realmode_c; Ept_c; Hypercall_c; Iris_c ]
+
+let name = function
+  | Vmx_c -> "vmx.c"
+  | Vmcs_c -> "vmcs.c"
+  | Hvm_c -> "hvm.c"
+  | Emulate_c -> "emulate.c"
+  | Intr_c -> "intr.c"
+  | Irq_c -> "irq.c"
+  | Vlapic_c -> "vlapic.c"
+  | Vpt_c -> "vpt.c"
+  | Io_c -> "io.c"
+  | Msr_c -> "msr.c"
+  | Cpuid_c -> "cpuid.c"
+  | Realmode_c -> "realmode.c"
+  | Ept_c -> "p2m-ept.c"
+  | Hypercall_c -> "hypercall.c"
+  | Iris_c -> "iris.c"
+
+let index = function
+  | Vmx_c -> 0 | Vmcs_c -> 1 | Hvm_c -> 2 | Emulate_c -> 3 | Intr_c -> 4
+  | Irq_c -> 5 | Vlapic_c -> 6 | Vpt_c -> 7 | Io_c -> 8 | Msr_c -> 9
+  | Cpuid_c -> 10 | Realmode_c -> 11 | Ept_c -> 12 | Hypercall_c -> 13
+  | Iris_c -> 14
+
+let of_index i = List.nth_opt all i
+
+let count = List.length all
+
+let pp fmt c = Format.pp_print_string fmt (name c)
+
+let instrumented = function Iris_c -> false | _ -> true

@@ -1,0 +1,40 @@
+(** Hypervisor components (pseudo source files) for coverage
+    attribution.
+
+    The paper's Fig. 7 clusters coverage differences by Xen source
+    file: noise in "vlapic.c", "irq.c", "vpt.c"; larger divergences in
+    "emulate.c", "intr.c", "vmx.c".  Our hypervisor modules declare
+    which component they belong to, and — as in the paper, where Xen
+    is only *selectively* instrumented to avoid non-deterministic
+    subsystems — only components marked [instrumented] contribute to
+    coverage. *)
+
+type t =
+  | Vmx_c      (** vmx.c — exit dispatcher and VMX helpers *)
+  | Vmcs_c     (** vmcs.c — VMCS maintenance *)
+  | Hvm_c      (** hvm.c — HVM domain/vCPU abstraction *)
+  | Emulate_c  (** emulate.c — instruction emulator *)
+  | Intr_c     (** intr.c — VMX interrupt handling *)
+  | Irq_c      (** irq.c — generic IRQ layer *)
+  | Vlapic_c   (** vlapic.c — virtual local APIC *)
+  | Vpt_c      (** vpt.c — virtual platform timers *)
+  | Io_c       (** io.c — port/MMIO intercepts *)
+  | Msr_c      (** msr.c — MSR policy *)
+  | Cpuid_c    (** cpuid.c — CPUID policy *)
+  | Realmode_c (** realmode.c — real-mode helpers *)
+  | Ept_c      (** p2m-ept.c — EPT handling *)
+  | Hypercall_c(** hypercall.c — hypercall dispatch *)
+  | Iris_c     (** IRIS record/replay patches — always filtered out of
+                   coverage reports, as the paper removes hits due to
+                   its own components *)
+
+val all : t list
+val name : t -> string
+val index : t -> int
+val of_index : int -> t option
+val count : int
+val pp : Format.formatter -> t -> unit
+
+val instrumented : t -> bool
+(** Components compiled with coverage instrumentation.  All except
+    [Iris_c]. *)

@@ -1,0 +1,123 @@
+type point = int
+
+let line_space = 1 lsl 20
+
+let point comp line =
+  assert (line >= 0 && line < line_space);
+  (Component.index comp * line_space) + line
+
+let point_component p =
+  match Component.of_index (p / line_space) with
+  | Some c -> c
+  | None -> assert false
+
+let point_line p = p mod line_space
+
+let point_of_int raw =
+  if raw < 0 then None
+  else begin
+    let comp = raw / line_space in
+    if Component.of_index comp = None then None else Some raw
+  end
+
+let pp_point fmt p =
+  Format.fprintf fmt "%s:%d" (Component.name (point_component p)) (point_line p)
+
+module Pset = Set.Make (Int)
+
+type t = {
+  counts : (point, int) Hashtbl.t;
+  mutable on : bool;
+  mutable span : Pset.t option;
+}
+
+let create () = { counts = Hashtbl.create 1024; on = true; span = None }
+
+let enable t = t.on <- true
+
+let disable t = t.on <- false
+
+let enabled t = t.on
+
+let hit_one t p =
+  let prev = match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0 in
+  Hashtbl.replace t.counts p (prev + 1);
+  match t.span with
+  | Some s -> t.span <- Some (Pset.add p s)
+  | None -> ()
+
+(* A probe stands for a gcov basic block: executing it covers a short
+   run of consecutive source lines, with a per-site deterministic
+   length.  This keeps line counts in the same regime as real gcov
+   output instead of one line per instrumentation point. *)
+let block_len line = 1 + (line * 2654435761) land 5
+
+let hit t comp line =
+  if t.on && Component.instrumented comp then begin
+    let len = block_len line in
+    (* Scale the line number so blocks from adjacent probes cannot
+       overlap. *)
+    let base = line * 16 in
+    for i = 0 to len - 1 do
+      hit_one t (point comp (base + i))
+    done
+  end
+
+let hits t p = match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0
+
+let covered t = Hashtbl.fold (fun p _ acc -> Pset.add p acc) t.counts Pset.empty
+
+let unique_lines t = Hashtbl.length t.counts
+
+let lines_of t comp =
+  Hashtbl.fold
+    (fun p _ acc ->
+      if point_component p = comp then point_line p :: acc else acc)
+    t.counts []
+  |> List.sort compare
+
+let reset t =
+  Hashtbl.reset t.counts;
+  t.span <- None
+
+let span_begin t = t.span <- Some Pset.empty
+
+let span_end t =
+  let s = match t.span with Some s -> s | None -> Pset.empty in
+  t.span <- None;
+  s
+
+let with_span t f =
+  assert (t.span = None);
+  t.span <- Some Pset.empty;
+  let finish () =
+    let s = match t.span with Some s -> s | None -> Pset.empty in
+    t.span <- None;
+    s
+  in
+  match f () with
+  | v ->
+      let s = finish () in
+      (v, s)
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+let block_points comp line =
+  let len = block_len line in
+  let base = line * 16 in
+  let rec add i acc =
+    if i >= len then acc else add (i + 1) (Pset.add (point comp (base + i)) acc)
+  in
+  add 0 Pset.empty
+
+let by_component pset =
+  let tbl = Hashtbl.create 16 in
+  Pset.iter
+    (fun p ->
+      let c = point_component p in
+      let prev = match Hashtbl.find_opt tbl c with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl c (prev + 1))
+    pset;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,67 @@
+type t = { missing : Cov.Pset.t; extra : Cov.Pset.t }
+
+let diff ~recorded ~replayed =
+  { missing = Cov.Pset.diff recorded replayed;
+    extra = Cov.Pset.diff replayed recorded }
+
+let total_lines d = Cov.Pset.cardinal d.missing + Cov.Pset.cardinal d.extra
+
+let noise_threshold = 30
+
+let is_noise d =
+  let n = total_lines d in
+  n > 0 && n <= noise_threshold
+
+let by_component d =
+  Cov.by_component (Cov.Pset.union d.missing d.extra)
+
+type summary = {
+  exact : int;
+  noise : int;
+  divergent : int;
+  noise_components : (Component.t * int) list;
+  divergent_components : (Component.t * int) list;
+}
+
+let summarise diffs =
+  let add_tbl tbl d =
+    List.iter
+      (fun (c, n) ->
+        let prev = match Hashtbl.find_opt tbl c with Some x -> x | None -> 0 in
+        Hashtbl.replace tbl c (prev + n))
+      (by_component d)
+  in
+  let noise_tbl = Hashtbl.create 8 and div_tbl = Hashtbl.create 8 in
+  let exact = ref 0 and noise = ref 0 and divergent = ref 0 in
+  List.iter
+    (fun d ->
+      let n = total_lines d in
+      if n = 0 then incr exact
+      else if n <= noise_threshold then begin
+        incr noise;
+        add_tbl noise_tbl d
+      end
+      else begin
+        incr divergent;
+        add_tbl div_tbl d
+      end)
+    diffs;
+  let dump tbl =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { exact = !exact;
+    noise = !noise;
+    divergent = !divergent;
+    noise_components = dump noise_tbl;
+    divergent_components = dump div_tbl }
+
+let fitting_pct ~recorded_cumulative ~replayed_cumulative =
+  let total = Cov.Pset.cardinal recorded_cumulative in
+  if total = 0 then 100.0
+  else begin
+    let found =
+      Cov.Pset.cardinal (Cov.Pset.inter recorded_cumulative replayed_cumulative)
+    in
+    100.0 *. float_of_int found /. float_of_int total
+  end

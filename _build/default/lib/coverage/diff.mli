@@ -1,0 +1,42 @@
+(** Record-vs-replay coverage difference analysis (Fig. 7).
+
+    For each VM seed the recorder stores the coverage span observed
+    while recording; replaying the same seed yields another span.  The
+    symmetric difference, clustered by component and bucketed at the
+    paper's 30-LOC threshold, separates interrupt-timing noise
+    (vlapic.c / irq.c / vpt.c, 1–30 lines) from genuine replay
+    divergence (emulate.c / intr.c / vmx.c, > 30 lines). *)
+
+type t = {
+  missing : Cov.Pset.t;  (** recorded but not replayed *)
+  extra : Cov.Pset.t;    (** replayed but not recorded *)
+}
+
+val diff : recorded:Cov.Pset.t -> replayed:Cov.Pset.t -> t
+
+val total_lines : t -> int
+(** Size of the symmetric difference. *)
+
+val is_noise : t -> bool
+(** Non-empty difference of at most [noise_threshold] lines. *)
+
+val noise_threshold : int
+(** 30, from the paper. *)
+
+val by_component : t -> (Component.t * int) list
+(** Differing-line counts per component, descending. *)
+
+type summary = {
+  exact : int;           (** seeds replaying with zero difference *)
+  noise : int;           (** seeds with 1..30 differing lines *)
+  divergent : int;       (** seeds with more than 30 differing lines *)
+  noise_components : (Component.t * int) list;
+  divergent_components : (Component.t * int) list;
+}
+
+val summarise : t list -> summary
+
+val fitting_pct :
+  recorded_cumulative:Cov.Pset.t -> replayed_cumulative:Cov.Pset.t -> float
+(** The paper's "code coverage fitting": percentage of recorded unique
+    lines rediscovered by the replay. *)

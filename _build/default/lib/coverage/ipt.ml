@@ -1,0 +1,70 @@
+type t = {
+  mutable buf : int array;
+  mutable len : int;
+  mutable start : int;
+  mutable on : bool;
+  mutable wrapped : bool;
+}
+
+let default_packets = 131_072
+
+let create ?(buffer_packets = default_packets) () =
+  assert (buffer_packets > 0);
+  { buf = Array.make buffer_packets 0;
+    len = 0;
+    start = 0;
+    on = true;
+    wrapped = false }
+
+let emit_cost_cycles = 3
+
+let enabled t = t.on
+
+let enable t = t.on <- true
+
+let disable t = t.on <- false
+
+(* Packet payload: component index in the high bits, probe line in the
+   low 20 (the TIP address, in PT terms). *)
+let pack comp line = (Component.index comp lsl 20) lor (line land 0xFFFFF)
+
+let unpack packet =
+  (Component.of_index (packet lsr 20), packet land 0xFFFFF)
+
+let emit t comp line =
+  if t.on && Component.instrumented comp then begin
+    let packet = pack comp line in
+    let cap = Array.length t.buf in
+    if t.len < cap then begin
+      t.buf.((t.start + t.len) mod cap) <- packet;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* Ring full: drop the oldest packet. *)
+      t.buf.(t.start) <- packet;
+      t.start <- (t.start + 1) mod cap;
+      t.wrapped <- true
+    end
+  end
+
+let packets t = t.len
+
+let overflowed t = t.wrapped
+
+let decode t =
+  let cap = Array.length t.buf in
+  let acc = ref Cov.Pset.empty in
+  for i = 0 to t.len - 1 do
+    let p = t.buf.((t.start + i) mod cap) in
+    (* Re-expand the probe into its basic block, exactly as the gcov
+       backend counts it, so both backends feed the same analyses. *)
+    match unpack p with
+    | Some comp, line -> acc := Cov.Pset.union !acc (Cov.block_points comp line)
+    | None, _ -> ()
+  done;
+  !acc
+
+let clear t =
+  t.len <- 0;
+  t.start <- 0;
+  t.wrapped <- false

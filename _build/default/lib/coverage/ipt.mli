@@ -1,0 +1,45 @@
+(** A processor-trace-style coverage backend (paper §IX, "Code
+    coverage").
+
+    The paper plans to replace gcov's compile-time instrumentation
+    with Intel Processor Trace: the CPU streams compressed control-
+    flow packets into a buffer with very low overhead, and a decoder
+    reconstructs coverage offline.
+
+    The model mirrors that split: {!emit} appends a fixed-size packet
+    to a ring buffer at a fraction of a gcov callback's cost, and
+    {!decode} turns the buffer into the same {!Cov.Pset.t} the rest of
+    the pipeline consumes — so accuracy analyses are backend-agnostic
+    while the recording overhead differs. *)
+
+type t
+
+val create : ?buffer_packets:int -> unit -> t
+(** Ring capacity defaults to 1 MiB worth of packets. *)
+
+val emit_cost_cycles : int
+(** Per-packet hardware cost charged by the instrumented hypervisor
+    when tracing is on (an order of magnitude below a software
+    callback). *)
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val emit : t -> Component.t -> int -> unit
+(** Append a TIP-style packet for a probe site.  Cheap: no hashing,
+    no set operations.  Packets from non-instrumented components are
+    dropped, as the PT filtering (CR3/IP ranges) would do. *)
+
+val packets : t -> int
+(** Packets currently buffered. *)
+
+val overflowed : t -> bool
+(** The ring wrapped: the oldest packets were lost (real PT buffers
+    do this too). *)
+
+val decode : t -> Cov.Pset.t
+(** Offline decode: expand each packet to its basic block's line
+    points (same expansion as {!Cov.hit}), deduplicated. *)
+
+val clear : t -> unit

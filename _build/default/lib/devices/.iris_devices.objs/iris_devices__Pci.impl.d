@@ -1,0 +1,1 @@
+lib/devices/pci.ml: Int32 Int64 Iris_util List Port_bus

@@ -1,0 +1,1 @@
+lib/devices/pci.mli: Port_bus

@@ -1,0 +1,1 @@
+lib/devices/pic.ml: Int64 Port_bus

@@ -1,0 +1,1 @@
+lib/devices/pic.mli: Port_bus

@@ -1,0 +1,1 @@
+lib/devices/pit.ml: Array Int64 Port_bus

@@ -1,0 +1,1 @@
+lib/devices/pit.mli: Port_bus

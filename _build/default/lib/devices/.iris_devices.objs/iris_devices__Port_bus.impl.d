@@ -1,0 +1,1 @@
+lib/devices/port_bus.ml: Iris_util List Option Printf

@@ -1,0 +1,1 @@
+lib/devices/port_bus.mli:

@@ -1,0 +1,1 @@
+lib/devices/rtc.ml: Array Int64 Port_bus

@@ -1,0 +1,1 @@
+lib/devices/rtc.mli: Port_bus

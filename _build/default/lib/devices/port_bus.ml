@@ -1,0 +1,39 @@
+type handler = {
+  read : port:int -> size:int -> int64;
+  write : port:int -> size:int -> int64 -> unit;
+}
+
+type range = { first : int; last : int; name : string; handler : handler }
+
+type t = { mutable table : range list }
+
+let create () = { table = [] }
+
+let overlaps a b = a.first <= b.last && b.first <= a.last
+
+let register t ~first ~last ~name handler =
+  assert (first >= 0 && last >= first && last < 0x10000);
+  let r = { first; last; name; handler } in
+  if List.exists (overlaps r) t.table then
+    invalid_arg (Printf.sprintf "Port_bus.register: %s overlaps" name);
+  t.table <- r :: t.table
+
+let find t port = List.find_opt (fun r -> port >= r.first && port <= r.last) t.table
+
+let float_high size = Iris_util.Bits.mask (8 * size)
+
+let read t ~port ~size =
+  match find t port with
+  | Some r -> r.handler.read ~port ~size
+  | None -> float_high size
+
+let write t ~port ~size v =
+  match find t port with
+  | Some r -> r.handler.write ~port ~size v
+  | None -> ()
+
+let owner t port = Option.map (fun r -> r.name) (find t port)
+
+let ranges t =
+  List.map (fun r -> (r.first, r.last, r.name)) t.table
+  |> List.sort compare

@@ -1,0 +1,29 @@
+(** Port-I/O bus.
+
+    Devices claim port ranges; the hypervisor's I/O-instruction
+    handler resolves a trapped IN/OUT against the bus.  Reads from
+    unclaimed ports float high (all-ones), writes are dropped —
+    matching PC-platform conventions and giving the fuzzer a
+    well-defined "nothing there" behaviour. *)
+
+type t
+
+type handler = {
+  read : port:int -> size:int -> int64;
+  write : port:int -> size:int -> int64 -> unit;
+}
+
+val create : unit -> t
+
+val register : t -> first:int -> last:int -> name:string -> handler -> unit
+(** Claim the inclusive port range [\[first,last\]].  Overlapping an
+    existing range is a programming error. *)
+
+val read : t -> port:int -> size:int -> int64
+val write : t -> port:int -> size:int -> int64 -> unit
+
+val owner : t -> int -> string option
+(** Name of the device owning a port, if any. *)
+
+val ranges : t -> (int * int * string) list
+(** Registered (first, last, name) ranges, sorted. *)

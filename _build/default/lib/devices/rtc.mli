@@ -1,0 +1,19 @@
+(** MC146818 real-time clock / CMOS (ports 0x70/0x71).
+
+    Boot reads wall-clock time and CMOS configuration bytes through
+    the index/data pair; the kernel also programs status register B
+    (24-hour mode, update-ended interrupts). Time is deterministic:
+    the epoch the paper ran its experiments. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val attach : t -> Port_bus.t -> unit
+
+val selected_index : t -> int
+val reg_b : t -> int
+
+val transplant : into:t -> from:t -> unit
+(** Overwrite [into] from [from], keeping identity. *)

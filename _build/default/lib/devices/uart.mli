@@ -1,0 +1,29 @@
+(** 16550A UART (COM1).
+
+    Early-boot console: the kernel sets the divisor latch, line
+    control and FIFOs, then streams boot messages one OUT per byte —
+    the single largest source of I/O-instruction exits during the
+    paper's OS BOOT trace. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val attach : t -> Port_bus.t -> unit
+
+val transmitted : t -> string
+(** Everything the guest wrote to the transmit register. *)
+
+val push_rx : t -> char -> unit
+(** Feed a byte into the receive FIFO. *)
+
+val divisor : t -> int
+(** Programmed baud divisor. *)
+
+val configured : t -> bool
+(** Line control has been written with DLAB cleared at least once
+    after a divisor setup. *)
+
+val transplant : into:t -> from:t -> unit
+(** Overwrite [into] from [from], keeping identity. *)

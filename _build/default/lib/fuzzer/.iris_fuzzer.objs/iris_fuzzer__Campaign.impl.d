@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.ml: Array Iris_core Iris_coverage Iris_hv Iris_util Iris_vtx List Mutation Printf

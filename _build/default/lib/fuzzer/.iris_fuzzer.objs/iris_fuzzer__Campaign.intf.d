@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.mli: Iris_core Iris_vtx Mutation

@@ -1,0 +1,1 @@
+lib/fuzzer/guided.ml: Array Campaign Iris_core Iris_coverage Iris_hv Iris_util List Mutation

@@ -1,0 +1,1 @@
+lib/fuzzer/guided.mli: Campaign Iris_core Iris_vtx

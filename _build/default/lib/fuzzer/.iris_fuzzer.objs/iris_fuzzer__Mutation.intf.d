@@ -1,0 +1,1 @@
+lib/fuzzer/mutation.mli: Iris_core Iris_util Iris_vmcs Iris_x86

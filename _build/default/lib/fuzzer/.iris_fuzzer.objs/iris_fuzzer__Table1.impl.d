@@ -1,0 +1,1 @@
+lib/fuzzer/table1.ml: Campaign Iris_guest Iris_vtx List Mutation

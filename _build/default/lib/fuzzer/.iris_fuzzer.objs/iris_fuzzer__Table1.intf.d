@@ -1,0 +1,1 @@
+lib/fuzzer/table1.mli: Campaign Iris_core Iris_guest Iris_vtx Mutation

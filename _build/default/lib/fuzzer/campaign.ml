@@ -1,0 +1,129 @@
+module Ctx = Iris_hv.Ctx
+module Cov = Iris_coverage.Cov
+module Prng = Iris_util.Prng
+module Seed = Iris_core.Seed
+module Manager = Iris_core.Manager
+module Replayer = Iris_core.Replayer
+
+type failure_class = No_failure | Vm_crash | Hypervisor_crash
+
+let failure_name = function
+  | No_failure -> "none"
+  | Vm_crash -> "VM crash"
+  | Hypervisor_crash -> "hypervisor crash"
+
+type verdict = {
+  mutation : Mutation.t;
+  failure : failure_class;
+  detail : string;
+  new_lines : int;
+}
+
+type result = {
+  reason : Iris_vtx.Exit_reason.t;
+  area : Mutation.area;
+  seed_index : int;
+  executed : int;
+  baseline_lines : int;
+  fuzz_lines : int;
+  coverage_increase_pct : float;
+  vm_crashes : int;
+  hv_crashes : int;
+  crashing : verdict list;
+}
+
+let pct_string r = Printf.sprintf "+%.0f%%" r.coverage_increase_pct
+
+type config = {
+  mutations : int;
+  prng_seed : int;
+}
+
+let default_config = { mutations = 10_000; prng_seed = 0xF022 }
+
+(* Submit one seed inside a coverage span, triaging the outcome. *)
+let submit_probed replayer seed =
+  let ctx = Replayer.ctx replayer in
+  Cov.span_begin ctx.Ctx.cov;
+  let outcome =
+    match Replayer.submit replayer seed with
+    | Replayer.Replayed -> (No_failure, "")
+    | Replayer.Vm_crashed msg -> (Vm_crash, msg)
+    | exception Ctx.Hypervisor_panic msg -> (Hypervisor_crash, msg)
+  in
+  let span = Cov.span_end ctx.Ctx.cov in
+  (outcome, span)
+
+let run ~config ~manager ~recording ~reason ~area =
+  let trace = recording.Manager.trace in
+  let candidates = Iris_core.Trace.seeds_with_reason trace reason in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let prng = Prng.of_int config.prng_seed in
+      let target =
+        List.nth candidates (Prng.int prng (List.length candidates))
+      in
+      let seed_index = target.Seed.index in
+      (* Reach the valid state S_R by replaying the recorded prefix. *)
+      let replayer =
+        Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
+      in
+      let prefix = Array.sub trace.Iris_core.Trace.seeds 0 seed_index in
+      let reached, _ = Replayer.submit_all replayer prefix in
+      if reached < Array.length prefix then
+        invalid_arg "Campaign.run: prefix replay crashed";
+      let ctx = Replayer.ctx replayer in
+      let s_r = Iris_hv.Domain.snapshot ctx.Ctx.dom in
+      (* Baseline: the unmutated seed's own coverage from S_R. *)
+      let _, baseline = submit_probed replayer target in
+      Iris_hv.Domain.revert ctx.Ctx.dom s_r;
+      let seen = ref baseline in
+      let vm_crashes = ref 0 in
+      let hv_crashes = ref 0 in
+      let crashing = ref [] in
+      let executed = ref 0 in
+      for _ = 1 to config.mutations do
+        match Mutation.random prng area target with
+        | None -> ()
+        | Some mutation ->
+            incr executed;
+            let mutated = Mutation.apply mutation target in
+            let (failure, detail), span = submit_probed replayer mutated in
+            let fresh = Cov.Pset.cardinal (Cov.Pset.diff span !seen) in
+            seen := Cov.Pset.union !seen span;
+            (match failure with
+            | No_failure -> ()
+            | Vm_crash ->
+                incr vm_crashes;
+                crashing :=
+                  { mutation; failure; detail; new_lines = fresh }
+                  :: !crashing
+            | Hypervisor_crash ->
+                incr hv_crashes;
+                crashing :=
+                  { mutation; failure; detail; new_lines = fresh }
+                  :: !crashing);
+            (* Every test starts again from the valid state S_R. *)
+            Iris_hv.Domain.revert ctx.Ctx.dom s_r
+      done;
+      let baseline_lines = Cov.Pset.cardinal baseline in
+      let fuzz_lines = Cov.Pset.cardinal !seen in
+      let coverage_increase_pct =
+        if baseline_lines = 0 then 0.0
+        else
+          100.0
+          *. float_of_int (fuzz_lines - baseline_lines)
+          /. float_of_int baseline_lines
+      in
+      Some
+        { reason;
+          area;
+          seed_index;
+          executed = !executed;
+          baseline_lines;
+          fuzz_lines;
+          coverage_increase_pct;
+          vm_crashes = !vm_crashes;
+          hv_crashes = !hv_crashes;
+          crashing = List.rev !crashing }

@@ -1,0 +1,59 @@
+(** The IRIS-based fuzzer prototype (paper §VII).
+
+    A *test case* is (workload behavior W, target seed [VMseed_R]
+    drawn from W's recorded trace, seed area A ∈ {VMCS, GPR}).
+    Executing it:
+
+    + replays W's seeds up to (but excluding) R through a dummy VM
+      reverted to the recording snapshot — reaching the valid state
+      [S_R];
+    + measures the baseline: the coverage of submitting [VMseed_R]
+      itself from [S_R];
+    + generates N mutated versions of [VMseed_R] (single bit-flips in
+      area A) and submits each from [S_R] (the dummy VM is reverted
+      between submissions), accumulating new coverage and triaging
+      failures into VM crashes (domain killed: entry failure, triple
+      fault, unknown exit...) and hypervisor crashes (panic/BUG). *)
+
+type failure_class = No_failure | Vm_crash | Hypervisor_crash
+
+val failure_name : failure_class -> string
+
+type verdict = {
+  mutation : Mutation.t;
+  failure : failure_class;
+  detail : string;  (** crash reason / log extract *)
+  new_lines : int;  (** coverage beyond everything seen before it *)
+}
+
+type result = {
+  reason : Iris_vtx.Exit_reason.t;
+  area : Mutation.area;
+  seed_index : int;          (** R *)
+  executed : int;            (** mutated seeds actually submitted *)
+  baseline_lines : int;      (** |coverage of the unmutated seed| *)
+  fuzz_lines : int;          (** |baseline ∪ all mutated coverage| *)
+  coverage_increase_pct : float;  (** Table I cell *)
+  vm_crashes : int;
+  hv_crashes : int;
+  crashing : verdict list;   (** failures only, submission order *)
+}
+
+val pct_string : result -> string
+(** Table I cell text, e.g. "+122%". *)
+
+type config = {
+  mutations : int;       (** N, 10000 in the paper *)
+  prng_seed : int;
+}
+
+val default_config : config
+
+val run :
+  config:config -> manager:Iris_core.Manager.t ->
+  recording:Iris_core.Manager.recording ->
+  reason:Iris_vtx.Exit_reason.t -> area:Mutation.area ->
+  result option
+(** [None] when the recording contains no seed with [reason] (a "-"
+    cell in Table I).  [VMseed_R] is drawn uniformly among that
+    reason's seeds. *)

@@ -1,0 +1,61 @@
+module F = Iris_vmcs.Field
+module Gpr = Iris_x86.Gpr
+module Prng = Iris_util.Prng
+module Seed = Iris_core.Seed
+
+type area = Area_vmcs | Area_gpr
+
+let area_name = function Area_vmcs -> "VMCS" | Area_gpr -> "GPR"
+
+type t =
+  | Flip_gpr of Gpr.reg * int
+  | Flip_field of F.t * int * int
+
+let describe = function
+  | Flip_gpr (r, bit) -> Printf.sprintf "flip %s bit %d" (Gpr.name r) bit
+  | Flip_field (f, occ, bit) ->
+      Printf.sprintf "flip %s[%d] bit %d" (F.name f) occ bit
+
+let random prng area (seed : Seed.t) =
+  match area with
+  | Area_gpr ->
+      let reg = Prng.choose prng Gpr.all in
+      Some (Flip_gpr (reg, Prng.int prng 64))
+  | Area_vmcs ->
+      let reads = Array.of_list seed.Seed.reads in
+      if Array.length reads = 0 then None
+      else begin
+        let i = Prng.int prng (Array.length reads) in
+        let field, _ = reads.(i) in
+        (* The occurrence index of read [i] among reads of the same
+           field. *)
+        let occ = ref 0 in
+        for j = 0 to i - 1 do
+          if fst reads.(j) = field then incr occ
+        done;
+        let width_bits = 8 * F.width_bytes field in
+        Some (Flip_field (field, !occ, Prng.int prng width_bits))
+      end
+
+let apply mutation (seed : Seed.t) =
+  match mutation with
+  | Flip_gpr (reg, bit) ->
+      { seed with
+        Seed.gprs =
+          List.map
+            (fun (r, v) ->
+              if r = reg then (r, Iris_util.Bits.flip v bit) else (r, v))
+            seed.Seed.gprs }
+  | Flip_field (field, occurrence, bit) ->
+      let occ = ref (-1) in
+      { seed with
+        Seed.reads =
+          List.map
+            (fun (f, v) ->
+              if f = field then begin
+                incr occ;
+                if !occ = occurrence then (f, Iris_util.Bits.flip v bit)
+                else (f, v)
+              end
+              else (f, v))
+            seed.Seed.reads }

@@ -1,0 +1,25 @@
+(** Seed mutation (paper §VII-2).
+
+    The PoC rule is a single bit-flip in one of the two seed areas:
+    either a VMCS {field, value} pair from the recorded VMREADs, or a
+    general-purpose register value. *)
+
+type area = Area_vmcs | Area_gpr
+
+val area_name : area -> string
+
+type t =
+  | Flip_gpr of Iris_x86.Gpr.reg * int
+      (** register, bit position 0..63 *)
+  | Flip_field of Iris_vmcs.Field.t * int * int
+      (** field, occurrence index within the seed's reads, bit
+          position within the field's width *)
+
+val describe : t -> string
+
+val random : Iris_util.Prng.t -> area -> Iris_core.Seed.t -> t option
+(** Draw a uniform mutation over the chosen area of a seed.  [None]
+    if the seed has nothing in that area (no recorded reads). *)
+
+val apply : t -> Iris_core.Seed.t -> Iris_core.Seed.t
+(** Pure: returns the mutated copy. *)

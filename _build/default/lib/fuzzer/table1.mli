@@ -1,0 +1,37 @@
+(** Drive the full Table I experiment grid: (exit reason × workload ×
+    mutated area) test cases over recorded traces. *)
+
+type cell =
+  | Absent
+      (** the workload never produced that exit reason ("-") *)
+  | Cell of Campaign.result
+
+type row = {
+  reason : Iris_vtx.Exit_reason.t;
+  cells : (Iris_guest.Workload.t * Mutation.area * cell) list;
+}
+
+val reasons : Iris_vtx.Exit_reason.t list
+(** The rows of Table I: external interrupt, interrupt window, CPUID,
+    HLT, RDTSC, VMCALL, CR access, I/O instruction, EPT violation. *)
+
+val workloads : Iris_guest.Workload.t list
+(** OS BOOT, CPU-bound, IDLE. *)
+
+val run :
+  ?mutations:int -> manager:Iris_core.Manager.t ->
+  recordings:(Iris_guest.Workload.t * Iris_core.Manager.recording) list ->
+  unit -> row list
+
+type crash_stats = {
+  vmcs_tests : int;
+  vmcs_vm_crash_pct : float;
+  vmcs_hv_crash_pct : float;
+  gpr_tests : int;
+  gpr_vm_crash_pct : float;
+  gpr_hv_crash_pct : float;
+}
+
+val crash_stats : row list -> crash_stats
+(** The §VII-4 failure rates: VM / hypervisor crash percentages when
+    mutating the VMCS vs the GPR area. *)

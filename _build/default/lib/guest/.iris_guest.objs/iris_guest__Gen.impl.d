@@ -1,0 +1,1 @@
+lib/guest/gen.ml: Iris_x86 List

@@ -1,0 +1,1 @@
+lib/guest/gen.mli: Iris_x86

@@ -1,0 +1,1 @@
+lib/guest/os_boot.ml: Array Char Gen Int64 Iris_util Iris_x86 List String

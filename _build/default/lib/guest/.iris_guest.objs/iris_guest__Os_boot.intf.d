@@ -1,0 +1,1 @@
+lib/guest/os_boot.mli: Gen

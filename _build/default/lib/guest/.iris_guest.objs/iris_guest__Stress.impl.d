@@ -1,0 +1,1 @@
+lib/guest/stress.ml: Gen Int64 Iris_util Iris_x86 List

@@ -1,0 +1,1 @@
+lib/guest/workload.ml: Format List Os_boot Stress String

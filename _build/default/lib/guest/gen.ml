@@ -1,0 +1,78 @@
+type t = unit -> Iris_x86.Insn.t option
+
+let empty () = None
+
+let of_list insns =
+  let rest = ref insns in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | i :: tl ->
+        rest := tl;
+        Some i
+
+let chunked producer =
+  let buffer = ref [] in
+  let done_ = ref false in
+  let rec next () =
+    match !buffer with
+    | i :: tl ->
+        buffer := tl;
+        Some i
+    | [] ->
+        if !done_ then None
+        else begin
+          match producer () with
+          | None ->
+              done_ := true;
+              None
+          | Some chunk ->
+              buffer := chunk;
+              next ()
+        end
+  in
+  next
+
+let concat gens =
+  let remaining = ref gens in
+  let rec next () =
+    match !remaining with
+    | [] -> None
+    | g :: rest -> (
+        match g () with
+        | Some i -> Some i
+        | None ->
+            remaining := rest;
+            next ())
+  in
+  next
+
+let append a b = concat [ a; b ]
+
+let repeat ~times f =
+  assert (times >= 0);
+  let i = ref 0 in
+  chunked (fun () ->
+      if !i >= times then None
+      else begin
+        let chunk = f !i in
+        incr i;
+        Some chunk
+      end)
+
+let forever f =
+  let i = ref 0 in
+  chunked (fun () ->
+      let chunk = f !i in
+      incr i;
+      Some chunk)
+
+let take_insns g n =
+  let rec loop acc k =
+    if k = 0 then List.rev acc
+    else
+      match g () with
+      | None -> List.rev acc
+      | Some i -> loop (i :: acc) (k - 1)
+  in
+  loop [] n

@@ -1,0 +1,31 @@
+(** Pull-based instruction-stream generators.
+
+    Workload programs are possibly very long (a full OS boot is
+    hundreds of thousands of exits), so they are produced lazily: a
+    generator yields one instruction at a time and materialises
+    nothing. *)
+
+type t = unit -> Iris_x86.Insn.t option
+
+val empty : t
+
+val of_list : Iris_x86.Insn.t list -> t
+
+val concat : t list -> t
+
+val append : t -> t -> t
+
+val chunked : (unit -> Iris_x86.Insn.t list option) -> t
+(** Build a generator from a chunk producer: each call returns the
+    next batch of instructions, [None] when exhausted.  The producer
+    owns whatever state it needs. *)
+
+val repeat : times:int -> (int -> Iris_x86.Insn.t list) -> t
+(** [repeat ~times f] yields [f 0 @ f 1 @ ... @ f (times-1)],
+    lazily. *)
+
+val forever : (int -> Iris_x86.Insn.t list) -> t
+(** Unbounded repetition (use with an exit budget). *)
+
+val take_insns : t -> int -> Iris_x86.Insn.t list
+(** Materialise up to [n] instructions (testing helper). *)

@@ -1,0 +1,441 @@
+open Iris_x86.Insn
+module Prng = Iris_util.Prng
+
+let out8 port value = Out { port; width = Io8; value }
+
+let out32 port value = Out { port; width = Io32; value }
+
+let in8 port = In { port; width = Io8; dst = Iris_x86.Gpr.Rax }
+
+let in32 port = In { port; width = Io32; dst = Iris_x86.Gpr.Rax }
+
+let think prng lo hi = Compute (Prng.int_in prng lo hi)
+
+(* --- building blocks --- *)
+
+let cmos_read prng idx =
+  [ think prng 400 1200; out8 0x70 (Int64.of_int idx); in8 0x71 ]
+
+let pci_config_addr ~bus ~slot ~func ~reg =
+  Int64.of_int
+    (0x80000000 lor (bus lsl 16) lor (slot lsl 11) lor (func lsl 8) lor reg)
+
+let pci_probe prng ~bus ~slot ~func ~reg =
+  [ think prng 300 900;
+    out32 0xCF8 (pci_config_addr ~bus ~slot ~func ~reg);
+    in32 0xCFC ]
+
+let lapic_write prng offset value =
+  [ think prng 200 800;
+    Write_mem { gpa = Int64.add 0xFEE00000L offset; width = 4; value } ]
+
+let lapic_read prng offset =
+  [ think prng 200 800;
+    Read_mem { gpa = Int64.add 0xFEE00000L offset; width = 4 } ]
+
+(* Console output: one OUT per character plus a line-status poll every
+   16 characters, like a polled 16550 driver. *)
+let console_string prng s =
+  let insns = ref [] in
+  String.iteri
+    (fun i c ->
+      if i mod 16 = 0 then insns := in8 0x3FD :: !insns;
+      insns :=
+        out8 0x3F8 (Int64.of_int (Char.code c))
+        :: Compute (Prng.int_in prng 2000 9000)
+        :: !insns)
+    s;
+  List.rev (out8 0x3F8 10L :: !insns)
+
+let pic_remap prng =
+  [ think prng 500 1500;
+    out8 0x20 0x11L; out8 0x21 0x20L; out8 0x21 0x04L; out8 0x21 0x01L;
+    out8 0xA0 0x11L; out8 0xA1 0x28L; out8 0xA1 0x02L; out8 0xA1 0x01L;
+    out8 0x21 0x00L; out8 0xA1 0x00L ]
+
+let pit_program prng ~divisor =
+  [ think prng 500 1500;
+    out8 0x43 0x34L;
+    out8 0x40 (Int64.of_int (divisor land 0xFF));
+    out8 0x40 (Int64.of_int ((divisor lsr 8) land 0xFF)) ]
+
+let uart_init prng =
+  [ think prng 500 1500;
+    out8 0x3FB 0x80L (* DLAB on *);
+    out8 0x3F8 0x01L (* divisor lo: 115200 *);
+    out8 0x3F9 0x00L;
+    out8 0x3FB 0x03L (* 8n1, DLAB off *);
+    out8 0x3FA 0xC7L (* FIFO *);
+    out8 0x3FC 0x0BL (* modem control *) ]
+
+(* --- BIOS phase (~10 K exits) --- *)
+
+let expected_bios_exits = 9_800
+
+let bios ~seed =
+  let prng = Prng.of_int seed in
+  let stage = ref 0 in
+  Gen.chunked (fun () ->
+      let s = !stage in
+      incr stage;
+      match s with
+      | 0 ->
+          (* Install the real-mode IVT (no exits: plain memory
+             writes), then stream POST codes out of reset. *)
+          Some
+            (List.init 256 (fun v ->
+                 Write_mem
+                   { gpa = Int64.of_int (v * 4);
+                     width = 4;
+                     value = Int64.of_int (0xF000_0000 lor (v * 16)) })
+            @ List.concat_map
+                (fun i -> [ think prng 3000 12000; out8 0x80 (Int64.of_int i) ])
+                (List.init 256 (fun i -> i)))
+      | 1 ->
+          (* CMOS configuration scan, three passes. *)
+          Some
+            (List.concat_map (fun idx -> cmos_read prng (idx land 0x3F))
+               (List.init 192 (fun i -> i)))
+      | 2 -> Some (uart_init prng)
+      | 3 -> Some (pic_remap prng)
+      | 4 -> Some (pit_program prng ~divisor:11932)
+      | 5 ->
+          (* Keyboard-controller self test + drain loop. *)
+          Some
+            (List.concat_map
+               (fun _ -> [ think prng 800 2500; in8 0x64 ])
+               (List.init 2600 (fun i -> i)))
+      | 6 ->
+          (* IDE/floppy probe polling (misses float high). *)
+          Some
+            (List.concat_map
+               (fun i ->
+                 [ think prng 600 2000;
+                   in8 (if i mod 2 = 0 then 0x1F7 else 0x3F5) ])
+               (List.init 5200 (fun i -> i)))
+      | 7 ->
+          (* PCI bus walk: vendor id of every slot. *)
+          Some
+            (List.concat_map
+               (fun slot -> pci_probe prng ~bus:0 ~slot ~func:0 ~reg:0)
+               (List.init 32 (fun i -> i)))
+      | 8 ->
+          (* Per-device BAR/IRQ reads for the present devices. *)
+          Some
+            (List.concat_map
+               (fun (slot : int) ->
+                 List.concat_map
+                   (fun reg -> pci_probe prng ~bus:0 ~slot ~func:0 ~reg)
+                   [ 0x04; 0x08; 0x0C; 0x10; 0x2C; 0x3C ])
+               [ 0; 1; 3; 5 ])
+      | 9 ->
+          (* Boot banner on the serial console. *)
+          Some
+            (List.concat
+               [ console_string prng "SeaBIOS (version 1.14.0-iris)";
+                 console_string prng "Booting from Hard Disk..." ])
+      | 10 ->
+          (* Load the kernel image: big quiet stretch. *)
+          Some [ Compute 40_000_000 ]
+      | _ -> None)
+
+(* --- Kernel phase --- *)
+
+let boot_messages =
+  [| "Linux version 5.10.0-iris (gcc 10.2.1) #1 SMP";
+     "Command line: console=ttyS0 root=/dev/vda1 ro";
+     "x86/fpu: Supporting XSAVE feature 0x001: 'x87 floating point'";
+     "BIOS-provided physical RAM map:";
+     "  [mem 0x0000000000000000-0x000000000009fbff] usable";
+     "  [mem 0x0000000000100000-0x000000003fffffff] usable";
+     "ACPI: Early table checksum verification disabled";
+     "DMI: Xen HVM domU, BIOS 4.16";
+     "Hypervisor detected: Xen HVM";
+     "tsc: Fast TSC calibration using PIT";
+     "clocksource: tsc-early: mask 0xffffffffffffffff";
+     "Memory: 1014284K/1048056K available";
+     "rcu: Hierarchical RCU implementation";
+     "NR_IRQS: 4352, nr_irqs: 256, preallocated irqs: 16";
+     "console [ttyS0] enabled";
+     "pid_max: default: 32768 minimum: 301";
+     "x86/cpu: User Mode Instruction Prevention (UMIP) activated";
+     "Freeing SMP alternatives memory: 32K";
+     "smpboot: CPU0: Intel(R) Core(TM) i7-4790 CPU @ 3.60GHz";
+     "Performance Events: Haswell events, core PMU driver";
+     "devtmpfs: initialized";
+     "clocksource: jiffies: mask 0xffffffff max_cycles: 0xffffffff";
+     "futex hash table entries: 256";
+     "NET: Registered protocol family 16";
+     "PCI: Using configuration type 1 for base access";
+     "ACPI: bus type PCI registered";
+     "pci 0000:00:00.0: [8086:0c00] type 00 class 0x060000";
+     "pci 0000:00:01.0: [8086:8c50] type 00 class 0x060100";
+     "pci 0000:00:03.0: [8086:100e] type 00 class 0x020000";
+     "pci 0000:00:05.0: [1af4:1001] type 00 class 0x010000";
+     "vgaarb: loaded";
+     "SCSI subsystem initialized";
+     "usbcore: registered new interface driver usbfs";
+     "pps_core: LinuxPPS API ver. 1 registered";
+     "clocksource: Switched to clocksource tsc-early";
+     "NET: Registered protocol family 2";
+     "tcp_listen_portaddr_hash hash table entries: 512";
+     "TCP established hash table entries: 8192";
+     "workingset: timestamp_bits=46 max_order=18 bucket_order=0";
+     "squashfs: version 4.0 (2009/01/31) Phillip Lougher";
+     "Block layer SCSI generic (bsg) driver version 0.4";
+     "io scheduler mq-deadline registered";
+     "Serial: 8250/16550 driver, 4 ports, IRQ sharing enabled";
+     "serial8250: ttyS0 at I/O 0x3f8 (irq = 4, base_baud = 115200)";
+     "loop: module loaded";
+     "virtio_blk virtio0: [vda] 41943040 512-byte logical blocks";
+     "e1000: Intel(R) PRO/1000 Network Driver";
+     "e1000 0000:00:03.0 eth0: (PCI:33MHz:32-bit)";
+     "i8042: PNP: PS/2 Controller at 0x60,0x64 irq 1,12";
+     "mousedev: PS/2 mouse device common for all mice";
+     "rtc_cmos 00:00: RTC can wake from S4";
+     "EXT4-fs (vda1): mounted filesystem with ordered data mode";
+     "VFS: Mounted root (ext4 filesystem) readonly on device 254:1";
+     "systemd[1]: Detected virtualization xen.";
+     "systemd[1]: Reached target Local File Systems.";
+     "systemd[1]: Starting Network Service...";
+     "systemd[1]: Started OpenBSD Secure Shell server.";
+     "systemd[1]: Reached target Multi-User System.";
+     "iris-guest login:" |]
+
+let cpuid_enumeration prng =
+  List.concat_map
+    (fun (leaf, subleaf) ->
+      [ think prng 1500 5000; Cpuid { leaf; subleaf } ])
+    [ (0L, 0L); (1L, 0L); (2L, 0L); (4L, 0L); (4L, 1L); (4L, 2L); (4L, 3L);
+      (6L, 0L); (7L, 0L); (0xAL, 0L); (0xBL, 0L); (0xBL, 1L); (0xDL, 0L);
+      (0x80000000L, 0L); (0x80000001L, 0L); (0x80000002L, 0L);
+      (0x80000003L, 0L); (0x80000004L, 0L); (0x80000006L, 0L);
+      (0x80000007L, 0L); (0x80000008L, 0L);
+      (0x40000000L, 0L); (0x40000001L, 0L) ]
+
+let msr_init prng =
+  let rd i = [ think prng 1000 4000; Rdmsr i ] in
+  let wr i v = [ think prng 1000 4000; Wrmsr (i, v) ] in
+  List.concat
+    [ rd 0x1BL (* APIC base *); rd 0xFEL (* MTRR cap *);
+      rd 0x2FFL (* MTRR def type *); rd 0x1A0L (* MISC_ENABLE *);
+      wr 0x1A0L 0x1L; rd 0x277L (* PAT *);
+      wr 0x277L 0x0007040600070406L; rd 0xC0000080L (* EFER *);
+      wr 0x8BL 0L (* read-only MSR: #GP injection path *);
+      rd 0x8BL;
+      wr 0x174L 0x10L (* SYSENTER_CS *);
+      wr 0x176L 0xFFFFC900_00001000L (* SYSENTER_EIP *) ]
+
+let tsc_calibration prng =
+  (* "Fast TSC calibration using PIT": bracketed RDTSC around PIT
+     polls. *)
+  List.concat_map
+    (fun _ ->
+      [ think prng 800 2500; Rdtsc; out8 0x43 0x00L; in8 0x40; in8 0x40;
+        Rdtsc ])
+    (List.init 60 (fun i -> i))
+
+let lapic_init prng =
+  List.concat
+    [ lapic_read prng 0x20L (* ID *);
+      lapic_read prng 0x30L (* version *);
+      lapic_write prng 0xF0L 0x1FFL (* SVR: enable *);
+      lapic_write prng 0x3E0L 0xBL (* divide *);
+      lapic_write prng 0x320L 0x200ECL (* LVT timer: periodic, vector 0xEC *);
+      lapic_write prng 0x380L 0x16E360L (* initial count *);
+      lapic_read prng 0x390L ]
+
+let mode_switch_to_protected prng =
+  [ Cli;
+    think prng 5000 15000;
+    out8 0x92 0x02L (* A20 *);
+    Lgdt { base = 0x9000L; limit = 0x7F };
+    Lidt { base = 0x9080L; limit = 0x7FF };
+    think prng 2000 6000;
+    (* CR0: set PE, keeping the reset CD/NW/ET bits (Mode1->Mode2). *)
+    Mov_to_cr (Creg0, 0x60000011L);
+    Far_jump { target = 0x100000L; code64 = false } ]
+
+let enable_paging prng =
+  (* Build the PML4 at 0x2000 before loading CR3 (present entries the
+     hypervisor can dereference), enable PAE + EFER.LME, then flip
+     CR0.PG — the real→protected→long ladder of an x86-64 kernel. *)
+  List.init 4 (fun i ->
+      Write_mem
+        { gpa = Int64.of_int (0x2000 + (i * 8));
+          width = 8;
+          value = Int64.of_int (0x3000 + (i * 0x1000) + 1) })
+  @ [ think prng 20000 60000;
+    Mov_to_cr (Creg4, 0x20L) (* PAE *);
+    Mov_to_cr (Creg3, 0x2000L);
+    think prng 3000 9000;
+    Wrmsr (0xC0000080L, 0x901L) (* EFER: LME | NXE | SCE *);
+    think prng 5000 15000;
+    (* PG|PE with caches still disabled: Mode3; LME+PG => long mode. *)
+    Mov_to_cr (Creg0, 0xE0000011L);
+    Far_jump { target = 0x100000L; code64 = true };
+    Ltr 0x28;
+    think prng 5000 15000;
+    (* Alignment-check + WP + MP: Mode4 (caches still off). *)
+    Mov_to_cr (Creg0, 0xE0050013L) ]
+
+let fpu_init prng =
+  [ think prng 3000 9000;
+    (* TS set while CD/NW still on: Mode7. *)
+    Mov_to_cr (Creg0, 0xE005001BL);
+    think prng 3000 9000;
+    Xsetbv { idx = 0L; value = 0x7L };
+    Clts;
+    think prng 3000 9000;
+    (* Enable caches: clear CD/NW (Mode6). *)
+    Mov_to_cr (Creg0, 0x80050013L) ]
+
+(* Lazy-FPU context-switch churn: TS set on switch, #NM-free CLTS on
+   first FPU use — a pair of CR-access exits per simulated switch,
+   oscillating Mode5/Mode6. *)
+let fpu_churn prng n =
+  List.concat_map
+    (fun _ ->
+      [ think prng 30000 120000;
+        Mov_to_cr (Creg0, 0x8005001BL) (* +TS: Mode5 *);
+        think prng 8000 30000;
+        Clts (* back to Mode6 *) ])
+    (List.init n (fun i -> i))
+
+let xen_probe prng =
+  [ think prng 2000 8000;
+    Cpuid { leaf = 0x40000000L; subleaf = 0L };
+    Vmcall { nr = 17L (* xen_version *); arg = 0L };
+    Vmcall { nr = 12L (* memory_op *); arg = 0L };
+    Vmcall { nr = 32L (* event_channel_op *); arg = 0L } ]
+
+let kernel ?(scale = 1.0) ~seed =
+  let prng = Prng.of_int (seed + 1) in
+  let n base = max 1 (int_of_float (float_of_int base *. scale)) in
+  let message i = boot_messages.(i mod Array.length boot_messages) in
+  let stage = ref 0 in
+  let sub = ref 0 in
+  Gen.chunked (fun () ->
+      let s = !stage in
+      match s with
+      | 0 ->
+          incr stage;
+          (* Decompression + early memory-map setup: long quiet
+             stretches with no hypervisor intervention — the reason
+             Fig. 9a's real-VM curve lags in the first 1000 exits. *)
+          Some [ Compute 600_000_000; out8 0x80 0xE0L; Compute 420_000_000 ]
+      | 1 ->
+          incr stage;
+          Some (mode_switch_to_protected prng)
+      | 2 ->
+          incr stage;
+          Some (enable_paging prng)
+      | 3 ->
+          incr stage;
+          Some (cpuid_enumeration prng)
+      | 4 ->
+          incr stage;
+          Some (msr_init prng)
+      | 5 ->
+          incr stage;
+          Some (pic_remap prng)
+      | 6 ->
+          incr stage;
+          Some (pit_program prng ~divisor:11932)
+      | 7 ->
+          incr stage;
+          Some (tsc_calibration prng)
+      | 8 ->
+          incr stage;
+          Some (lapic_init prng)
+      | 9 ->
+          incr stage;
+          Some (uart_init prng)
+      | 10 ->
+          incr stage;
+          Some (fpu_init prng)
+      | 11 ->
+          incr stage;
+          Some (xen_probe prng)
+      | 12 ->
+          (* Early boot messages with sparse timekeeping. *)
+          if !sub < n 40 then begin
+            let i = !sub in
+            incr sub;
+            Some
+              (List.concat
+                 [ [ think prng 4_000_000 12_000_000; Rdtsc ];
+                   console_string prng (message i);
+                   (* Early kthreads already context-switch: lazy-FPU
+                      TS set + CLTS per switch. *)
+                   fpu_churn prng 1 ])
+          end
+          else begin
+            stage := 13;
+            sub := 0;
+            Some []
+          end
+      | 13 ->
+          (* Device probing era: PCI rescan with full headers. *)
+          if !sub < 32 then begin
+            let slot = !sub in
+            incr sub;
+            Some
+              (List.concat_map
+                 (fun reg -> pci_probe prng ~bus:0 ~slot ~func:0 ~reg)
+                 [ 0x00; 0x04; 0x08; 0x0C; 0x10; 0x14; 0x3C ])
+          end
+          else begin
+            stage := 14;
+            sub := 0;
+            Some []
+          end
+      | 14 ->
+          (* Main boot-log era: console output, timekeeping, FPU
+             churn, CMOS touches. *)
+          if !sub < n 8200 then begin
+            let i = !sub in
+            incr sub;
+            let extras =
+              if i mod 7 = 0 then fpu_churn prng 2
+              else if i mod 11 = 0 then cmos_read prng 0x0C
+              else if i mod 13 = 0 then lapic_read prng 0x390L
+              else if i mod 17 = 0 then xen_probe prng
+              else [ think prng 40000 150000; Rdtsc ]
+            in
+            Some
+              (List.concat
+                 [ [ think prng 20000 80000; Rdtsc ];
+                   console_string prng (message i);
+                   (* Service startup forks constantly: scheduler TS
+                      churn rides along with every log line. *)
+                   fpu_churn prng 2;
+                   extras ])
+          end
+          else begin
+            stage := 15;
+            sub := 0;
+            Some []
+          end
+      | 15 ->
+          incr stage;
+          (* Services settled: a long timekeeping-dominated stretch —
+             the late-boot phase where Fig. 4's mix shifts from I/O to
+             RDTSC. *)
+          Some
+            (List.concat_map
+               (fun i ->
+                 if i mod 40 = 0 then fpu_churn prng 1
+                 else [ think prng 100_000 400_000; Rdtsc ])
+               (List.init (n 36_000) (fun i -> i)))
+      | 16 ->
+          incr stage;
+          Some (console_string prng (message (Array.length boot_messages - 1)))
+      | 17 ->
+          incr stage;
+          (* Login prompt reached: idle at the end of boot. *)
+          Some [ Sti; think prng 10000 30000; Hlt; Rdtsc; Hlt; Rdtsc ]
+      | _ -> None)
+
+let program ?scale ~seed () =
+  Gen.append (bios ~seed) (kernel ?scale ~seed)

@@ -1,0 +1,27 @@
+(** The OS BOOT workload.
+
+    A deterministic model of a Linux-style boot on the synthetic PC
+    platform, from BIOS POST to the login prompt, reproducing the
+    structure the paper reports (§VI-A): roughly 520 K VM exits, the
+    first ~10 K of which belong to the emulated BIOS; the mix is
+    dominated by I/O-instruction exits (console, device probing) and
+    control-register accesses (mode switches, lazy-FPU TS flips), and
+    the guest walks the Fig. 8 operating-mode ladder:
+    real mode → protected mode → paging → alignment checks → TS/CD
+    oscillation. *)
+
+val bios : seed:int -> Gen.t
+(** The BIOS phase alone (~10 K exits). *)
+
+val kernel : ?scale:float -> seed:int -> Gen.t
+(** The kernel boot after the BIOS handoff.  [scale] multiplies the
+    bulk phases (console output, FPU churn, late services); 1.0 gives
+    the full ~510 K exits, smaller values shrink the boot
+    proportionally without removing any phase. *)
+
+val program : ?scale:float -> seed:int -> unit -> Gen.t
+(** BIOS followed by kernel. *)
+
+val expected_bios_exits : int
+(** Approximate exit count of the BIOS phase (used by recorders that
+    skip it, as the paper's OS BOOT trace does). *)

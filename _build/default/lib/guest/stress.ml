@@ -1,0 +1,115 @@
+open Iris_x86.Insn
+module Prng = Iris_util.Prng
+
+let out8 port value = Out { port; width = Io8; value }
+
+let in8 port = In { port; width = Io8; dst = Iris_x86.Gpr.Rax }
+
+let think prng lo hi = Compute (Prng.int_in prng lo hi)
+
+(* Scheduler-tick shape: sched_clock() reads bracket the work. *)
+let tick prng work =
+  [ Rdtsc; think prng (work / 2) work; Rdtsc ]
+
+let cpu_bound ~seed =
+  let prng = Prng.of_int (seed + 0x0C) in
+  Gen.forever (fun i ->
+      let base = tick prng 4_200_000 in
+      let extra =
+        if i mod 37 = 0 then [ think prng 4000 9000; Cpuid { leaf = 1L; subleaf = 0L } ]
+        else if i mod 53 = 0 then
+          [ think prng 4000 9000;
+            Mov_to_cr (Creg0, 0x8005001BL); think prng 8000 20000; Clts ]
+        else if i mod 71 = 0 then
+          [ think prng 4000 9000; Vmcall { nr = 29L; arg = 0L } ]
+        else if i mod 89 = 0 then
+          [ think prng 4000 9000;
+            Read_mem { gpa = 0xFEB00004L; width = 4 } ]
+        else [ Rdtsc ]
+      in
+      base @ extra)
+
+let mem_bound ~seed =
+  let prng = Prng.of_int (seed + 0x3E) in
+  Gen.forever (fun i ->
+      (* Memory traffic inside RAM causes no exits; it just burns
+         cycles between the timekeeping reads. *)
+      let addr () = Int64.of_int (0x200000 + Prng.int prng 0x4000000) in
+      let traffic =
+        List.concat_map
+          (fun _ ->
+            [ Write_mem { gpa = addr (); width = 8; value = Prng.next64 prng };
+              Read_mem { gpa = addr (); width = 8 } ])
+          (List.init 24 (fun j -> j))
+      in
+      let base = (Rdtsc :: think prng 600_000 1_600_000 :: traffic) @ [ Rdtsc ] in
+      let extra =
+        if i mod 23 = 0 then
+          (* Shared-memory-mapped device page: EPT violation. *)
+          [ think prng 3000 8000;
+            Write_mem { gpa = 0xFEB00010L; width = 4; value = 0xDEADL } ]
+        else if i mod 41 = 0 then
+          [ think prng 3000 8000; Read_mem { gpa = 0xFEE00390L; width = 4 } ]
+        else if i mod 61 = 0 then
+          [ think prng 3000 8000; Vmcall { nr = 12L; arg = 0L } ]
+        else [ Rdtsc ]
+      in
+      base @ extra)
+
+let io_bound ~seed =
+  let prng = Prng.of_int (seed + 0x10) in
+  Gen.forever (fun i ->
+      let base = tick prng 1_200_000 in
+      let io =
+        match i mod 9 with
+        | 0 -> [ think prng 5000 15000; out8 0x3F8 (Int64.of_int (65 + (i mod 26))) ]
+        | 1 -> [ think prng 5000 15000; in8 0x3FD ]
+        | 2 -> [ think prng 5000 15000; out8 0x70 0x0CL; in8 0x71 ]
+        | 3 -> [ think prng 5000 15000; in8 0x40 ]
+        | 4 ->
+            [ think prng 5000 15000;
+              Out { port = 0xCF8; width = Io32; value = 0x80001800L };
+              In { port = 0xCFC; width = Io32; dst = Iris_x86.Gpr.Rax } ]
+        | 5 ->
+            [ think prng 5000 15000;
+              Outs { port = 0x3F8; width = Io8; src = 0x300000L; count = 16 } ]
+        | _ -> [ Rdtsc ]
+      in
+      base @ io)
+
+let idle ~seed =
+  let prng = Prng.of_int (seed + 0x1D) in
+  Gen.forever (fun i ->
+      (* Dyntick idle: reprogram the APIC timer to a slow rate once,
+         then sleep in HLT, wake on the tick, account time,
+         occasionally EOI. *)
+      let setup =
+        if i = 0 then
+          [ (* Stop the PIT (mode 0): the idle kernel has switched to
+               the APIC timer as its clock-event source. *)
+            out8 0x43 0x30L; out8 0x40 0x00L; out8 0x40 0x00L;
+            (* ~440 M cycles between ticks (divide-by-1, 16 cycles per
+               APIC tick in the model): a deeply idle guest. *)
+            Write_mem { gpa = 0xFEE003E0L; width = 4; value = 0xBL };
+            Write_mem { gpa = 0xFEE00320L; width = 4; value = 0x200ECL };
+            Write_mem { gpa = 0xFEE00380L; width = 4; value = 0x1A2_7A80L } ]
+        else []
+      in
+      let wake_burst =
+        List.concat_map
+          (fun _ -> [ think prng 15000 60000; Rdtsc ])
+          (List.init (5 + Prng.int prng 4) (fun j -> j))
+      in
+      let eoi =
+        if i mod 6 = 0 then
+          [ Write_mem { gpa = 0xFEE000B0L; width = 4; value = 0L } ]
+        else []
+      in
+      let housekeeping =
+        if i mod 19 = 0 then [ Vmcall { nr = 29L; arg = 1L } ]
+        else if i mod 29 = 0 then [ Cpuid { leaf = 1L; subleaf = 0L } ]
+        else []
+      in
+      setup
+      @ (Sti :: think prng 20000 60000 :: Hlt :: wake_burst)
+      @ eoi @ housekeeping)

@@ -1,0 +1,26 @@
+(** The post-boot stress workloads of §VI-A.
+
+    All four share the paper's observed shape — roughly 80 % of exits
+    are RDTSC (kernel timekeeping and scheduler clock reads) — and
+    differ in what fills the time between: pure computation
+    (CPU-bound), memory traffic incl. occasional MMIO faults
+    (MEM-bound), port I/O (I/O-bound), or sleeping in HLT (IDLE,
+    which adds the HLT exits and external-interrupt wakeups Fig. 5
+    shows). *)
+
+val cpu_bound : seed:int -> Gen.t
+(** Fibonacci/matrix-style computation blocks (~1 M cycles each)
+    punctuated by scheduler-tick RDTSC pairs. *)
+
+val mem_bound : seed:int -> Gen.t
+(** Stack/heap/mmap/shm-style traffic: guest-RAM reads and writes
+    (no exits) plus periodic device-BAR and APIC-page touches (EPT
+    violations). *)
+
+val io_bound : seed:int -> Gen.t
+(** Generic I/O: console writes, CMOS and PIT reads, PCI config
+    cycles. *)
+
+val idle : seed:int -> Gen.t
+(** The OS idle loop: STI;HLT sleeps on a slow (dyntick) timer,
+    short RDTSC bursts on each wakeup, periodic APIC EOI writes. *)

@@ -1,0 +1,37 @@
+type t = Os_boot | Cpu_bound | Mem_bound | Io_bound | Idle
+
+let all = [ Os_boot; Cpu_bound; Mem_bound; Io_bound; Idle ]
+
+let name = function
+  | Os_boot -> "OS BOOT"
+  | Cpu_bound -> "CPU-bound"
+  | Mem_bound -> "MEM-bound"
+  | Io_bound -> "I/O-bound"
+  | Idle -> "IDLE"
+
+let normalise s =
+  String.lowercase_ascii s
+  |> String.map (function ' ' | '_' | '/' -> '-' | c -> c)
+
+let of_name s =
+  let s = normalise s in
+  List.find_opt (fun w -> normalise (name w) = s) all
+
+let pp fmt w = Format.pp_print_string fmt (name w)
+
+let program w ~seed =
+  match w with
+  | Os_boot -> Os_boot.program ~seed ()
+  | Cpu_bound -> Stress.cpu_bound ~seed
+  | Mem_bound -> Stress.mem_bound ~seed
+  | Io_bound -> Stress.io_bound ~seed
+  | Idle -> Stress.idle ~seed
+
+let post_bios_program w ~seed =
+  match w with
+  | Os_boot -> Os_boot.kernel ~scale:1.0 ~seed
+  | Cpu_bound | Mem_bound | Io_bound | Idle -> program w ~seed
+
+let needs_boot = function
+  | Os_boot -> false
+  | Cpu_bound | Mem_bound | Io_bound | Idle -> true

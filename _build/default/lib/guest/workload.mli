@@ -1,0 +1,30 @@
+(** The workload registry (§VI-A).
+
+    Five workloads drive the evaluation: OS BOOT, CPU-bound,
+    MEM-bound, I/O-bound and IDLE.  Each yields a deterministic
+    instruction-stream generator given an integer seed. *)
+
+type t = Os_boot | Cpu_bound | Mem_bound | Io_bound | Idle
+
+val all : t list
+
+val name : t -> string
+(** The paper's label, e.g. "OS BOOT", "CPU-bound". *)
+
+val of_name : string -> t option
+(** Case-insensitive; accepts both "OS BOOT" and "os-boot" forms. *)
+
+val pp : Format.formatter -> t -> unit
+
+val program : t -> seed:int -> Gen.t
+(** Fresh generator for one run.  [Os_boot] includes the BIOS phase;
+    use {!post_bios_program} for traces that must start at the kernel
+    handoff, as the paper's 5000-exit OS BOOT sample does. *)
+
+val post_bios_program : t -> seed:int -> Gen.t
+(** Same, but [Os_boot] skips the BIOS.  Other workloads are
+    unchanged. *)
+
+val needs_boot : t -> bool
+(** Whether the workload assumes an already-booted guest (true for
+    everything except [Os_boot]). *)

@@ -1,0 +1,1 @@
+lib/hypervisor/access.ml: Ctx Format Hooks Iris_vmcs Iris_vtx

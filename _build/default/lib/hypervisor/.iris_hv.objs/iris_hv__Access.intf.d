@@ -1,0 +1,1 @@
+lib/hypervisor/access.mli: Ctx Iris_vmcs

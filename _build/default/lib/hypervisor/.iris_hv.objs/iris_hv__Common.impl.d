@@ -1,0 +1,1 @@
+lib/hypervisor/common.ml: Access Cpu_mode Cr0 Ctx Domain Exn Gpr Int64 Iris_coverage Iris_memory Iris_vmcs Iris_x86 Printf

@@ -1,0 +1,1 @@
+lib/hypervisor/common.mli: Ctx Iris_x86

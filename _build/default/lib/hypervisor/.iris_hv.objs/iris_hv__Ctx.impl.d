@@ -1,0 +1,1 @@
+lib/hypervisor/ctx.ml: Domain Hooks Iris_coverage Iris_vtx List Printf

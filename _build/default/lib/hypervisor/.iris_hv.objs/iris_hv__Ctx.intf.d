@@ -1,0 +1,1 @@
+lib/hypervisor/ctx.mli: Domain Hooks Iris_coverage Iris_vtx Iris_x86

@@ -1,0 +1,1 @@
+lib/hypervisor/domain.ml: Array Iris_devices Iris_memory Iris_vtx Iris_x86 Vlapic Vpt

@@ -1,0 +1,1 @@
+lib/hypervisor/domain.mli: Iris_coverage Iris_devices Iris_memory Iris_vtx Iris_x86 Vlapic Vpt

@@ -1,0 +1,1 @@
+lib/hypervisor/emulate.ml: Access Array Common Ctx Domain Exn Gpr Insn Int64 Iris_coverage Iris_devices Iris_memory Iris_vmcs Iris_vtx Iris_x86 Vlapic Vpt

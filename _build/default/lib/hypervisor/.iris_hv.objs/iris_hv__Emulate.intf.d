@@ -1,0 +1,1 @@
+lib/hypervisor/emulate.mli: Ctx Iris_vtx Iris_x86

@@ -1,0 +1,1 @@
+lib/hypervisor/exitpath.ml: Access Common Ctx Domain H_cpuid H_cr H_ept H_intr H_io H_msr H_simple Hooks Iris_coverage Iris_util Iris_vmcs Iris_vtx List Printf Vlapic Vpt

@@ -1,0 +1,1 @@
+lib/hypervisor/exitpath.mli: Ctx Iris_vtx

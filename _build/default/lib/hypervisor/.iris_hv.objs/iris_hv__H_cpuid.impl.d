@@ -1,0 +1,1 @@
+lib/hypervisor/h_cpuid.ml: Char Common Cpuid_db Ctx Gpr Int64 Iris_coverage Iris_vtx Iris_x86 String

@@ -1,0 +1,1 @@
+lib/hypervisor/h_cr.ml: Access Array Common Cr0 Cr4 Ctx Domain Exn Int64 Iris_coverage Iris_memory Iris_vmcs Iris_vtx Iris_x86 Msr Printf Vlapic

@@ -1,0 +1,1 @@
+lib/hypervisor/h_ept.ml: Access Common Ctx Domain Emulate Int64 Iris_coverage Iris_memory Iris_util Iris_vmcs Iris_vtx Iris_x86 Vlapic

@@ -1,0 +1,1 @@
+lib/hypervisor/h_intr.ml: Access Common Ctx Domain Exn Int64 Iris_coverage Iris_devices Iris_vmcs Iris_vtx Iris_x86 List Printf Rflags Vlapic Vpt

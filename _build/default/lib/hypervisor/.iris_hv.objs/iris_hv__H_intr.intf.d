@@ -1,0 +1,1 @@
+lib/hypervisor/h_intr.mli: Ctx

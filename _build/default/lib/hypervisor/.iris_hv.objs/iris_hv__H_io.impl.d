@@ -1,0 +1,1 @@
+lib/hypervisor/h_io.ml: Access Common Ctx Domain Emulate Gpr Int64 Iris_coverage Iris_devices Iris_util Iris_vmcs Iris_vtx Iris_x86 Printf Vpt

@@ -1,0 +1,1 @@
+lib/hypervisor/h_io.mli: Ctx

@@ -1,0 +1,1 @@
+lib/hypervisor/h_msr.ml: Access Common Ctx Domain Exn Gpr Int64 Iris_coverage Iris_vmcs Iris_vtx Iris_x86 Msr Vlapic

@@ -1,0 +1,1 @@
+lib/hypervisor/h_simple.mli: Ctx

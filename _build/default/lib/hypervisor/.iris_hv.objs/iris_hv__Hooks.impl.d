@@ -1,0 +1,1 @@
+lib/hypervisor/hooks.ml: Iris_vmcs

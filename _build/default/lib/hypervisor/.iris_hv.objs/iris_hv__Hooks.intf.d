@@ -1,0 +1,1 @@
+lib/hypervisor/hooks.mli: Iris_vmcs

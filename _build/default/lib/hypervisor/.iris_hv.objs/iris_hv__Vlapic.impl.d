@@ -1,0 +1,1 @@
+lib/hypervisor/vlapic.ml: Array Int64 Iris_coverage Iris_util

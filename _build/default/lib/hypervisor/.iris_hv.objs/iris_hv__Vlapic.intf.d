@@ -1,0 +1,1 @@
+lib/hypervisor/vlapic.mli: Iris_coverage

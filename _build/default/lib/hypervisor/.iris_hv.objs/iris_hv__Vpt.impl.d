@@ -1,0 +1,1 @@
+lib/hypervisor/vpt.ml: Int64 Iris_coverage List

@@ -1,0 +1,1 @@
+lib/hypervisor/vpt.mli: Iris_coverage

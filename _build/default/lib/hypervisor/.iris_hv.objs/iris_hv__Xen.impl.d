@@ -1,0 +1,1 @@
+lib/hypervisor/xen.ml: Access Common Cr0 Cr4 Ctx Domain Exitpath Exn Format H_intr Int64 Iris_util Iris_vmcs Iris_vtx Iris_x86 List Msr Vlapic Vpt

@@ -1,0 +1,1 @@
+lib/hypervisor/xen.mli: Ctx Hooks Iris_coverage Iris_vtx Iris_x86

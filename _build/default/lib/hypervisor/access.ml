@@ -1,0 +1,61 @@
+module F = Iris_vmcs.Field
+module Op = Iris_vmcs.Vmx_op
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let hook_cost ctx = ctx.Ctx.hooks.Hooks.callback_cycles
+
+let vmx ctx = (Ctx.vcpu ctx).Iris_vtx.Vcpu.vmx
+
+let vmread ctx field =
+  charge ctx Iris_vtx.Cost.vmread_cost;
+  match Op.vmread (vmx ctx) field with
+  | Error e ->
+      Ctx.panic ctx
+        (Format.asprintf "vmread(%s) failed: %a" (F.name field) Op.pp_error e)
+  | Ok raw ->
+      let value =
+        match ctx.Ctx.hooks.Hooks.vmread_filter with
+        | None -> raw
+        | Some filter ->
+            charge ctx (hook_cost ctx);
+            filter field raw
+      in
+      (match ctx.Ctx.hooks.Hooks.on_vmread with
+      | None -> ()
+      | Some cb ->
+          charge ctx (hook_cost ctx);
+          cb field value);
+      value
+
+let vmwrite ctx field value =
+  charge ctx Iris_vtx.Cost.vmwrite_cost;
+  (match ctx.Ctx.hooks.Hooks.on_vmwrite with
+  | None -> ()
+  | Some cb ->
+      charge ctx (hook_cost ctx);
+      cb field value);
+  match Op.vmwrite (vmx ctx) field value with
+  | Ok () -> ()
+  | Error e ->
+      Ctx.panic ctx
+        (Format.asprintf "vmwrite(%s, 0x%Lx) failed: %a" (F.name field) value
+           Op.pp_error e)
+
+let vmread_raw ctx field =
+  match Op.vmread (vmx ctx) field with
+  | Ok v -> v
+  | Error e ->
+      Ctx.panic ctx
+        (Format.asprintf "vmread_raw(%s) failed: %a" (F.name field)
+           Op.pp_error e)
+
+let vmwrite_raw ctx field value =
+  if F.readonly field then
+    invalid_arg ("Access.vmwrite_raw: read-only field " ^ F.name field);
+  match Op.vmwrite (vmx ctx) field value with
+  | Ok () -> ()
+  | Error e ->
+      Ctx.panic ctx
+        (Format.asprintf "vmwrite_raw(%s) failed: %a" (F.name field)
+           Op.pp_error e)

@@ -1,0 +1,23 @@
+(** Xen's [vmread()]/[vmwrite()] wrappers — the IRIS patch surface.
+
+    Every VMCS access the hypervisor performs during exit handling
+    goes through here: the raw VMX instruction is executed, the cycle
+    cost charged, and the IRIS callbacks invoked.  The replay shim
+    ([Hooks.vmread_filter]) can replace the value a VMREAD returns —
+    the mechanism the paper uses for read-only fields that cannot be
+    VMWRITten with seed values.
+
+    A VMfail at this level is a hypervisor programming error: Xen
+    BUG()s, and so do we ({!Ctx.panic}). *)
+
+val vmread : Ctx.t -> Iris_vmcs.Field.t -> int64
+val vmwrite : Ctx.t -> Iris_vmcs.Field.t -> int64 -> unit
+
+val vmread_raw : Ctx.t -> Iris_vmcs.Field.t -> int64
+(** Uninstrumented read (used by IRIS itself; charges no hook cost and
+    triggers no callbacks). *)
+
+val vmwrite_raw : Ctx.t -> Iris_vmcs.Field.t -> int64 -> unit
+(** Uninstrumented write used by IRIS seed injection.  Writing a
+    read-only field raises [Invalid_argument] — callers must use the
+    read filter for those. *)

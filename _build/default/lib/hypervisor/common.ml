@@ -1,0 +1,109 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module C = Iris_vmcs.Controls
+module Comp = Iris_coverage.Component
+
+let advance_rip ctx =
+  let rip = Access.vmread ctx F.guest_rip in
+  let len = Access.vmread ctx F.vm_exit_instruction_len in
+  (* Xen asserts the architectural bound on the instruction length it
+     is about to skip; a corrupted value is a hypervisor bug by
+     definition (BUG_ON in vmx.c) — one of the fuzzer's best levers. *)
+  if len < 1L || len > 15L then
+    Ctx.panic ctx
+      (Printf.sprintf "bogus VM-exit instruction length %Ld" len);
+  Access.vmwrite ctx F.guest_rip (Int64.add rip len)
+
+let get_gpr ctx r = Gpr.get (Ctx.regs ctx) r
+
+let set_gpr ctx r v = Gpr.set (Ctx.regs ctx) r v
+
+let hit ctx line = Ctx.hit ctx Comp.Intr_c line
+
+(* Read a guest IVT/IDT entry while preparing an injection.  Real
+   hardware walks guest memory for this in real mode; under replay the
+   dummy VM's memory is empty, so the descriptor reads as zero and the
+   not-present branch runs instead — one of the intr.c divergences of
+   Fig. 7. *)
+let probe_guest_idt ctx ~vector =
+  let idtr_base = Access.vmread ctx F.guest_idtr_base in
+  let gpa = Int64.add idtr_base (Int64.of_int (vector * 4)) in
+  hit ctx __LINE__;
+  match Iris_memory.Gmem.read ctx.Ctx.dom.Domain.mem gpa ~width:4 with
+  | entry when entry <> 0L -> true
+  | _ ->
+      (* Null IVT entry: a replay-side addition (the dummy VM's memory
+         holds no vector table). *)
+      hit ctx __LINE__;
+      hit ctx __LINE__;
+      false
+  | exception Iris_memory.Gmem.Bad_address _ ->
+      hit ctx __LINE__;
+      false
+
+let inject_exception ctx ?(error_code = 0L) exn =
+  hit ctx __LINE__;
+  let pending = Access.vmread ctx F.vm_entry_intr_info in
+  let current =
+    if C.intr_info_is_valid pending then
+      match C.intr_info_type pending with
+      | Some C.Hardware_exception ->
+          Exn.of_vector (C.intr_info_vector pending)
+      | Some _ | None -> None
+    else None
+  in
+  match Exn.escalate ~current exn with
+  | `Deliver e ->
+      hit ctx __LINE__;
+      let info =
+        C.make_intr_info ~error_code:(Exn.has_error_code e)
+          ~typ:C.Hardware_exception ~vector:(Exn.vector e) ()
+      in
+      Access.vmwrite ctx F.vm_entry_intr_info info;
+      if Exn.has_error_code e then begin
+        hit ctx __LINE__;
+        Access.vmwrite ctx F.vm_entry_exception_error_code error_code
+      end
+  | `Double ->
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d injecting #DF (was %s, new %s)"
+        ctx.Ctx.dom.Domain.id
+        (match current with Some e -> Exn.name e | None -> "?")
+        (Exn.name exn);
+      let info =
+        C.make_intr_info ~error_code:true ~typ:C.Hardware_exception
+          ~vector:(Exn.vector Exn.DF) ()
+      in
+      Access.vmwrite ctx F.vm_entry_intr_info info;
+      Access.vmwrite ctx F.vm_entry_exception_error_code 0L
+  | `Triple ->
+      hit ctx __LINE__;
+      Ctx.domain_crash ctx "Triple fault: exception during #DF delivery"
+
+let inject_extint ctx ~vector =
+  hit ctx __LINE__;
+  let cr0 = Access.vmread ctx F.guest_cr0 in
+  if not (Cr0.test cr0 Cr0.PE) then begin
+    (* Real-mode delivery goes through the IVT in guest memory. *)
+    hit ctx __LINE__;
+    ignore (probe_guest_idt ctx ~vector)
+  end;
+  let info = C.make_intr_info ~typ:C.External_interrupt ~vector () in
+  Access.vmwrite ctx F.vm_entry_intr_info info
+
+let update_guest_mode ctx cr0 =
+  let dom = ctx.Ctx.dom in
+  let new_mode = Cpu_mode.of_cr0 cr0 in
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  if new_mode <> dom.Domain.guest_mode then begin
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Ctx.logf ctx "(XEN) d%d vCPU mode switch: %s -> %s" dom.Domain.id
+      (Cpu_mode.name dom.Domain.guest_mode)
+      (Cpu_mode.name new_mode);
+    dom.Domain.guest_mode <- new_mode
+  end
+
+let cr0_fixed_bits =
+  Cr0.set (Cr0.set 0L Cr0.NE) Cr0.ET
+
+let effective_cr0 ~guest_value = Int64.logor guest_value cr0_fixed_bits

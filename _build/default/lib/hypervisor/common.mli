@@ -1,0 +1,35 @@
+(** Helpers shared by the exit-reason handlers. *)
+
+val advance_rip : Ctx.t -> unit
+(** Retire the trapped instruction: guest RIP += exit-instruction
+    length (a VMREAD + VMWRITE pair on the guest-state area, both
+    instrumented). *)
+
+val get_gpr : Ctx.t -> Iris_x86.Gpr.reg -> int64
+(** Read a guest GPR from the hypervisor-saved register file. *)
+
+val set_gpr : Ctx.t -> Iris_x86.Gpr.reg -> int64 -> unit
+
+val inject_exception :
+  Ctx.t -> ?error_code:int64 -> Iris_x86.Exn.t -> unit
+(** Queue an exception for delivery at the next VM entry, with
+    double/triple-fault escalation: injecting a contributory fault on
+    top of a pending one becomes #DF; a fault on top of #DF kills the
+    domain (triple fault). *)
+
+val inject_extint : Ctx.t -> vector:int -> unit
+(** Queue an external interrupt for injection.  In real mode the
+    hypervisor must read the guest IVT to validate the vector — a
+    guest-memory access that diverges under replay. *)
+
+val update_guest_mode : Ctx.t -> int64 -> unit
+(** Refresh the hypervisor's cached abstraction of the guest operating
+    mode from a new CR0 value, logging transitions. *)
+
+val cr0_fixed_bits : int64
+(** Bits Xen forces on in the real CR0 while the guest runs (NE plus
+    the VMX-required PE/PG handled via unrestricted-guest policy). *)
+
+val effective_cr0 : guest_value:int64 -> int64
+(** The value the hypervisor writes to GUEST_CR0 for a guest-requested
+    CR0 value. *)

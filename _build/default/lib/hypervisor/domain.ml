@@ -1,0 +1,133 @@
+module Gmem = Iris_memory.Gmem
+module Ept = Iris_memory.Ept
+
+type t = {
+  id : int;
+  name : string;
+  dummy : bool;
+  vcpu : Iris_vtx.Vcpu.t;
+  mem : Gmem.t;
+  ept : Ept.t;
+  bus : Iris_devices.Port_bus.t;
+  pic : Iris_devices.Pic.t;
+  pit : Iris_devices.Pit.t;
+  uart : Iris_devices.Uart.t;
+  rtc : Iris_devices.Rtc.t;
+  pci : Iris_devices.Pci.t;
+  vlapic : Vlapic.t;
+  vpt : Vpt.t;
+  engine : Iris_vtx.Engine.t;
+  mutable crashed : string option;
+  mutable guest_mode : Iris_x86.Cpu_mode.t;
+  mutable pending_insn : Iris_x86.Insn.t option;
+  mutable blocked : bool;
+  bar_regs : int64 array;
+}
+
+let mmio_bar_base = 0xFEB00000L
+
+let mmio_bar_size = 0x10000L
+
+let create ?(dummy = false) ~cov ~id ~name ~mem_mib () =
+  let vcpu = Iris_vtx.Vcpu.create () in
+  let mem = Gmem.create ~size_mib:mem_mib in
+  let ept = Ept.create () in
+  (* Populate RAM mappings; leave the APIC page and the device BAR as
+     holes so accesses fault for emulation. *)
+  Ept.map ept ~gpa:0L ~len:(Gmem.size_bytes mem) Ept.perm_rwx;
+  Ept.unmap ept ~gpa:Vlapic.mmio_base ~len:Vlapic.mmio_size;
+  Ept.unmap ept ~gpa:mmio_bar_base ~len:mmio_bar_size;
+  let bus = Iris_devices.Port_bus.create () in
+  let pic = Iris_devices.Pic.create () in
+  let pit = Iris_devices.Pit.create () in
+  let uart = Iris_devices.Uart.create () in
+  let rtc = Iris_devices.Rtc.create () in
+  let pci = Iris_devices.Pci.create () in
+  Iris_devices.Pic.attach pic bus;
+  Iris_devices.Pit.attach pit bus;
+  Iris_devices.Uart.attach uart bus;
+  Iris_devices.Rtc.attach rtc bus;
+  Iris_devices.Pci.attach pci bus;
+  let vlapic = Vlapic.create ~cov in
+  let vpt = Vpt.create ~cov in
+  let engine = Iris_vtx.Engine.create ~vcpu ~mem ~ept in
+  { id;
+    name;
+    dummy;
+    vcpu;
+    mem;
+    ept;
+    bus;
+    pic;
+    pit;
+    uart;
+    rtc;
+    pci;
+    vlapic;
+    vpt;
+    engine;
+    crashed = None;
+    guest_mode = Iris_x86.Cpu_mode.Mode1;
+    pending_insn = None;
+    blocked = false;
+    bar_regs = Array.make 16 0L }
+
+let crash t reason =
+  match t.crashed with
+  | Some _ -> ()
+  | None -> t.crashed <- Some reason
+
+let crashed t = t.crashed <> None
+
+type snapshot = {
+  s_vcpu : Iris_vtx.Vcpu.t;
+  s_mem : Gmem.t;
+  s_ept : Ept.t;
+  s_pic : Iris_devices.Pic.t;
+  s_pit : Iris_devices.Pit.t;
+  s_uart : Iris_devices.Uart.t;
+  s_rtc : Iris_devices.Rtc.t;
+  s_pci : Iris_devices.Pci.t;
+  s_vlapic : Vlapic.t;
+  s_vpt : Vpt.t;
+  s_crashed : string option;
+  s_guest_mode : Iris_x86.Cpu_mode.t;
+  s_blocked : bool;
+  s_bar_regs : int64 array;
+}
+
+let snapshot t =
+  { s_vcpu = Iris_vtx.Vcpu.snapshot t.vcpu;
+    s_mem = Gmem.copy t.mem;
+    s_ept = Ept.copy t.ept;
+    s_pic = Iris_devices.Pic.copy t.pic;
+    s_pit = Iris_devices.Pit.copy t.pit;
+    s_uart = Iris_devices.Uart.copy t.uart;
+    s_rtc = Iris_devices.Rtc.copy t.rtc;
+    s_pci = Iris_devices.Pci.copy t.pci;
+    s_vlapic = Vlapic.copy t.vlapic;
+    s_vpt = Vpt.copy t.vpt;
+    s_crashed = t.crashed;
+    s_guest_mode = t.guest_mode;
+    s_blocked = t.blocked;
+    s_bar_regs = Array.copy t.bar_regs }
+
+(* The bus handlers and the engine close over the device/memory
+   records, so restoring mutates the existing records in place
+   (transplant) rather than swapping them. *)
+let revert t s =
+  Iris_vtx.Vcpu.restore t.vcpu ~from:s.s_vcpu;
+  Gmem.transplant ~into:t.mem ~from:s.s_mem;
+  Ept.transplant ~into:t.ept ~from:s.s_ept;
+  Iris_devices.Pic.transplant ~into:t.pic ~from:s.s_pic;
+  Iris_devices.Pit.transplant ~into:t.pit ~from:s.s_pit;
+  Iris_devices.Uart.transplant ~into:t.uart ~from:s.s_uart;
+  Iris_devices.Rtc.transplant ~into:t.rtc ~from:s.s_rtc;
+  Iris_devices.Pci.transplant ~into:t.pci ~from:s.s_pci;
+  Vlapic.restore t.vlapic ~from:s.s_vlapic;
+  Vpt.restore t.vpt ~from:s.s_vpt;
+  t.crashed <- s.s_crashed;
+  t.guest_mode <- s.s_guest_mode;
+  t.pending_insn <- None;
+  t.blocked <- s.s_blocked;
+  Array.blit s.s_bar_regs 0 t.bar_regs 0 (Array.length t.bar_regs)

@@ -1,0 +1,63 @@
+(** An HVM domain: one guest VM with its vCPU, memory, EPT and
+    emulated platform devices.
+
+    Mirrors the paper's setup: each DomU has a single vCPU pinned 1:1
+    to a pCPU, 1 GiB RAM, and the standard PC platform (PIC, PIT,
+    UART, RTC, PCI, local APIC).  A *dummy* domain — the replay
+    target — is the same structure created with [~dummy:true]: empty
+    memory, no devices initialised by a BIOS, preemption timer armed
+    at zero. *)
+
+type t = {
+  id : int;
+  name : string;
+  dummy : bool;
+  vcpu : Iris_vtx.Vcpu.t;
+  mem : Iris_memory.Gmem.t;
+  ept : Iris_memory.Ept.t;
+  bus : Iris_devices.Port_bus.t;
+  pic : Iris_devices.Pic.t;
+  pit : Iris_devices.Pit.t;
+  uart : Iris_devices.Uart.t;
+  rtc : Iris_devices.Rtc.t;
+  pci : Iris_devices.Pci.t;
+  vlapic : Vlapic.t;
+  vpt : Vpt.t;
+  engine : Iris_vtx.Engine.t;
+  mutable crashed : string option;
+      (** set when the domain has been killed (VM crash) *)
+  mutable guest_mode : Iris_x86.Cpu_mode.t;
+      (** the hypervisor's own abstraction of the guest CPU operating
+          mode, updated during CR-access handling (paper §III) *)
+  mutable pending_insn : Iris_x86.Insn.t option;
+      (** instruction under emulation for the current exit; [None]
+          when replaying (no guest instruction stream exists) *)
+  mutable blocked : bool;
+      (** vCPU blocked in HLT, waiting for an event *)
+  bar_regs : int64 array;
+      (** register file of the synthetic PCI device behind
+          {!mmio_bar_base} (16 dwords) *)
+}
+
+val create :
+  ?dummy:bool -> cov:Iris_coverage.Cov.t -> id:int -> name:string ->
+  mem_mib:int -> unit -> t
+
+val crash : t -> string -> unit
+(** Mark the domain crashed (idempotent; first reason wins). *)
+
+val crashed : t -> bool
+
+val mmio_bar_base : int64
+(** Guest-physical base of the synthetic PCI device BAR (an MMIO
+    region that EPT-faults into the device emulator). *)
+
+val mmio_bar_size : int64
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the complete domain state (vCPU, VMCS, memory, EPT,
+    devices, vlapic, vpt, flags). *)
+
+val revert : t -> snapshot -> unit

@@ -1,0 +1,236 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module Gmem = Iris_memory.Gmem
+
+let hit ctx line = Ctx.hit ctx Comp.Emulate_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+(* Attempt to re-fetch the faulting instruction from guest memory and
+   decode it.  This path only runs when no live instruction context
+   exists — i.e. under IRIS replay, where guest memory was never
+   recorded: the fetch reads zeroes (or nothing) and the decoder walks
+   its whole prefix/opcode/ModRM failure ladder.  All of these probes
+   are therefore replay-side *additions* to the coverage of a
+   memory-dependent seed (Fig. 7's emulate.c divergence). *)
+let fetch_from_memory ctx =
+  hit ctx __LINE__;
+  let rip = Access.vmread ctx F.guest_rip in
+  let cs_base = Access.vmread ctx F.guest_cs_base in
+  let linear = Int64.add cs_base rip in
+  let byte =
+    match Gmem.read ctx.Ctx.dom.Domain.mem linear ~width:1 with
+    | b -> Some b
+    | exception Gmem.Bad_address _ ->
+        hit ctx __LINE__;
+        None
+  in
+  match byte with
+  | None -> None
+  | Some 0L ->
+      (* Nothing at RIP (the dummy VM without recorded memory): the
+         decoder walks its whole failure ladder. *)
+      hit ctx __LINE__;
+      (* Prefix scan. *)
+      hit ctx __LINE__;
+      (* Segment-override and REX handling. *)
+      hit ctx __LINE__;
+      (* Opcode table lookup. *)
+      hit ctx __LINE__;
+      (* ModRM / displacement decode. *)
+      hit ctx __LINE__;
+      (* Operand-size resolution. *)
+      hit ctx __LINE__;
+      (* Retry/bail decision of the emulation loop. *)
+      hit ctx __LINE__;
+      (* Zero bytes decode to nothing the MMIO emulator accepts. *)
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d instruction fetch for emulation failed at 0x%Lx"
+        ctx.Ctx.dom.Domain.id linear;
+      None
+  | Some tag ->
+      (* Instruction bytes are present (a live guest, or a dummy VM
+         reverted with its memory): the decode succeeds. *)
+      hit ctx __LINE__;
+      let mem = ctx.Ctx.dom.Domain.mem in
+      let width =
+        match Gmem.read mem (Int64.add linear 1L) ~width:1 with
+        | w when w >= 1L && w <= 8L -> Int64.to_int w
+        | _ -> 4
+        | exception Gmem.Bad_address _ -> 4
+      in
+      let payload =
+        match Gmem.read mem (Int64.add linear 2L) ~width:8 with
+        | p -> p
+        | exception Gmem.Bad_address _ -> 0L
+      in
+      let io_width =
+        match width with 1 -> Insn.Io8 | 2 -> Insn.Io16 | _ -> Insn.Io32
+      in
+      (match tag with
+      | 1L -> Some (Insn.Write_mem { gpa = 0L; width; value = payload })
+      | 2L -> Some (Insn.Read_mem { gpa = 0L; width })
+      | 3L ->
+          Some (Insn.Outs { port = 0; width = io_width; src = payload; count = 1 })
+      | 4L ->
+          Some
+            (Insn.Ins { port = 0; width = io_width; dst_mem = payload; count = 1 })
+      | _ ->
+          hit ctx __LINE__;
+          None)
+
+let fetch_current_insn ctx =
+  hit ctx __LINE__;
+  match ctx.Ctx.dom.Domain.pending_insn with
+  | Some insn -> Some insn
+  | None -> fetch_from_memory ctx
+
+(* Complete a vlapic access with decoded operands. *)
+let vlapic_access ctx ~offset ~write ~value =
+  let vlapic = ctx.Ctx.dom.Domain.vlapic in
+  hit ctx __LINE__;
+  if write then begin
+    hit ctx __LINE__;
+    Vlapic.mmio_write vlapic ~offset value;
+    (* LVT timer writes may (re-)arm the vPT-backed APIC timer. *)
+    match Vlapic.timer_period_ticks vlapic with
+    | Some ticks ->
+        hit ctx __LINE__;
+        (* Divide-configuration 0b1011 = divide by 1; the model uses
+           16 TSC cycles per APIC timer tick otherwise.  Clamp against
+           hostile initial-count values (the fuzzer writes anything). *)
+        let period_cycles = max 16 (ticks * 16) in
+        Vpt.arm ctx.Ctx.dom.Domain.vpt ~source:Vpt.Pt_lapic
+          ~vector:(Vlapic.timer_vector vlapic)
+          ~period_cycles
+          ~now:(Iris_vtx.Clock.now (Ctx.clock ctx))
+    | None ->
+        hit ctx __LINE__;
+        if Vpt.armed ctx.Ctx.dom.Domain.vpt Vpt.Pt_lapic then
+          Vpt.disarm ctx.Ctx.dom.Domain.vpt ~source:Vpt.Pt_lapic
+  end
+  else begin
+    hit ctx __LINE__;
+    let v = Vlapic.mmio_read vlapic ~offset in
+    Common.set_gpr ctx Gpr.Rax v
+  end
+
+let bar_access ctx ~offset ~write ~value =
+  let dom = ctx.Ctx.dom in
+  hit ctx __LINE__;
+  let idx = Int64.to_int (Int64.div offset 4L) land 0xF in
+  if write then begin
+    hit ctx __LINE__;
+    (* Device command decode: enable / reset / interrupt-mask bits
+       drive distinct emulator paths. *)
+    if Int64.logand value 0x1L <> 0L then hit ctx __LINE__;
+    if Int64.logand value 0x80000000L <> 0L then begin
+      hit ctx __LINE__;
+      Array.fill dom.Domain.bar_regs 0 (Array.length dom.Domain.bar_regs) 0L
+    end;
+    if Int64.logand value 0x10000L <> 0L then hit ctx __LINE__;
+    dom.Domain.bar_regs.(idx) <- value
+  end
+  else begin
+    hit ctx __LINE__;
+    let v =
+      match idx with
+      | 0 -> 0x100E8086L (* device id *)
+      | 1 -> 0x1L        (* status: ready *)
+      | _ -> dom.Domain.bar_regs.(idx)
+    in
+    Common.set_gpr ctx Gpr.Rax v
+  end
+
+let handle_mmio ctx ~gpa ~write =
+  charge ctx 800;
+  hit ctx __LINE__;
+  let insn = fetch_current_insn ctx in
+  (* Operand resolution is common code; only the *value* depends on
+     the decode outcome (a failed decode completes the access with
+     the saved accumulator, Xen's null-handler convention). *)
+  let value =
+    match insn with
+    | Some (Insn.Write_mem { value; _ }) -> value
+    | Some _ | None -> Common.get_gpr ctx Gpr.Rax
+  in
+  if Vlapic.in_range gpa then begin
+    hit ctx __LINE__;
+    let offset = Int64.sub gpa Vlapic.mmio_base in
+    vlapic_access ctx ~offset ~write ~value
+  end
+  else if
+    gpa >= Domain.mmio_bar_base
+    && gpa < Int64.add Domain.mmio_bar_base Domain.mmio_bar_size
+  then begin
+    hit ctx __LINE__;
+    let offset = Int64.sub gpa Domain.mmio_bar_base in
+    bar_access ctx ~offset ~write ~value
+  end
+  else begin
+    hit ctx __LINE__;
+    Ctx.logf ctx "(XEN) d%d unhandled MMIO %s at 0x%Lx"
+      ctx.Ctx.dom.Domain.id
+      (if write then "write" else "read")
+      gpa;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end;
+  Common.advance_rip ctx
+
+let handle_string_io ctx (q : Iris_vtx.Exit_qual.io) =
+  charge ctx 1500;
+  hit ctx __LINE__;
+  let dom = ctx.Ctx.dom in
+  let count = Int64.to_int (Access.vmread ctx F.io_rcx) in
+  let count = if q.Iris_vtx.Exit_qual.rep then max 1 count else 1 in
+  let linear = Access.vmread ctx F.guest_linear_address in
+  let insn = fetch_current_insn ctx in
+  (match (q.Iris_vtx.Exit_qual.direction, insn) with
+  | Iris_vtx.Exit_qual.Io_out, Some _ ->
+      (* OUTS: read bytes from guest memory, write to the port. *)
+      for i = 0 to count - 1 do
+        let addr =
+          Int64.add linear (Int64.of_int (i * q.Iris_vtx.Exit_qual.size))
+        in
+        let v =
+          match
+            Gmem.read dom.Domain.mem addr ~width:q.Iris_vtx.Exit_qual.size
+          with
+          | v -> v
+          | exception Gmem.Bad_address _ -> 0L
+        in
+        Iris_devices.Port_bus.write dom.Domain.bus
+          ~port:q.Iris_vtx.Exit_qual.port ~size:q.Iris_vtx.Exit_qual.size v
+      done
+  | Iris_vtx.Exit_qual.Io_out, None ->
+      (* No instruction context: Xen's emulator bails after the fetch
+         fails; the access is dropped and the failure logged. *)
+      hit ctx __LINE__;
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d string OUT emulation fetch failed"
+        dom.Domain.id
+  | Iris_vtx.Exit_qual.Io_in, Some _ ->
+      for i = 0 to count - 1 do
+        let v =
+          Iris_devices.Port_bus.read dom.Domain.bus
+            ~port:q.Iris_vtx.Exit_qual.port ~size:q.Iris_vtx.Exit_qual.size
+        in
+        let addr =
+          Int64.add linear (Int64.of_int (i * q.Iris_vtx.Exit_qual.size))
+        in
+        match
+          Gmem.write dom.Domain.mem addr ~width:q.Iris_vtx.Exit_qual.size v
+        with
+        | () -> ()
+        | exception Gmem.Bad_address _ -> hit ctx __LINE__
+      done
+  | Iris_vtx.Exit_qual.Io_in, None ->
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d string IN emulation fetch failed" dom.Domain.id);
+  (* Retire: clear RCX for REP forms, advance RIP. *)
+  if q.Iris_vtx.Exit_qual.rep then begin
+    hit ctx __LINE__;
+    Common.set_gpr ctx Gpr.Rcx 0L
+  end;
+  Common.advance_rip ctx

@@ -1,0 +1,28 @@
+(** HVM instruction emulator ("emulate.c").
+
+    Invoked for exits the hypervisor cannot resolve from the exit
+    information alone: MMIO accesses (EPT faults on device pages) and
+    string I/O, which need the faulting instruction and guest memory.
+
+    On the record side the trapping instruction is available
+    ([Domain.pending_insn]) and guest memory is populated.  Under IRIS
+    replay neither holds: the emulator falls back to fetching the
+    instruction bytes at GUEST_RIP from the dummy VM's (empty) memory,
+    fails to decode, and completes the access with a neutral value.
+    These are exactly the paper's >30-LOC coverage divergences
+    attributed to "emulate.c" (Fig. 7) — a deliberate consequence of
+    not recording guest memory (§IX). *)
+
+val fetch_current_insn : Ctx.t -> Iris_x86.Insn.t option
+(** The instruction under emulation: the pending one if the exit came
+    from a live guest, otherwise an attempted fetch from guest memory
+    at GUEST_RIP (which fails on a dummy VM). *)
+
+val handle_mmio : Ctx.t -> gpa:int64 -> write:bool -> unit
+(** Emulate a guest access to an MMIO page (local APIC or device
+    BAR): decode width/value from the instruction, perform the device
+    access, retire the instruction. *)
+
+val handle_string_io : Ctx.t -> Iris_vtx.Exit_qual.io -> unit
+(** Emulate INS/OUTS: move bytes between guest memory and the port
+    bus. *)

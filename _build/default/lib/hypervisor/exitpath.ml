@@ -1,0 +1,128 @@
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module R = Iris_vtx.Exit_reason
+
+let hit ctx line = Ctx.hit ctx Comp.Vmx_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let dispatch_reason ctx reason =
+  match reason with
+  | R.Exception_or_nmi -> H_intr.handle_exception ctx
+  | R.External_interrupt -> H_intr.handle_external_interrupt ctx
+  | R.Triple_fault -> H_simple.handle_triple_fault ctx
+  | R.Interrupt_window -> H_intr.handle_interrupt_window ctx
+  | R.Cpuid -> H_cpuid.handle ctx
+  | R.Hlt -> H_simple.handle_hlt ctx
+  | R.Rdtsc -> H_simple.handle_rdtsc ctx ~rdtscp:false
+  | R.Rdtscp -> H_simple.handle_rdtsc ctx ~rdtscp:true
+  | R.Vmcall -> H_simple.handle_vmcall ctx
+  | R.Cr_access -> H_cr.handle ctx
+  | R.Io_instruction -> H_io.handle ctx
+  | R.Rdmsr -> H_msr.handle_rdmsr ctx
+  | R.Wrmsr -> H_msr.handle_wrmsr ctx
+  | R.Ept_violation -> H_ept.handle ctx
+  | R.Preemption_timer -> H_simple.handle_preemption_timer ctx
+  | R.Pause -> H_simple.handle_pause ctx
+  | R.Wbinvd -> H_simple.handle_wbinvd ctx
+  | R.Xsetbv -> H_simple.handle_xsetbv ctx
+  | R.Invlpg -> H_simple.handle_invlpg ctx
+  | R.Invd ->
+      hit ctx __LINE__;
+      Common.advance_rip ctx
+  | R.Vmclear | R.Vmlaunch | R.Vmptrld | R.Vmptrst | R.Vmread | R.Vmresume
+  | R.Vmwrite | R.Vmxoff | R.Vmxon | R.Invept | R.Invvpid | R.Vmfunc ->
+      H_simple.handle_vmx_insn ctx
+  | R.Mov_dr ->
+      hit ctx __LINE__;
+      Common.advance_rip ctx
+  | R.Ept_misconfiguration ->
+      (* An EPT misconfiguration is a hypervisor bug by definition. *)
+      hit ctx __LINE__;
+      Ctx.panic ctx "EPT misconfiguration"
+  | R.Entry_failure_machine_check ->
+      hit ctx __LINE__;
+      Ctx.panic ctx "VM entry failed due to machine check"
+  | R.Entry_failure_guest_state | R.Entry_failure_msr_loading ->
+      hit ctx __LINE__;
+      Ctx.domain_crash ctx "VM entry failure reported as exit reason"
+  | R.Task_switch | R.Apic_access | R.Apic_write | R.Virtualized_eoi
+  | R.Tpr_below_threshold ->
+      hit ctx __LINE__;
+      Ctx.hit ctx Comp.Vlapic_c __LINE__;
+      Common.advance_rip ctx
+  | R.Gdtr_idtr_access | R.Ldtr_tr_access ->
+      hit ctx __LINE__;
+      Common.advance_rip ctx
+  | R.Monitor_trap_flag ->
+      hit ctx __LINE__;
+      ()
+  | R.Init_signal | R.Sipi | R.Io_smi | R.Other_smi | R.Getsec | R.Rsm
+  | R.Mwait | R.Monitor | R.Nmi_window | R.Rdpmc | R.Rdrand | R.Rdseed
+  | R.Invpcid | R.Encls | R.Pml_full | R.Xsaves | R.Xrstors ->
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d Bad vmexit (reason %d)" ctx.Ctx.dom.Domain.id
+        (R.code reason);
+      Ctx.domain_crash ctx
+        (Printf.sprintf "unexpected exit reason %d (%s)" (R.code reason)
+           (R.name reason))
+
+let handle ctx =
+  (match ctx.Ctx.hooks.Hooks.on_exit_start with
+  | Some cb ->
+      charge ctx ctx.Ctx.hooks.Hooks.callback_cycles;
+      cb ()
+  | None -> ());
+  charge ctx Iris_vtx.Cost.dispatch_base;
+  hit ctx __LINE__;
+  (* Opportunistic platform-timer processing, as Xen does on its exit
+     path.  The schedule of these ticks relative to exits is the
+     asynchronous noise the paper filters in Fig. 7. *)
+  let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let fired = Vpt.process ctx.Ctx.dom.Domain.vpt ~now in
+  List.iter
+    (fun (_, vector) ->
+      Ctx.hit ctx Comp.Vpt_c __LINE__;
+      Vlapic.accept_irq ctx.Ctx.dom.Domain.vlapic ~vector)
+    fired;
+  (* Xen's vmx_vmexit_handler reads the vectoring state of every exit
+     before dispatching: an exit taken *during* event delivery must
+     re-inject the interrupted event. *)
+  let idt_vec = Access.vmread ctx F.idt_vectoring_info in
+  if Iris_vmcs.Controls.intr_info_is_valid idt_vec then begin
+    hit ctx __LINE__;
+    let err =
+      if Iris_vmcs.Controls.intr_info_has_error_code idt_vec then begin
+        hit ctx __LINE__;
+        Access.vmread ctx F.idt_vectoring_error_code
+      end
+      else 0L
+    in
+    Access.vmwrite ctx F.vm_entry_intr_info idt_vec;
+    if Iris_vmcs.Controls.intr_info_has_error_code idt_vec then
+      Access.vmwrite ctx F.vm_entry_exception_error_code err
+  end;
+  let reason_field = Access.vmread ctx F.vm_exit_reason in
+  (if Iris_util.Bits.test reason_field 31 then begin
+     (* VM-entry failure echoed in the exit reason. *)
+     hit ctx __LINE__;
+     Ctx.domain_crash ctx
+       (Printf.sprintf "VM entry failure (reason field 0x%Lx)" reason_field)
+   end
+   else
+     match R.of_reason_field reason_field with
+     | None ->
+         hit ctx __LINE__;
+         Ctx.logf ctx "(XEN) d%d Bad vmexit (reason field 0x%Lx)"
+           ctx.Ctx.dom.Domain.id reason_field;
+         Ctx.domain_crash ctx
+           (Printf.sprintf "unknown exit reason field 0x%Lx" reason_field)
+     | Some reason ->
+         hit ctx __LINE__;
+         dispatch_reason ctx reason);
+  if not (Domain.crashed ctx.Ctx.dom) then H_intr.assist ctx;
+  match ctx.Ctx.hooks.Hooks.on_exit_end with
+  | Some cb ->
+      charge ctx ctx.Ctx.hooks.Hooks.callback_cycles;
+      cb ()
+  | None -> ()

@@ -1,0 +1,17 @@
+(** The VM-exit dispatcher ([vmx_vmexit_handler] in Xen's vmx.c).
+
+    Everything it learns about the exit comes from VMREADs through
+    the instrumented {!Access} wrappers — which is exactly what lets
+    the IRIS replayer drive it with recorded seeds: shimming the
+    read-only exit-information fields is indistinguishable, from the
+    dispatcher's point of view, from a real exit. *)
+
+val handle : Ctx.t -> unit
+(** Dispatch one VM exit: fire IRIS hooks, process platform timers,
+    read the exit reason, run the reason handler, then run
+    [vmx_intr_assist].  May raise {!Ctx.Hypervisor_panic} or crash the
+    domain. *)
+
+val dispatch_reason : Ctx.t -> Iris_vtx.Exit_reason.t -> unit
+(** The reason-dispatch table alone (no hooks / timers / assist) —
+    exposed for targeted unit tests. *)

@@ -1,0 +1,82 @@
+open Iris_x86
+module Comp = Iris_coverage.Component
+
+let hit ctx line = Ctx.hit ctx Comp.Cpuid_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let xen_signature_leaf = 0x40000000L
+
+let pack4 s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  Int64.logor (b 0)
+    (Int64.logor
+       (Int64.shift_left (b 1) 8)
+       (Int64.logor (Int64.shift_left (b 2) 16) (Int64.shift_left (b 3) 24)))
+
+let handle ctx =
+  hit ctx __LINE__;
+  charge ctx 450;
+  let leaf = Int64.logand (Common.get_gpr ctx Gpr.Rax) 0xFFFFFFFFL in
+  let subleaf = Int64.logand (Common.get_gpr ctx Gpr.Rcx) 0xFFFFFFFFL in
+  let { Cpuid_db.eax; ebx; ecx; edx } =
+    if leaf >= xen_signature_leaf && leaf < 0x40000100L then begin
+      (* Hypervisor leaves: Xen signature + version + features. *)
+      hit ctx __LINE__;
+      if leaf = xen_signature_leaf then begin
+        hit ctx __LINE__;
+        { Cpuid_db.eax = 0x40000002L;
+          ebx = pack4 "XenVMMXenVMM" 0;
+          ecx = pack4 "XenVMMXenVMM" 4;
+          edx = pack4 "XenVMMXenVMM" 8 }
+      end
+      else if leaf = 0x40000001L then begin
+        hit ctx __LINE__;
+        (* Xen version 4.16. *)
+        { Cpuid_db.eax = 0x00040010L; ebx = 0L; ecx = 0L; edx = 0L }
+      end
+      else begin
+        hit ctx __LINE__;
+        { Cpuid_db.eax = 0L; ebx = 0L; ecx = 0L; edx = 0L }
+      end
+    end
+    else begin
+      let raw = Cpuid_db.query ~leaf ~subleaf in
+      if leaf = 0x1L then begin
+        (* Policy: hide VMX, expose the hypervisor-present bit 31. *)
+        hit ctx __LINE__;
+        { raw with
+          Cpuid_db.ecx =
+            Int64.logor
+              (Int64.logand raw.Cpuid_db.ecx
+                 (Int64.lognot Cpuid_db.feature_ecx_vmx))
+              0x80000000L }
+      end
+      else if leaf = 0x7L then begin
+        hit ctx __LINE__;
+        raw
+      end
+      else if leaf = 0x4L then begin
+        hit ctx __LINE__;
+        raw
+      end
+      else if leaf = 0xBL then begin
+        (* Topology: single vCPU. *)
+        hit ctx __LINE__;
+        { raw with Cpuid_db.ebx = (if subleaf = 0L then 1L else 1L) }
+      end
+      else if leaf >= 0x80000000L then begin
+        hit ctx __LINE__;
+        raw
+      end
+      else begin
+        hit ctx __LINE__;
+        raw
+      end
+    end
+  in
+  Common.set_gpr ctx Gpr.Rax eax;
+  Common.set_gpr ctx Gpr.Rbx ebx;
+  Common.set_gpr ctx Gpr.Rcx ecx;
+  Common.set_gpr ctx Gpr.Rdx edx;
+  Common.advance_rip ctx

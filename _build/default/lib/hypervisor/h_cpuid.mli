@@ -1,0 +1,11 @@
+(** CPUID handler (exit reason 10, "cpuid.c").
+
+    Applies the hypervisor's CPUID policy on top of the physical
+    leaves: hides VMX, exposes the hypervisor-signature leaves
+    (0x40000000 range), caps the leaf range, and returns the filtered
+    values in the guest's GPRs. *)
+
+val handle : Ctx.t -> unit
+
+val xen_signature_leaf : int64
+(** 0x40000000 — "XenVMMXenVMM". *)

@@ -1,0 +1,259 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module Q = Iris_vtx.Exit_qual
+
+let hit ctx line = Ctx.hit ctx Comp.Vmx_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+(* Reload guest PDPTEs from the page at CR3 — PAE paging requires the
+   hypervisor to re-read them on CR0/CR3/CR4 changes.  A guest-memory
+   access: diverges under replay (Fig. 7, vmx.c/emulate.c bucket). *)
+let reload_pdptes ctx =
+  Ctx.hit ctx Comp.Ept_c __LINE__;
+  let cr3 = Access.vmread ctx F.guest_cr3 in
+  let base = Int64.logand cr3 (Int64.lognot 0x1FL) in
+  let read_pdpte i =
+    let gpa = Int64.add base (Int64.of_int (i * 8)) in
+    match Iris_memory.Gmem.read ctx.Ctx.dom.Domain.mem gpa ~width:8 with
+    | v -> v
+    | exception Iris_memory.Gmem.Bad_address _ ->
+        Ctx.hit ctx Comp.Ept_c __LINE__;
+        0L
+  in
+  let fields =
+    [| F.guest_pdpte0; F.guest_pdpte1; F.guest_pdpte2; F.guest_pdpte3 |]
+  in
+  Array.iteri
+    (fun i f ->
+      let v = read_pdpte i in
+      Ctx.hit ctx Comp.Ept_c __LINE__;
+      (* A non-present PDPTE read from guest memory takes the warning
+         path (replay-side addition: the dummy VM has no page
+         tables). *)
+      if Int64.logand v 1L = 0L then begin
+        Ctx.hit ctx Comp.Ept_c __LINE__;
+        Ctx.hit ctx Comp.Ept_c __LINE__
+      end;
+      Access.vmwrite ctx f v)
+    fields
+
+let handle_cr0_write ctx value =
+  charge ctx 900;
+  hit ctx __LINE__;
+  let shadow = Access.vmread ctx F.cr0_read_shadow in
+  let changed = Int64.logxor value shadow in
+  let flag_changed f = Cr0.test changed f in
+  (* Architectural validity first: #GP on bad combinations, without
+     retiring the instruction. *)
+  if not (Cr0.valid value) then begin
+    hit ctx __LINE__;
+    Ctx.logf ctx "(XEN) d%d attempted invalid CR0 value 0x%Lx"
+      ctx.Ctx.dom.Domain.id value;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else begin
+    if flag_changed Cr0.PE then begin
+      hit ctx __LINE__;
+      if Cr0.test value Cr0.PE then begin
+        (* Entering protected mode (the Fig. 2 walk-through). *)
+        hit ctx __LINE__;
+        Ctx.logf ctx "(XEN) d%d guest enabling protected mode"
+          ctx.Ctx.dom.Domain.id
+      end
+      else begin
+        hit ctx __LINE__;
+        Ctx.logf ctx "(XEN) d%d guest returning to real mode"
+          ctx.Ctx.dom.Domain.id
+      end
+    end;
+    if flag_changed Cr0.PG then begin
+      hit ctx __LINE__;
+      if Cr0.test value Cr0.PG then begin
+        hit ctx __LINE__;
+        (* Long-mode activation: EFER.LME + PG => LMA, which the
+           hypervisor must mirror into the IA-32e-mode entry control
+           (Xen's vmx_update_guest_efer). *)
+        let efer = Access.vmread ctx F.guest_ia32_efer in
+        if Int64.logand efer Msr.efer_lme <> 0L then begin
+          hit ctx __LINE__;
+          Access.vmwrite ctx F.guest_ia32_efer
+            (Int64.logor efer Msr.efer_lma);
+          let entry = Access.vmread ctx F.vm_entry_controls in
+          Access.vmwrite ctx F.vm_entry_controls
+            (Int64.logor entry Iris_vmcs.Controls.entry_ia32e_mode_guest)
+        end
+        else begin
+          (* 32-bit PAE guests need their PDPTEs re-read. *)
+          let cr4 = Access.vmread ctx F.guest_cr4 in
+          if Cr4.test cr4 Cr4.PAE then begin
+            hit ctx __LINE__;
+            reload_pdptes ctx
+          end
+          else hit ctx __LINE__
+        end
+      end
+      else begin
+        hit ctx __LINE__;
+        (* Leaving paging deactivates long mode. *)
+        let efer = Access.vmread ctx F.guest_ia32_efer in
+        if Int64.logand efer Msr.efer_lma <> 0L then begin
+          hit ctx __LINE__;
+          Access.vmwrite ctx F.guest_ia32_efer
+            (Int64.logand efer (Int64.lognot Msr.efer_lma));
+          let entry = Access.vmread ctx F.vm_entry_controls in
+          Access.vmwrite ctx F.vm_entry_controls
+            (Int64.logand entry
+               (Int64.lognot Iris_vmcs.Controls.entry_ia32e_mode_guest))
+        end
+      end
+    end;
+    if flag_changed Cr0.TS then hit ctx __LINE__;
+    if flag_changed Cr0.CD || flag_changed Cr0.NW then begin
+      hit ctx __LINE__;
+      (* Cache-control changes flush the EPT in Xen (memory-type
+         recalculation). *)
+      Ctx.hit ctx Comp.Ept_c __LINE__
+    end;
+    if flag_changed Cr0.WP then hit ctx __LINE__;
+    Access.vmwrite ctx F.guest_cr0 (Common.effective_cr0 ~guest_value:value);
+    Access.vmwrite ctx F.cr0_read_shadow value;
+    Common.update_guest_mode ctx value;
+    Common.advance_rip ctx
+  end
+
+let handle_cr4_write ctx value =
+  charge ctx 700;
+  hit ctx __LINE__;
+  if not (Cr4.valid value) then begin
+    hit ctx __LINE__;
+    Ctx.logf ctx "(XEN) d%d attempted invalid CR4 value 0x%Lx"
+      ctx.Ctx.dom.Domain.id value;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else if Cr4.test value Cr4.VMXE then begin
+    (* Nested VMX is not exposed; the guest may not set VMXE. *)
+    hit ctx __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else begin
+    let shadow = Access.vmread ctx F.cr4_read_shadow in
+    let changed = Int64.logxor value shadow in
+    if Cr4.test changed Cr4.PAE then begin
+      hit ctx __LINE__;
+      let cr0 = Access.vmread ctx F.guest_cr0 in
+      if Cr0.test cr0 Cr0.PG then begin
+        hit ctx __LINE__;
+        reload_pdptes ctx
+      end
+    end;
+    if Cr4.test changed Cr4.PGE || Cr4.test changed Cr4.PSE then begin
+      hit ctx __LINE__;
+      Ctx.hit ctx Comp.Ept_c __LINE__ (* TLB flush *)
+    end;
+    (* Keep VMXE set in the real CR4 while shadowing it clear. *)
+    let real = Cr4.set value Cr4.VMXE in
+    Access.vmwrite ctx F.guest_cr4 real;
+    Access.vmwrite ctx F.cr4_read_shadow value;
+    Common.advance_rip ctx
+  end
+
+let handle_cr3_write ctx value =
+  charge ctx 400;
+  hit ctx __LINE__;
+  if Int64.shift_right_logical value 48 <> 0L then begin
+    hit ctx __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else begin
+    Access.vmwrite ctx F.guest_cr3 value;
+    let cr0 = Access.vmread ctx F.guest_cr0 in
+    let cr4 = Access.vmread ctx F.guest_cr4 in
+    if Cr0.test cr0 Cr0.PG && Cr4.test cr4 Cr4.PAE
+       && not (Cr4.test cr4 Cr4.PCIDE)
+    then begin
+      hit ctx __LINE__;
+      reload_pdptes ctx
+    end
+    else hit ctx __LINE__;
+    Common.advance_rip ctx
+  end
+
+let handle_cr8_write ctx value =
+  charge ctx 200;
+  hit ctx __LINE__;
+  if Int64.logand value (Int64.lognot 0xFL) <> 0L then begin
+    hit ctx __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else begin
+    Ctx.hit ctx Comp.Vlapic_c __LINE__;
+    Vlapic.set_tpr ctx.Ctx.dom.Domain.vlapic (Int64.shift_left value 4);
+    Common.advance_rip ctx
+  end
+
+let handle_clts ctx =
+  charge ctx 200;
+  hit ctx __LINE__;
+  let cr0 = Access.vmread ctx F.guest_cr0 in
+  Access.vmwrite ctx F.guest_cr0 (Cr0.clear cr0 Cr0.TS);
+  let shadow = Access.vmread ctx F.cr0_read_shadow in
+  Access.vmwrite ctx F.cr0_read_shadow (Cr0.clear shadow Cr0.TS);
+  Common.advance_rip ctx
+
+let handle_lmsw ctx value =
+  charge ctx 300;
+  hit ctx __LINE__;
+  (* LMSW affects only CR0 bits 0..3 and cannot clear PE. *)
+  let shadow = Access.vmread ctx F.cr0_read_shadow in
+  let low = Int64.logand value 0xFL in
+  let keep_pe =
+    if Cr0.test shadow Cr0.PE then Int64.logor low 1L else low
+  in
+  let merged =
+    Int64.logor (Int64.logand shadow (Int64.lognot 0xFL)) keep_pe
+  in
+  handle_cr0_write ctx merged
+
+let handle ctx =
+  hit ctx __LINE__;
+  let qual = Access.vmread ctx F.exit_qualification in
+  match Q.decode_cr qual with
+  | None ->
+      hit ctx __LINE__;
+      Ctx.domain_crash ctx
+        (Printf.sprintf "unhandled CR access qualification 0x%Lx" qual)
+  | Some { Q.cr; access; gpr } -> (
+      match access with
+      | Q.Mov_to_cr -> (
+          let value = Common.get_gpr ctx gpr in
+          match cr with
+          | 0 -> handle_cr0_write ctx value
+          | 3 -> handle_cr3_write ctx value
+          | 4 -> handle_cr4_write ctx value
+          | 8 -> handle_cr8_write ctx value
+          | n ->
+              hit ctx __LINE__;
+              Ctx.domain_crash ctx
+                (Printf.sprintf "MOV to unsupported CR%d" n))
+      | Q.Mov_from_cr -> (
+          hit ctx __LINE__;
+          match cr with
+          | 3 ->
+              let v = Access.vmread ctx F.guest_cr3 in
+              Common.set_gpr ctx gpr v;
+              Common.advance_rip ctx
+          | 8 ->
+              Ctx.hit ctx Comp.Vlapic_c __LINE__;
+              let tpr = Vlapic.tpr ctx.Ctx.dom.Domain.vlapic in
+              Common.set_gpr ctx gpr (Int64.shift_right_logical tpr 4);
+              Common.advance_rip ctx
+          | n ->
+              hit ctx __LINE__;
+              Ctx.domain_crash ctx
+                (Printf.sprintf "MOV from unexpected CR%d" n))
+      | Q.Clts_op -> handle_clts ctx
+      | Q.Lmsw_op ->
+          let value = Common.get_gpr ctx gpr in
+          handle_lmsw ctx value)

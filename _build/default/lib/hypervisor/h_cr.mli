@@ -1,0 +1,9 @@
+(** Control-register access handler (exit reason 28) — the paper's
+    Fig. 2 scenario.
+
+    Decodes the exit qualification, validates the guest-requested
+    value against architectural constraints (injecting #GP on
+    violations), maintains the guest/host mask + read shadow pair, and
+    updates the hypervisor's cached operating-mode abstraction. *)
+
+val handle : Ctx.t -> unit

@@ -1,0 +1,52 @@
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module Ept = Iris_memory.Ept
+
+let hit ctx line = Ctx.hit ctx Comp.Ept_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let handle ctx =
+  hit ctx __LINE__;
+  charge ctx 700;
+  let gpa = Access.vmread ctx F.guest_physical_address in
+  let qual = Access.vmread ctx F.exit_qualification in
+  let write = Iris_util.Bits.test qual 1 in
+  if Vlapic.in_range gpa then begin
+    hit ctx __LINE__;
+    Emulate.handle_mmio ctx ~gpa ~write
+  end
+  else if
+    gpa >= Domain.mmio_bar_base
+    && gpa < Int64.add Domain.mmio_bar_base Domain.mmio_bar_size
+  then begin
+    hit ctx __LINE__;
+    Emulate.handle_mmio ctx ~gpa ~write
+  end
+  else if Iris_memory.Gmem.in_range ctx.Ctx.dom.Domain.mem gpa then begin
+    (* Populate-on-demand path: map the page and retry the access
+       (no RIP advance — the instruction re-executes). *)
+    hit ctx __LINE__;
+    (match Ept.lookup ctx.Ctx.dom.Domain.ept gpa with
+    | None ->
+        hit ctx __LINE__;
+        Ept.map ctx.Ctx.dom.Domain.ept
+          ~gpa:(Int64.logand gpa (Int64.lognot 0xFFFL))
+          ~len:4096L Ept.perm_rwx
+    | Some perm ->
+        hit ctx __LINE__;
+        if write && not perm.Ept.w then begin
+          (* Write to a read-only page (log-dirty style): upgrade. *)
+          hit ctx __LINE__;
+          Ept.map ctx.Ctx.dom.Domain.ept
+            ~gpa:(Int64.logand gpa (Int64.lognot 0xFFFL))
+            ~len:4096L Ept.perm_rwx
+        end)
+  end
+  else begin
+    hit ctx __LINE__;
+    Ctx.logf ctx "(XEN) d%d EPT violation outside RAM: gpa 0x%Lx qual 0x%Lx"
+      ctx.Ctx.dom.Domain.id gpa qual;
+    Common.inject_exception ctx ~error_code:0L Iris_x86.Exn.GP;
+    Common.advance_rip ctx
+  end

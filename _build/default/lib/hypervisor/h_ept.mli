@@ -1,0 +1,7 @@
+(** EPT-violation handler (exit reason 48, "p2m-ept.c").
+
+    Routes by guest-physical address: APIC page and device BARs go to
+    the MMIO emulator; faults inside RAM repopulate the mapping and
+    re-execute; anything else is a guest bug that injects #GP. *)
+
+val handle : Ctx.t -> unit

@@ -1,0 +1,158 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module C = Iris_vmcs.Controls
+module Comp = Iris_coverage.Component
+
+let hit ctx line = Ctx.hit ctx Comp.Intr_c line
+
+let hit_irq ctx line = Ctx.hit ctx Comp.Irq_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+(* Service the host timer tick: advance PIT emulation, process the
+   virtual platform timers, raise guest lines. *)
+let do_host_timer ctx =
+  hit_irq ctx __LINE__;
+  let dom = ctx.Ctx.dom in
+  let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let pit_fired =
+    Iris_devices.Pit.tick dom.Domain.pit
+      ~cycles:Iris_vtx.Cost.timer_interrupt_period
+  in
+  if pit_fired > 0 then begin
+    hit_irq ctx __LINE__;
+    Iris_devices.Pic.raise_irq dom.Domain.pic 0
+  end;
+  let fired = Vpt.process dom.Domain.vpt ~now in
+  List.iter
+    (fun (_, vector) ->
+      hit_irq ctx __LINE__;
+      Vlapic.accept_irq dom.Domain.vlapic ~vector)
+    fired
+
+let handle_external_interrupt ctx =
+  hit ctx __LINE__;
+  charge ctx 1200;
+  let info = Access.vmread ctx F.vm_exit_intr_info in
+  if not (C.intr_info_is_valid info) then begin
+    (* Acknowledge-on-exit should always give a valid vector; Xen
+       BUG()s otherwise. *)
+    hit ctx __LINE__;
+    Ctx.panic ctx "external interrupt exit with invalid intr info"
+  end
+  else begin
+    let vector = C.intr_info_vector info in
+    let v = Ctx.vcpu ctx in
+    if v.Iris_vtx.Vcpu.pending_extint = Some vector then
+      v.Iris_vtx.Vcpu.pending_extint <- None;
+    if vector = v.Iris_vtx.Vcpu.host_timer_vector then begin
+      hit ctx __LINE__;
+      do_host_timer ctx
+    end
+    else if vector = 2 then begin
+      hit ctx __LINE__;
+      Ctx.panic ctx "NMI received in VMX non-root operation"
+    end
+    else begin
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d spurious host interrupt vector %d"
+        ctx.Ctx.dom.Domain.id vector
+    end
+  end
+
+let handle_interrupt_window ctx =
+  hit ctx __LINE__;
+  charge ctx 400;
+  (* Close the window; [assist] re-opens it if something is still
+     pending and undeliverable. *)
+  let cpu_ctl = Access.vmread ctx F.cpu_based_vm_exec_control in
+  Access.vmwrite ctx F.cpu_based_vm_exec_control
+    (Int64.logand cpu_ctl (Int64.lognot C.cpu_intr_window_exiting))
+
+let handle_exception ctx =
+  hit ctx __LINE__;
+  charge ctx 900;
+  let info = Access.vmread ctx F.vm_exit_intr_info in
+  if not (C.intr_info_is_valid info) then begin
+    hit ctx __LINE__;
+    Ctx.domain_crash ctx "exception exit with invalid interrupt info"
+  end
+  else begin
+    let vector = C.intr_info_vector info in
+    match Exn.of_vector vector with
+    | Some Exn.BP ->
+        (* Debug breakpoint: report and reflect. *)
+        hit ctx __LINE__;
+        Ctx.logf ctx "(XEN) d%d guest #BP at RIP 0x%Lx" ctx.Ctx.dom.Domain.id
+          (Access.vmread ctx F.guest_rip);
+        Common.inject_exception ctx Exn.BP;
+        Common.advance_rip ctx
+    | Some Exn.PF ->
+        hit ctx __LINE__;
+        let cr2 = Access.vmread ctx F.exit_qualification in
+        let error_code = Access.vmread ctx F.vm_exit_intr_error_code in
+        (Ctx.vcpu ctx).Iris_vtx.Vcpu.cr2 <- cr2;
+        Common.inject_exception ctx ~error_code Exn.PF
+    | Some Exn.GP ->
+        hit ctx __LINE__;
+        let error_code = Access.vmread ctx F.vm_exit_intr_error_code in
+        Common.inject_exception ctx ~error_code Exn.GP
+    | Some Exn.MC ->
+        hit ctx __LINE__;
+        Ctx.panic ctx "machine check during guest execution"
+    | Some e ->
+        hit ctx __LINE__;
+        Common.inject_exception ctx e
+    | None ->
+        hit ctx __LINE__;
+        Ctx.domain_crash ctx
+          (Printf.sprintf "unhandled exception vector %d" vector)
+  end
+
+let assist ctx =
+  hit ctx __LINE__;
+  let dom = ctx.Ctx.dom in
+  let pending_injection = Access.vmread ctx F.vm_entry_intr_info in
+  if C.intr_info_is_valid pending_injection then begin
+    (* Something is already queued for this entry. *)
+    hit ctx __LINE__
+  end
+  else begin
+    let lapic_pending = Vlapic.highest_pending dom.Domain.vlapic in
+    let pic_pending = Iris_devices.Pic.has_pending dom.Domain.pic in
+    if lapic_pending = None && not pic_pending then hit ctx __LINE__
+    else begin
+      let rflags = Access.vmread ctx F.guest_rflags in
+      let interruptibility =
+        Access.vmread ctx F.guest_interruptibility_info
+      in
+      let interruptible =
+        Rflags.test rflags Rflags.IF
+        && Int64.logand interruptibility
+             (Int64.logor C.interruptibility_sti_blocking
+                C.interruptibility_mov_ss_blocking)
+           = 0L
+      in
+      if interruptible then begin
+        let vector =
+          match lapic_pending with
+          | Some v ->
+              Vlapic.ack dom.Domain.vlapic ~vector:v;
+              Some v
+          | None -> Iris_devices.Pic.ack dom.Domain.pic
+        in
+        match vector with
+        | Some vector ->
+            Common.inject_extint ctx ~vector;
+            dom.Domain.blocked <- false
+        | None -> hit_irq ctx __LINE__
+      end
+      else begin
+        (* Not interruptible: open the interrupt window. *)
+        hit ctx __LINE__;
+        let cpu_ctl = Access.vmread ctx F.cpu_based_vm_exec_control in
+        Access.vmwrite ctx F.cpu_based_vm_exec_control
+          (Int64.logor cpu_ctl C.cpu_intr_window_exiting)
+      end
+    end
+  end

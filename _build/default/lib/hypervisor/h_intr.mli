@@ -1,0 +1,17 @@
+(** Interrupt-related handlers ("intr.c" / "irq.c").
+
+    - External-interrupt exits (reason 1): a *host* interrupt arrived
+      while the guest ran; the hypervisor services it (timer tick:
+      accounting, PIT emulation advance, vPT processing).
+    - Interrupt-window exits (reason 7): the guest became
+      interruptible; deliver what is pending and close the window.
+    - Exception/NMI exits (reason 0): reflect guest exceptions, honour
+      the exception bitmap.
+    - {!assist}: Xen's [vmx_intr_assist] — runs on every exit path
+      just before VM entry, deciding between direct injection and
+      requesting an interrupt window. *)
+
+val handle_external_interrupt : Ctx.t -> unit
+val handle_interrupt_window : Ctx.t -> unit
+val handle_exception : Ctx.t -> unit
+val assist : Ctx.t -> unit

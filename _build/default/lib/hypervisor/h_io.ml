@@ -1,0 +1,139 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module Q = Iris_vtx.Exit_qual
+
+let hit ctx line = Ctx.hit ctx Comp.Io_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+(* Distinct dispatch branches per legacy device class, so coverage
+   reflects which parts of the platform the guest touched. *)
+let classify_port ctx port =
+  if port >= 0x20 && port <= 0x21 || (port >= 0xA0 && port <= 0xA1) then begin
+    hit ctx __LINE__ (* PIC *)
+  end
+  else if port >= 0x40 && port <= 0x43 then begin
+    hit ctx __LINE__ (* PIT *)
+  end
+  else if port = 0x70 || port = 0x71 then begin
+    hit ctx __LINE__ (* RTC/CMOS *)
+  end
+  else if port >= 0x3F8 && port <= 0x3FF then begin
+    hit ctx __LINE__ (* COM1 *)
+  end
+  else if port >= 0xCF8 && port <= 0xCFF then begin
+    hit ctx __LINE__ (* PCI config *)
+  end
+  else if port = 0x80 then begin
+    hit ctx __LINE__ (* POST/delay port *)
+  end
+  else if port = 0x92 then begin
+    hit ctx __LINE__ (* A20 gate *)
+  end
+  else if port >= 0x60 && port <= 0x64 then begin
+    hit ctx __LINE__ (* i8042 *)
+  end
+  else begin
+    hit ctx __LINE__ (* unclaimed *)
+  end
+
+(* Command decode of the legacy device emulators: which branch of the
+   PIT/PIC/UART state machine a write lands in depends on the *value*
+   — exactly the surface the fuzzer's GPR mutations poke at. *)
+let value_probes ctx port value =
+  let v = Int64.to_int (Int64.logand value 0xFFL) in
+  if port = 0x43 then begin
+    (* PIT control word: latch vs lo/hi/lohi programming, per mode. *)
+    if v land 0x30 = 0 then hit ctx __LINE__
+    else if v land 0x30 = 0x10 then hit ctx __LINE__
+    else if v land 0x30 = 0x20 then hit ctx __LINE__
+    else hit ctx __LINE__;
+    match (v lsr 1) land 0x7 with
+    | 0 -> hit ctx __LINE__
+    | 2 -> hit ctx __LINE__
+    | 3 -> hit ctx __LINE__
+    | _ -> hit ctx __LINE__
+  end
+  else if port = 0x20 || port = 0xA0 then begin
+    (* PIC command: ICW1 vs OCW3 vs OCW2 (EOI variants). *)
+    if v land 0x10 <> 0 then hit ctx __LINE__
+    else if v land 0x08 <> 0 then hit ctx __LINE__
+    else if v land 0x20 <> 0 then hit ctx __LINE__
+    else hit ctx __LINE__
+  end
+  else if port = 0x3FB then begin
+    (* UART line control: DLAB transitions. *)
+    if v land 0x80 <> 0 then hit ctx __LINE__ else hit ctx __LINE__
+  end
+  else if port = 0x3F8 then begin
+    (* UART transmit: console emulators special-case control
+       characters and non-ASCII bytes. *)
+    if v = 0x0A then hit ctx __LINE__
+    else if v < 0x20 then hit ctx __LINE__
+    else if v >= 0x80 then hit ctx __LINE__
+    else hit ctx __LINE__
+  end
+  else if port = 0x70 then begin
+    (* CMOS index: time/alarm registers vs status vs NVRAM. *)
+    if v land 0x7F < 0x0A then hit ctx __LINE__
+    else if v land 0x7F < 0x0E then hit ctx __LINE__
+    else hit ctx __LINE__
+  end
+
+let handle ctx =
+  hit ctx __LINE__;
+  charge ctx 600;
+  let qual = Access.vmread ctx F.exit_qualification in
+  match Q.decode_io qual with
+  | None ->
+      hit ctx __LINE__;
+      Ctx.domain_crash ctx
+        (Printf.sprintf "undecodable I/O qualification 0x%Lx" qual)
+  | Some q ->
+      if q.Q.string_op then begin
+        hit ctx __LINE__;
+        Emulate.handle_string_io ctx q
+      end
+      else begin
+        classify_port ctx q.Q.port;
+        let bus = ctx.Ctx.dom.Domain.bus in
+        (match q.Q.direction with
+        | Q.Io_out ->
+            hit ctx __LINE__;
+            let raw = Common.get_gpr ctx Gpr.Rax in
+            let value = Int64.logand raw (Iris_util.Bits.mask (8 * q.Q.size)) in
+            value_probes ctx q.Q.port value;
+            Iris_devices.Port_bus.write bus ~port:q.Q.port ~size:q.Q.size value;
+            (* Programming PIT channel 0 (re-)arms the virtual
+               platform timer, as Xen's PIT emulation does. *)
+            if q.Q.port >= 0x40 && q.Q.port <= 0x43 then begin
+              hit ctx __LINE__;
+              let pit = ctx.Ctx.dom.Domain.pit in
+              let mode = Iris_devices.Pit.channel_mode pit 0 in
+              match Iris_devices.Pit.channel_period pit 0 with
+              | Some reload when mode = 2 || mode = 3 ->
+                  Ctx.hit ctx Comp.Vpt_c __LINE__;
+                  Vpt.arm ctx.Ctx.dom.Domain.vpt ~source:Vpt.Pt_pit
+                    ~vector:0x30 ~period_cycles:(reload * 3017)
+                    ~now:(Iris_vtx.Clock.now (Ctx.clock ctx))
+              | Some _ ->
+                  (* One-shot / stopped modes: the platform timer is
+                     torn down (a guest switching clock sources). *)
+                  Ctx.hit ctx Comp.Vpt_c __LINE__;
+                  Vpt.disarm ctx.Ctx.dom.Domain.vpt ~source:Vpt.Pt_pit
+              | None -> hit ctx __LINE__
+            end
+        | Q.Io_in ->
+            hit ctx __LINE__;
+            let v = Iris_devices.Port_bus.read bus ~port:q.Q.port ~size:q.Q.size in
+            (* Merge into the low bits of RAX, preserving the rest, as
+               IN does for 8/16-bit widths. *)
+            let old = Common.get_gpr ctx Gpr.Rax in
+            let m = Iris_util.Bits.mask (8 * q.Q.size) in
+            let merged =
+              Int64.logor (Int64.logand old (Int64.lognot m)) (Int64.logand v m)
+            in
+            Common.set_gpr ctx Gpr.Rax merged);
+        Common.advance_rip ctx
+      end

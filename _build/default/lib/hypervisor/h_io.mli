@@ -1,0 +1,6 @@
+(** I/O-instruction handler (exit reason 30, "io.c").
+
+    Simple IN/OUT are completed directly against the port bus; string
+    forms go through the instruction emulator. *)
+
+val handle : Ctx.t -> unit

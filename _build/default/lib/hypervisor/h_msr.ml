@@ -1,0 +1,125 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+
+let hit ctx line = Ctx.hit ctx Comp.Msr_c line
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let msrs ctx = (Ctx.vcpu ctx).Iris_vtx.Vcpu.msrs
+
+let return_value ctx v =
+  Common.set_gpr ctx Gpr.Rax (Int64.logand v 0xFFFFFFFFL);
+  Common.set_gpr ctx Gpr.Rdx (Int64.shift_right_logical v 32);
+  Common.advance_rip ctx
+
+let handle_rdmsr ctx =
+  hit ctx __LINE__;
+  charge ctx 500;
+  let idx = Int64.logand (Common.get_gpr ctx Gpr.Rcx) 0xFFFFFFFFL in
+  match Msr.of_raw idx with
+  | None ->
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d RDMSR 0x%Lx unimplemented, injecting #GP"
+        ctx.Ctx.dom.Domain.id idx;
+      Common.inject_exception ctx ~error_code:0L Exn.GP
+  | Some Msr.Ia32_tsc ->
+      hit ctx __LINE__;
+      let offset = Access.vmread ctx F.tsc_offset in
+      let tsc = Int64.add (Iris_vtx.Clock.now (Ctx.clock ctx)) offset in
+      return_value ctx tsc
+  | Some Msr.Ia32_apic_base ->
+      hit ctx __LINE__;
+      return_value ctx (Msr.read (msrs ctx) Msr.Ia32_apic_base)
+  | Some Msr.Ia32_efer ->
+      hit ctx __LINE__;
+      return_value ctx (Access.vmread ctx F.guest_ia32_efer)
+  | Some Msr.Ia32_feature_control ->
+      (* Lock bit set, VMX disabled: hides nested virtualisation. *)
+      hit ctx __LINE__;
+      return_value ctx 0x1L
+  | Some Msr.Ia32_x2apic_tpr ->
+      hit ctx __LINE__;
+      Ctx.hit ctx Comp.Vlapic_c __LINE__;
+      return_value ctx (Vlapic.tpr ctx.Ctx.dom.Domain.vlapic)
+  | Some Msr.Ia32_misc_enable ->
+      hit ctx __LINE__;
+      return_value ctx (Msr.read (msrs ctx) Msr.Ia32_misc_enable)
+  | Some ((Msr.Ia32_mtrr_cap | Msr.Ia32_mtrr_def_type) as m) ->
+      hit ctx __LINE__;
+      return_value ctx (Msr.read (msrs ctx) m)
+  | Some i ->
+      hit ctx __LINE__;
+      return_value ctx (Msr.read (msrs ctx) i)
+
+let handle_wrmsr ctx =
+  hit ctx __LINE__;
+  charge ctx 550;
+  let idx = Int64.logand (Common.get_gpr ctx Gpr.Rcx) 0xFFFFFFFFL in
+  let lo = Int64.logand (Common.get_gpr ctx Gpr.Rax) 0xFFFFFFFFL in
+  let hi = Common.get_gpr ctx Gpr.Rdx in
+  let value = Int64.logor lo (Int64.shift_left hi 32) in
+  match Msr.of_raw idx with
+  | None ->
+      hit ctx __LINE__;
+      Ctx.logf ctx "(XEN) d%d WRMSR 0x%Lx unimplemented, injecting #GP"
+        ctx.Ctx.dom.Domain.id idx;
+      Common.inject_exception ctx ~error_code:0L Exn.GP
+  | Some m when not (Msr.writable m) ->
+      hit ctx __LINE__;
+      Common.inject_exception ctx ~error_code:0L Exn.GP
+  | Some Msr.Ia32_tsc ->
+      (* Guest TSC write: fold the delta into the VMCS TSC offset. *)
+      hit ctx __LINE__;
+      let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
+      Access.vmwrite ctx F.tsc_offset (Int64.sub value now);
+      Common.advance_rip ctx
+  | Some Msr.Ia32_efer ->
+      hit ctx __LINE__;
+      if not (Msr.efer_valid value) then begin
+        hit ctx __LINE__;
+        Common.inject_exception ctx ~error_code:0L Exn.GP
+      end
+      else begin
+        Access.vmwrite ctx F.guest_ia32_efer value;
+        Common.advance_rip ctx
+      end
+  | Some Msr.Ia32_apic_base ->
+      hit ctx __LINE__;
+      (* Relocating or disabling the APIC is not supported; accept
+         writes that keep the default base. *)
+      if Int64.logand value 0xFFFFF000L <> Vlapic.mmio_base then begin
+        hit ctx __LINE__;
+        Common.inject_exception ctx ~error_code:0L Exn.GP
+      end
+      else begin
+        Msr.write (msrs ctx) Msr.Ia32_apic_base value;
+        Common.advance_rip ctx
+      end
+  | Some Msr.Ia32_x2apic_tpr ->
+      hit ctx __LINE__;
+      Ctx.hit ctx Comp.Vlapic_c __LINE__;
+      Vlapic.set_tpr ctx.Ctx.dom.Domain.vlapic value;
+      Common.advance_rip ctx
+  | Some Msr.Ia32_tsc_deadline ->
+      hit ctx __LINE__;
+      Ctx.hit ctx Comp.Vpt_c __LINE__;
+      Msr.write (msrs ctx) Msr.Ia32_tsc_deadline value;
+      Common.advance_rip ctx
+  | Some
+      ((Msr.Ia32_sysenter_cs | Msr.Ia32_sysenter_esp | Msr.Ia32_sysenter_eip)
+       as m) ->
+      hit ctx __LINE__;
+      Msr.write (msrs ctx) m value;
+      let field =
+        match m with
+        | Msr.Ia32_sysenter_cs -> F.guest_sysenter_cs
+        | Msr.Ia32_sysenter_esp -> F.guest_sysenter_esp
+        | _ -> F.guest_sysenter_eip
+      in
+      Access.vmwrite ctx field value;
+      Common.advance_rip ctx
+  | Some m ->
+      hit ctx __LINE__;
+      Msr.write (msrs ctx) m value;
+      Common.advance_rip ctx

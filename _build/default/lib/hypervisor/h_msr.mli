@@ -1,0 +1,7 @@
+(** RDMSR / WRMSR handlers (exit reasons 31/32, "msr.c").
+
+    Virtualises a policy subset of the MSR space; unknown indices or
+    writes to read-only MSRs inject #GP(0) into the guest. *)
+
+val handle_rdmsr : Ctx.t -> unit
+val handle_wrmsr : Ctx.t -> unit

@@ -1,0 +1,162 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+
+let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+
+let handle_rdtsc ctx ~rdtscp =
+  Ctx.hit ctx Comp.Vmx_c __LINE__;
+  charge ctx 350;
+  let offset = Access.vmread ctx F.tsc_offset in
+  let tsc = Int64.add (Iris_vtx.Clock.now (Ctx.clock ctx)) offset in
+  Common.set_gpr ctx Gpr.Rax (Int64.logand tsc 0xFFFFFFFFL);
+  Common.set_gpr ctx Gpr.Rdx (Int64.shift_right_logical tsc 32);
+  if rdtscp then begin
+    Ctx.hit ctx Comp.Vmx_c __LINE__;
+    Common.set_gpr ctx Gpr.Rcx
+      (Msr.read (Ctx.vcpu ctx).Iris_vtx.Vcpu.msrs Msr.Ia32_tsc_aux)
+  end;
+  Common.advance_rip ctx
+
+let handle_hlt ctx =
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  charge ctx 400;
+  let rflags = Access.vmread ctx F.guest_rflags in
+  if not (Rflags.test rflags Rflags.IF) then begin
+    (* HLT with interrupts disabled and nothing pending: the guest
+       can never wake up.  Xen shuts the domain down. *)
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Ctx.domain_crash ctx "guest halted with interrupts disabled"
+  end
+  else begin
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    ctx.Ctx.dom.Domain.blocked <- true;
+    Common.advance_rip ctx
+  end
+
+let hypercall_memory_op = 12L
+let hypercall_xen_version = 17L
+let hypercall_console_io = 18L
+let hypercall_sched_op = 29L
+let hypercall_event_channel_op = 32L
+let hypercall_vmcs_fuzzing = 41L
+
+let enosys = -38L
+
+let handle_vmcall ctx =
+  Ctx.hit ctx Comp.Hypercall_c __LINE__;
+  charge ctx 800;
+  let nr = Common.get_gpr ctx Gpr.Rax in
+  let arg = Common.get_gpr ctx Gpr.Rbx in
+  if nr = hypercall_xen_version then begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    Common.set_gpr ctx Gpr.Rax 0x00040010L
+  end
+  else if nr = hypercall_console_io then begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    Common.set_gpr ctx Gpr.Rax 0L
+  end
+  else if nr = hypercall_sched_op then begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    (* SCHEDOP_yield / block. *)
+    if arg = 1L then begin
+      Ctx.hit ctx Comp.Hypercall_c __LINE__;
+      ctx.Ctx.dom.Domain.blocked <- true
+    end;
+    Common.set_gpr ctx Gpr.Rax 0L
+  end
+  else if nr = hypercall_memory_op then begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    (* XENMEM_maximum_ram_page-style query. *)
+    Common.set_gpr ctx Gpr.Rax
+      (Int64.div
+         (Iris_memory.Gmem.size_bytes ctx.Ctx.dom.Domain.mem)
+         4096L)
+  end
+  else if nr = hypercall_event_channel_op then begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    Common.set_gpr ctx Gpr.Rax 0L
+  end
+  else if nr = hypercall_vmcs_fuzzing then begin
+    (* The IRIS manager interface: reaching it from a guest is legal;
+       the actual control surface lives in Iris_core.Manager. *)
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    Common.set_gpr ctx Gpr.Rax 0L
+  end
+  else begin
+    Ctx.hit ctx Comp.Hypercall_c __LINE__;
+    Ctx.logf ctx "(XEN) d%d unknown hypercall %Ld" ctx.Ctx.dom.Domain.id nr;
+    Common.set_gpr ctx Gpr.Rax enosys
+  end;
+  Common.advance_rip ctx
+
+let handle_pause ctx =
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  charge ctx 150;
+  Common.advance_rip ctx
+
+let handle_wbinvd ctx =
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  charge ctx 2500;
+  (* Cache flush: EPT memory-type recalculation in Xen. *)
+  Ctx.hit ctx Comp.Ept_c __LINE__;
+  Common.advance_rip ctx
+
+let handle_xsetbv ctx =
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  charge ctx 300;
+  let idx = Common.get_gpr ctx Gpr.Rcx in
+  let lo = Int64.logand (Common.get_gpr ctx Gpr.Rax) 0xFFFFFFFFL in
+  let hi = Common.get_gpr ctx Gpr.Rdx in
+  let value = Int64.logor lo (Int64.shift_left hi 32) in
+  if idx <> 0L then begin
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else if Int64.logand value 1L = 0L then begin
+    (* XCR0 bit 0 (x87) must stay set. *)
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else if Int64.logand value (Int64.lognot 0x7L) <> 0L then begin
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Common.inject_exception ctx ~error_code:0L Exn.GP
+  end
+  else begin
+    Ctx.hit ctx Comp.Hvm_c __LINE__;
+    Common.advance_rip ctx
+  end
+
+let handle_invlpg ctx =
+  Ctx.hit ctx Comp.Vmx_c __LINE__;
+  charge ctx 350;
+  Ctx.hit ctx Comp.Ept_c __LINE__;
+  Common.advance_rip ctx
+
+let handle_preemption_timer ctx =
+  Ctx.hit ctx Comp.Vmx_c __LINE__;
+  charge ctx 100;
+  (* Re-arm policy: a dummy (replay) VM keeps firing immediately so
+     the next seed can be submitted; a scheduled VM gets a time
+     slice. *)
+  if ctx.Ctx.dom.Domain.dummy then begin
+    Ctx.hit ctx Comp.Vmx_c __LINE__;
+    Access.vmwrite ctx F.guest_preemption_timer 0L
+  end
+  else begin
+    Ctx.hit ctx Comp.Vmx_c __LINE__;
+    Access.vmwrite ctx F.guest_preemption_timer 36_000_000L
+  end
+
+let handle_triple_fault ctx =
+  Ctx.hit ctx Comp.Hvm_c __LINE__;
+  Ctx.logf ctx "(XEN) d%d Triple fault - invoking HVM shutdown"
+    ctx.Ctx.dom.Domain.id;
+  Ctx.domain_crash ctx "Triple fault"
+
+let handle_vmx_insn ctx =
+  (* A guest executing VMXON/VMREAD/... without nested VMX gets
+     #UD. *)
+  Ctx.hit ctx Comp.Vmx_c __LINE__;
+  charge ctx 200;
+  Common.inject_exception ctx Exn.UD

@@ -1,0 +1,29 @@
+(** Handlers for the "simple" exit reasons: RDTSC/RDTSCP, HLT,
+    VMCALL (hypercalls), PAUSE, WBINVD, XSETBV, INVLPG, the
+    VMX-preemption timer, triple faults, and attempts to execute VMX
+    instructions inside a guest. *)
+
+val handle_rdtsc : Ctx.t -> rdtscp:bool -> unit
+val handle_hlt : Ctx.t -> unit
+val handle_vmcall : Ctx.t -> unit
+val handle_pause : Ctx.t -> unit
+val handle_wbinvd : Ctx.t -> unit
+val handle_xsetbv : Ctx.t -> unit
+val handle_invlpg : Ctx.t -> unit
+val handle_preemption_timer : Ctx.t -> unit
+val handle_triple_fault : Ctx.t -> unit
+val handle_vmx_insn : Ctx.t -> unit
+
+(** Hypercall numbers recognised by {!handle_vmcall} (Xen ABI subset
+    plus the IRIS control hypercall of §V-C). *)
+
+val hypercall_memory_op : int64
+val hypercall_xen_version : int64
+val hypercall_console_io : int64
+val hypercall_sched_op : int64
+val hypercall_event_channel_op : int64
+val hypercall_vmcs_fuzzing : int64
+(** [xc_vmcs_fuzzing()]: the IRIS manager interface. *)
+
+val enosys : int64
+(** -38, returned in RAX for unknown hypercalls. *)

@@ -1,0 +1,29 @@
+type t = {
+  mutable vmread_filter : (Iris_vmcs.Field.t -> int64 -> int64) option;
+  mutable on_vmread : (Iris_vmcs.Field.t -> int64 -> unit) option;
+  mutable on_vmwrite : (Iris_vmcs.Field.t -> int64 -> unit) option;
+  mutable on_exit_start : (unit -> unit) option;
+  mutable on_exit_end : (unit -> unit) option;
+  mutable callback_cycles : int;
+}
+
+let default_callback_cycles = 25
+
+let create () =
+  { vmread_filter = None;
+    on_vmread = None;
+    on_vmwrite = None;
+    on_exit_start = None;
+    on_exit_end = None;
+    callback_cycles = default_callback_cycles }
+
+let clear t =
+  t.vmread_filter <- None;
+  t.on_vmread <- None;
+  t.on_vmwrite <- None;
+  t.on_exit_start <- None;
+  t.on_exit_end <- None
+
+let any_installed t =
+  t.vmread_filter <> None || t.on_vmread <> None || t.on_vmwrite <> None
+  || t.on_exit_start <> None || t.on_exit_end <> None

@@ -1,0 +1,38 @@
+(** IRIS instrumentation points inside the hypervisor.
+
+    The paper implements IRIS as compile-time callbacks wrapped around
+    Xen's [vmread()]/[vmwrite()] functions and the start of the VM
+    exit handler (§V-A/§V-B).  This module is that patch surface: the
+    exit dispatcher and the {!Access} wrappers invoke whatever
+    callbacks are installed.
+
+    Two kinds of consumers exist:
+    - the *recorder* observes ([on_vmread], [on_vmwrite],
+      [on_exit_start], [on_exit_end]);
+    - the *replayer* additionally installs [vmread_filter] to replace
+      the return value of VMREADs on read-only fields with the
+      recorded seed values.
+
+    Callbacks run with a per-callback cycle surcharge so that enabling
+    recording shows up as the small temporal overhead of Fig. 10. *)
+
+type t = {
+  mutable vmread_filter : (Iris_vmcs.Field.t -> int64 -> int64) option;
+      (** replace the value a VMREAD returns (replay shim) *)
+  mutable on_vmread : (Iris_vmcs.Field.t -> int64 -> unit) option;
+  mutable on_vmwrite : (Iris_vmcs.Field.t -> int64 -> unit) option;
+  mutable on_exit_start : (unit -> unit) option;
+  mutable on_exit_end : (unit -> unit) option;
+  mutable callback_cycles : int;
+      (** cycles charged per callback invocation (recording
+          overhead) *)
+}
+
+val create : unit -> t
+(** No callbacks installed. *)
+
+val clear : t -> unit
+
+val any_installed : t -> bool
+
+val default_callback_cycles : int

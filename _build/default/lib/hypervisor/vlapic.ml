@@ -1,0 +1,216 @@
+module Comp = Iris_coverage.Component
+module Cov = Iris_coverage.Cov
+
+type t = {
+  cov : Cov.t;
+  mutable id : int64;
+  mutable tpr_reg : int64;
+  mutable svr : int64;
+  mutable icr_low : int64;
+  mutable icr_high : int64;
+  mutable lvt_timer : int64;
+  mutable timer_initial : int64;
+  mutable timer_divide : int64;
+  irr : bool array;
+  isr : bool array;
+}
+
+let mmio_base = 0xFEE00000L
+
+let mmio_size = 0x1000L
+
+let create ~cov =
+  { cov;
+    id = 0L;
+    tpr_reg = 0L;
+    svr = 0xFFL; (* APIC software-disabled until SVR bit 8 set *)
+    icr_low = 0L;
+    icr_high = 0L;
+    lvt_timer = 0x10000L; (* masked *)
+    timer_initial = 0L;
+    timer_divide = 0L;
+    irr = Array.make 256 false;
+    isr = Array.make 256 false }
+
+let copy t =
+  { t with irr = Array.copy t.irr; isr = Array.copy t.isr }
+
+let restore t ~from =
+  t.id <- from.id;
+  t.tpr_reg <- from.tpr_reg;
+  t.svr <- from.svr;
+  t.icr_low <- from.icr_low;
+  t.icr_high <- from.icr_high;
+  t.lvt_timer <- from.lvt_timer;
+  t.timer_initial <- from.timer_initial;
+  t.timer_divide <- from.timer_divide;
+  Array.blit from.irr 0 t.irr 0 256;
+  Array.blit from.isr 0 t.isr 0 256
+
+let reg_id = 0x20L
+let reg_version = 0x30L
+let reg_tpr = 0x80L
+let reg_eoi = 0xB0L
+let reg_svr = 0xF0L
+let reg_icr_low = 0x300L
+let reg_icr_high = 0x310L
+let reg_lvt_timer = 0x320L
+let reg_timer_initial = 0x380L
+let reg_timer_current = 0x390L
+let reg_timer_divide = 0x3E0L
+
+let in_range gpa = gpa >= mmio_base && gpa < Int64.add mmio_base mmio_size
+
+let hit t line = Cov.hit t.cov Comp.Vlapic_c line
+
+let eoi t =
+  hit t __LINE__;
+  (* Clear the highest in-service vector. *)
+  let rec clear v =
+    if v >= 0 then
+      if t.isr.(v) then begin
+        hit t __LINE__;
+        t.isr.(v) <- false
+      end
+      else clear (v - 1)
+  in
+  clear 255
+
+let mmio_read t ~offset =
+  hit t __LINE__;
+  if offset = reg_id then begin
+    hit t __LINE__;
+    t.id
+  end
+  else if offset = reg_version then begin
+    hit t __LINE__;
+    0x50014L (* version 0x14, 5 LVT entries *)
+  end
+  else if offset = reg_tpr then begin
+    hit t __LINE__;
+    t.tpr_reg
+  end
+  else if offset = reg_svr then begin
+    hit t __LINE__;
+    t.svr
+  end
+  else if offset = reg_icr_low then begin
+    hit t __LINE__;
+    t.icr_low
+  end
+  else if offset = reg_icr_high then begin
+    hit t __LINE__;
+    t.icr_high
+  end
+  else if offset = reg_lvt_timer then begin
+    hit t __LINE__;
+    t.lvt_timer
+  end
+  else if offset = reg_timer_initial then begin
+    hit t __LINE__;
+    t.timer_initial
+  end
+  else if offset = reg_timer_current then begin
+    hit t __LINE__;
+    (* Count-down remaining: the model reports half the initial count
+       — a stable deterministic stand-in. *)
+    Int64.shift_right_logical t.timer_initial 1
+  end
+  else if offset = reg_timer_divide then begin
+    hit t __LINE__;
+    t.timer_divide
+  end
+  else begin
+    hit t __LINE__;
+    0L
+  end
+
+let mmio_write t ~offset v =
+  hit t __LINE__;
+  if offset = reg_tpr then begin
+    hit t __LINE__;
+    t.tpr_reg <- Int64.logand v 0xFFL
+  end
+  else if offset = reg_eoi then begin
+    hit t __LINE__;
+    eoi t
+  end
+  else if offset = reg_svr then begin
+    hit t __LINE__;
+    (* Software enable/disable transitions tear LVT state up or
+       down. *)
+    if Int64.logand v 0x100L <> 0L then hit t __LINE__ else hit t __LINE__;
+    t.svr <- Int64.logand v 0x1FFL
+  end
+  else if offset = reg_icr_low then begin
+    hit t __LINE__;
+    (* IPI delivery-mode decode (fixed / lowest-priority / SMI / NMI /
+       INIT / SIPI): each takes its own path in the emulator. *)
+    (match Int64.to_int (Iris_util.Bits.extract v ~lo:8 ~width:3) with
+    | 0 -> hit t __LINE__
+    | 1 -> hit t __LINE__
+    | 2 -> hit t __LINE__
+    | 4 -> hit t __LINE__
+    | 5 -> hit t __LINE__
+    | 6 -> hit t __LINE__
+    | _ -> hit t __LINE__);
+    t.icr_low <- v
+    (* IPI send: single-vCPU platform, self-IPIs only. *)
+  end
+  else if offset = reg_icr_high then begin
+    hit t __LINE__;
+    t.icr_high <- v
+  end
+  else if offset = reg_lvt_timer then begin
+    hit t __LINE__;
+    (* Mask and mode bits select distinct timer configurations. *)
+    if Int64.logand v 0x10000L <> 0L then hit t __LINE__;
+    if Int64.logand v 0x20000L <> 0L then hit t __LINE__;
+    t.lvt_timer <- v
+  end
+  else if offset = reg_timer_initial then begin
+    hit t __LINE__;
+    t.timer_initial <- v
+  end
+  else if offset = reg_timer_divide then begin
+    hit t __LINE__;
+    t.timer_divide <- Int64.logand v 0xBL
+  end
+  else
+    hit t __LINE__
+
+let accept_irq t ~vector =
+  assert (vector >= 0 && vector < 256);
+  hit t __LINE__;
+  if vector >= 16 then t.irr.(vector) <- true
+
+let enabled t = Int64.logand t.svr 0x100L <> 0L
+
+let highest_pending t =
+  let tpr_class = Int64.to_int (Int64.shift_right_logical t.tpr_reg 4) in
+  let rec scan v =
+    if v < 16 then None
+    else if t.irr.(v) && v lsr 4 > tpr_class then Some v
+    else scan (v - 1)
+  in
+  if enabled t then scan 255 else None
+
+let ack t ~vector =
+  hit t __LINE__;
+  t.irr.(vector) <- false;
+  t.isr.(vector) <- true;
+  (* Auto-complete in-service state (see interface note). *)
+  t.isr.(vector) <- false
+
+let tpr t = t.tpr_reg
+
+let set_tpr t v = t.tpr_reg <- Int64.logand v 0xFFL
+
+let timer_vector t = Int64.to_int (Int64.logand t.lvt_timer 0xFFL)
+
+let timer_period_ticks t =
+  let masked = Int64.logand t.lvt_timer 0x10000L <> 0L in
+  let periodic = Int64.logand t.lvt_timer 0x20000L <> 0L in
+  if (not masked) && periodic && t.timer_initial > 0L then
+    Some (Int64.to_int t.timer_initial)
+  else None

@@ -1,0 +1,61 @@
+(** Virtual local APIC ("vlapic.c").
+
+    Guest access goes through the APIC MMIO page at 0xFEE00000, which
+    the EPT deliberately leaves unmapped so accesses fault into the
+    EPT-violation handler and get emulated here.  The platform timer
+    (vPT) and the PIC post vectors into the IRR; the interrupt-assist
+    path on VM entry asks for the highest pending vector.
+
+    This component is one of the paper's Fig. 7 *noise* sources: its
+    code runs on asynchronous schedules during recording that the
+    replay does not reproduce. *)
+
+type t
+
+val mmio_base : int64
+val mmio_size : int64
+
+val create : cov:Iris_coverage.Cov.t -> t
+val copy : t -> t
+val restore : t -> from:t -> unit
+
+(** Register offsets within the MMIO page. *)
+
+val reg_id : int64
+val reg_version : int64
+val reg_tpr : int64
+val reg_eoi : int64
+val reg_svr : int64
+val reg_icr_low : int64
+val reg_icr_high : int64
+val reg_lvt_timer : int64
+val reg_timer_initial : int64
+val reg_timer_current : int64
+val reg_timer_divide : int64
+
+val in_range : int64 -> bool
+(** Whether a guest-physical address falls in the APIC page. *)
+
+val mmio_read : t -> offset:int64 -> int64
+val mmio_write : t -> offset:int64 -> int64 -> unit
+
+val accept_irq : t -> vector:int -> unit
+(** Post a vector into the IRR (from vPT or the IOAPIC/PIC glue). *)
+
+val highest_pending : t -> int option
+(** Highest-priority pending vector above the current TPR, without
+    acknowledging it. *)
+
+val ack : t -> vector:int -> unit
+(** Move a vector IRR → ISR (delivery accepted by the vCPU).  The
+    model auto-completes the in-service state, so a guest that never
+    EOIs cannot wedge interrupt delivery. *)
+
+val eoi : t -> unit
+
+val enabled : t -> bool
+val tpr : t -> int64
+val set_tpr : t -> int64 -> unit
+val timer_vector : t -> int
+val timer_period_ticks : t -> int option
+(** Initial-count value if the LVT timer is armed periodic. *)

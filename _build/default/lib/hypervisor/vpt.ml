@@ -1,0 +1,84 @@
+module Comp = Iris_coverage.Component
+module Cov = Iris_coverage.Cov
+
+type source = Pt_pit | Pt_lapic | Pt_rtc
+
+let source_name = function
+  | Pt_pit -> "pit"
+  | Pt_lapic -> "lapic-timer"
+  | Pt_rtc -> "rtc"
+
+type timer = {
+  src : source;
+  vector : int;
+  period : int64;
+  mutable deadline : int64;
+}
+
+type t = {
+  cov : Cov.t;
+  mutable timers : timer list;
+}
+
+let create ~cov = { cov; timers = [] }
+
+let copy t =
+  { t with timers = List.map (fun tm -> { tm with deadline = tm.deadline }) t.timers }
+
+let restore t ~from =
+  t.timers <-
+    List.map (fun tm -> { tm with deadline = tm.deadline }) from.timers
+
+let hit t line = Cov.hit t.cov Comp.Vpt_c line
+
+let arm t ~source ~vector ~period_cycles ~now =
+  assert (period_cycles > 0);
+  hit t __LINE__;
+  let timers = List.filter (fun tm -> tm.src <> source) t.timers in
+  let period = Int64.of_int period_cycles in
+  t.timers <-
+    { src = source; vector; period; deadline = Int64.add now period }
+    :: timers
+
+let disarm t ~source =
+  hit t __LINE__;
+  t.timers <- List.filter (fun tm -> tm.src <> source) t.timers
+
+let armed t source = List.exists (fun tm -> tm.src = source) t.timers
+
+let next_deadline t =
+  List.fold_left
+    (fun acc tm ->
+      match acc with
+      | None -> Some tm.deadline
+      | Some d -> Some (Int64.min d tm.deadline))
+    None t.timers
+
+let process t ~now =
+  let fired = ref [] in
+  List.iter
+    (fun tm ->
+      if tm.deadline <= now then begin
+        hit t __LINE__;
+        fired := (tm.src, tm.vector) :: !fired;
+        (* No-missed-ticks policy: skip whole periods we slept
+           through, deliver one interrupt. *)
+        let behind = Int64.sub now tm.deadline in
+        let missed = Int64.div behind tm.period in
+        hit t __LINE__;
+        if missed > 0L then hit t __LINE__;
+        tm.deadline <-
+          Int64.add tm.deadline (Int64.mul (Int64.add missed 1L) tm.period)
+      end)
+    t.timers;
+  List.rev !fired
+
+let pending_intr t =
+  let overdue =
+    List.filter (fun tm -> tm.deadline <= Int64.max_int) t.timers
+  in
+  match
+    List.sort (fun a b -> compare a.deadline b.deadline) overdue
+  with
+  | [] -> None
+  | tm :: _ -> Some (tm.src, tm.vector)

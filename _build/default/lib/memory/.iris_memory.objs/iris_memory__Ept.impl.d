@@ -1,0 +1,1 @@
+lib/memory/ept.ml: Hashtbl Int64 List

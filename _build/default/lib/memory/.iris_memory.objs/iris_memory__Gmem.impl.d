@@ -1,0 +1,1 @@
+lib/memory/gmem.ml: Bytes Char Hashtbl Int64

@@ -1,0 +1,123 @@
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_none = { r = false; w = false; x = false }
+let perm_ro = { r = true; w = false; x = false }
+let perm_rw = { r = true; w = true; x = false }
+let perm_rwx = { r = true; w = true; x = true }
+
+type access = Read | Write | Exec
+
+let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+(* Large mappings (the RAM identity map) are kept as ranges; holes and
+   individual page (re)mappings live in a small per-page override
+   table.  This keeps snapshot/revert O(overrides) instead of
+   O(guest pages) — the fuzzer reverts between every mutation. *)
+type override = Mapped of perm | Hole
+
+type t = {
+  mutable ranges : (int64 * int64 * perm) list;
+      (** (first_pfn, last_pfn, perm), newest first *)
+  overrides : (int64, override) Hashtbl.t;
+}
+
+let page_shift = 12
+
+let pfn gpa = Int64.shift_right_logical gpa page_shift
+
+let create () = { ranges = []; overrides = Hashtbl.create 64 }
+
+(* Ranges bigger than this are kept as ranges; smaller ones become
+   per-page overrides. *)
+let override_threshold = 1024L
+
+let span ~gpa ~len =
+  assert (len > 0L);
+  (pfn gpa, pfn (Int64.add gpa (Int64.sub len 1L)))
+
+let map t ~gpa ~len perm =
+  let first, last = span ~gpa ~len in
+  let pages = Int64.add (Int64.sub last first) 1L in
+  if pages > override_threshold then begin
+    (* Wholesale mapping: clear overrides it shadows. *)
+    Hashtbl.iter
+      (fun p _ -> if p >= first && p <= last then Hashtbl.remove t.overrides p)
+      (Hashtbl.copy t.overrides);
+    t.ranges <- (first, last, perm) :: t.ranges
+  end
+  else begin
+    let p = ref first in
+    while !p <= last do
+      Hashtbl.replace t.overrides !p (Mapped perm);
+      p := Int64.add !p 1L
+    done
+  end
+
+let unmap t ~gpa ~len =
+  let first, last = span ~gpa ~len in
+  let p = ref first in
+  while !p <= last do
+    Hashtbl.replace t.overrides !p Hole;
+    p := Int64.add !p 1L
+  done
+
+let lookup t gpa =
+  let p = pfn gpa in
+  match Hashtbl.find_opt t.overrides p with
+  | Some (Mapped perm) -> Some perm
+  | Some Hole -> None
+  | None ->
+      let rec scan = function
+        | [] -> None
+        | (first, last, perm) :: rest ->
+            if p >= first && p <= last then Some perm else scan rest
+      in
+      scan t.ranges
+
+type violation = { gpa : int64; access : access; present : perm option }
+
+let allows perm = function
+  | Read -> perm.r
+  | Write -> perm.w
+  | Exec -> perm.x
+
+let check t ~gpa access =
+  match lookup t gpa with
+  | Some perm when allows perm access -> Ok ()
+  | present -> Error { gpa; access; present }
+
+let qualification v =
+  let acc_bits =
+    match v.access with Read -> 0x1L | Write -> 0x2L | Exec -> 0x4L
+  in
+  let perm_bits =
+    match v.present with
+    | None -> 0L
+    | Some p ->
+        Int64.logor
+          (if p.r then 0x8L else 0L)
+          (Int64.logor (if p.w then 0x10L else 0L) (if p.x then 0x20L else 0L))
+  in
+  (* bit 7: guest linear address valid — always set in our model. *)
+  Int64.logor 0x80L (Int64.logor acc_bits perm_bits)
+
+let copy t = { ranges = t.ranges; overrides = Hashtbl.copy t.overrides }
+
+let transplant ~into ~from =
+  into.ranges <- from.ranges;
+  Hashtbl.reset into.overrides;
+  Hashtbl.iter (fun p e -> Hashtbl.replace into.overrides p e) from.overrides
+
+let mapped_pages t =
+  let range_pages =
+    List.fold_left
+      (fun acc (first, last, _) ->
+        acc + Int64.to_int (Int64.add (Int64.sub last first) 1L))
+      0 t.ranges
+  in
+  let delta =
+    Hashtbl.fold
+      (fun _ e acc -> match e with Mapped _ -> acc + 1 | Hole -> acc - 1)
+      t.overrides 0
+  in
+  range_pages + delta

@@ -1,0 +1,54 @@
+(** Extended Page Tables (second-level address translation).
+
+    The hypervisor maps guest-physical to host-physical pages with
+    per-page read/write/execute permissions.  An access the mapping
+    does not allow — or to an unmapped page, e.g. an MMIO hole for an
+    emulated device — raises an *EPT violation* VM exit (reason 48)
+    whose exit qualification encodes the access type and the
+    permissions found. *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+val perm_none : perm
+val perm_ro : perm
+val perm_rw : perm
+val perm_rwx : perm
+
+type access = Read | Write | Exec
+
+val access_name : access -> string
+
+type t
+
+val create : unit -> t
+
+val map : t -> gpa:int64 -> len:int64 -> perm -> unit
+(** Map [len] bytes starting at page-aligned [gpa] with [perm];
+    overwrites previous mappings in the range. *)
+
+val unmap : t -> gpa:int64 -> len:int64 -> unit
+(** Remove mappings, turning the range into an MMIO hole. *)
+
+val lookup : t -> int64 -> perm option
+(** Permissions of the page containing the address, [None] if
+    unmapped. *)
+
+type violation = {
+  gpa : int64;
+  access : access;
+  present : perm option;  (** what the EPT held, if mapped *)
+}
+
+val check : t -> gpa:int64 -> access -> (unit, violation) result
+
+val qualification : violation -> int64
+(** Exit-qualification encoding per SDM Table 27-7: bits 0..2 are the
+    access type, bits 3..5 the page permissions, bit 7 valid-GLA. *)
+
+val copy : t -> t
+
+val transplant : into:t -> from:t -> unit
+(** Overwrite [into]'s mappings with a copy of [from]'s, keeping
+    [into]'s identity. *)
+
+val mapped_pages : t -> int

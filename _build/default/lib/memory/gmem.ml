@@ -1,0 +1,86 @@
+let page_size = 4096
+
+exception Bad_address of int64
+
+type t = {
+  size : int64;
+  pages : (int64, bytes) Hashtbl.t;
+}
+
+let create ~size_mib =
+  assert (size_mib > 0);
+  { size = Int64.mul (Int64.of_int size_mib) 0x100000L;
+    pages = Hashtbl.create 256 }
+
+let size_bytes t = t.size
+
+let in_range t addr = addr >= 0L && addr < t.size
+
+let check t addr = if not (in_range t addr) then raise (Bad_address addr)
+
+let page_of t addr =
+  let pfn = Int64.div addr (Int64.of_int page_size) in
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages pfn p;
+      p
+
+let read_u8 t addr =
+  check t addr;
+  let page = page_of t addr in
+  Char.code (Bytes.get page (Int64.to_int (Int64.rem addr (Int64.of_int page_size))))
+
+let write_u8 t addr v =
+  check t addr;
+  let page = page_of t addr in
+  Bytes.set page
+    (Int64.to_int (Int64.rem addr (Int64.of_int page_size)))
+    (Char.chr (v land 0xFF))
+
+let read t addr ~width =
+  assert (width = 1 || width = 2 || width = 4 || width = 8);
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    let byte = read_u8 t (Int64.add addr (Int64.of_int i)) in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+  done;
+  !v
+
+let write t addr ~width v =
+  assert (width = 1 || width = 2 || width = 4 || width = 8);
+  for i = 0 to width - 1 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)
+    in
+    write_u8 t (Int64.add addr (Int64.of_int i)) byte
+  done
+
+let read_bytes t addr n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (read_u8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  b
+
+let write_bytes t addr b =
+  Bytes.iteri
+    (fun i c -> write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code c))
+    b
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun pfn p -> Hashtbl.replace pages pfn (Bytes.copy p)) t.pages;
+  { size = t.size; pages }
+
+let clear t = Hashtbl.reset t.pages
+
+let transplant ~into ~from =
+  assert (into.size = from.size);
+  Hashtbl.reset into.pages;
+  Hashtbl.iter
+    (fun pfn p -> Hashtbl.replace into.pages pfn (Bytes.copy p))
+    from.pages
+
+let allocated_pages t = Hashtbl.length t.pages

@@ -1,0 +1,1 @@
+lib/svm/exitcode.ml: Format Int64 Iris_vtx Printf

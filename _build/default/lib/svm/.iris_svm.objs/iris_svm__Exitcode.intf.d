@@ -1,0 +1,1 @@
+lib/svm/exitcode.mli: Format Iris_vtx

@@ -1,0 +1,1 @@
+lib/svm/port.ml: Array Exitcode Hashtbl Int64 Iris_core Iris_vmcs Iris_x86 List Vmcb

@@ -1,0 +1,1 @@
+lib/svm/port.mli: Exitcode Iris_core Iris_vmcs Iris_x86 Vmcb

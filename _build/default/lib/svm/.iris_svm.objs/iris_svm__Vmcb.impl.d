@@ -1,0 +1,1 @@
+lib/svm/vmcb.ml: Array Format Hashtbl Int64 Iris_x86 List

@@ -1,0 +1,278 @@
+module R = Iris_vtx.Exit_reason
+
+type t =
+  | Vmexit_cr_read of int
+  | Vmexit_cr_write of int
+  | Vmexit_excp of int
+  | Vmexit_intr
+  | Vmexit_nmi
+  | Vmexit_smi
+  | Vmexit_init
+  | Vmexit_vintr
+  | Vmexit_idtr_read
+  | Vmexit_gdtr_read
+  | Vmexit_ldtr_read
+  | Vmexit_tr_read
+  | Vmexit_rdtsc
+  | Vmexit_rdpmc
+  | Vmexit_pushf
+  | Vmexit_popf
+  | Vmexit_cpuid
+  | Vmexit_rsm
+  | Vmexit_iret
+  | Vmexit_swint
+  | Vmexit_invd
+  | Vmexit_pause
+  | Vmexit_hlt
+  | Vmexit_invlpg
+  | Vmexit_invlpga
+  | Vmexit_ioio
+  | Vmexit_msr
+  | Vmexit_task_switch
+  | Vmexit_shutdown
+  | Vmexit_vmrun
+  | Vmexit_vmmcall
+  | Vmexit_vmload
+  | Vmexit_vmsave
+  | Vmexit_stgi
+  | Vmexit_clgi
+  | Vmexit_skinit
+  | Vmexit_rdtscp
+  | Vmexit_wbinvd
+  | Vmexit_monitor
+  | Vmexit_mwait
+  | Vmexit_xsetbv
+  | Vmexit_npf
+  | Vmexit_invalid
+
+let code = function
+  | Vmexit_cr_read n -> Int64.of_int (0x000 + n)
+  | Vmexit_cr_write n -> Int64.of_int (0x010 + n)
+  | Vmexit_excp v -> Int64.of_int (0x040 + v)
+  | Vmexit_intr -> 0x060L
+  | Vmexit_nmi -> 0x061L
+  | Vmexit_smi -> 0x062L
+  | Vmexit_init -> 0x063L
+  | Vmexit_vintr -> 0x064L
+  | Vmexit_idtr_read -> 0x066L
+  | Vmexit_gdtr_read -> 0x067L
+  | Vmexit_ldtr_read -> 0x068L
+  | Vmexit_tr_read -> 0x069L
+  | Vmexit_rdtsc -> 0x06EL
+  | Vmexit_rdpmc -> 0x06FL
+  | Vmexit_pushf -> 0x070L
+  | Vmexit_popf -> 0x071L
+  | Vmexit_cpuid -> 0x072L
+  | Vmexit_rsm -> 0x073L
+  | Vmexit_iret -> 0x074L
+  | Vmexit_swint -> 0x075L
+  | Vmexit_invd -> 0x076L
+  | Vmexit_pause -> 0x077L
+  | Vmexit_hlt -> 0x078L
+  | Vmexit_invlpg -> 0x079L
+  | Vmexit_invlpga -> 0x07AL
+  | Vmexit_ioio -> 0x07BL
+  | Vmexit_msr -> 0x07CL
+  | Vmexit_task_switch -> 0x07DL
+  | Vmexit_shutdown -> 0x07FL
+  | Vmexit_vmrun -> 0x080L
+  | Vmexit_vmmcall -> 0x081L
+  | Vmexit_vmload -> 0x082L
+  | Vmexit_vmsave -> 0x083L
+  | Vmexit_stgi -> 0x084L
+  | Vmexit_clgi -> 0x085L
+  | Vmexit_skinit -> 0x086L
+  | Vmexit_rdtscp -> 0x087L
+  | Vmexit_wbinvd -> 0x089L
+  | Vmexit_monitor -> 0x08AL
+  | Vmexit_mwait -> 0x08BL
+  | Vmexit_xsetbv -> 0x08DL
+  | Vmexit_npf -> 0x400L
+  | Vmexit_invalid -> -1L
+
+let of_code c =
+  if c = -1L then Some Vmexit_invalid
+  else begin
+    let n = Int64.to_int c in
+    if n >= 0x000 && n <= 0x00F then Some (Vmexit_cr_read n)
+    else if n >= 0x010 && n <= 0x01F then Some (Vmexit_cr_write (n - 0x010))
+    else if n >= 0x040 && n <= 0x05F then Some (Vmexit_excp (n - 0x040))
+    else begin
+      match n with
+      | 0x060 -> Some Vmexit_intr
+      | 0x061 -> Some Vmexit_nmi
+      | 0x062 -> Some Vmexit_smi
+      | 0x063 -> Some Vmexit_init
+      | 0x064 -> Some Vmexit_vintr
+      | 0x066 -> Some Vmexit_idtr_read
+      | 0x067 -> Some Vmexit_gdtr_read
+      | 0x068 -> Some Vmexit_ldtr_read
+      | 0x069 -> Some Vmexit_tr_read
+      | 0x06E -> Some Vmexit_rdtsc
+      | 0x06F -> Some Vmexit_rdpmc
+      | 0x070 -> Some Vmexit_pushf
+      | 0x071 -> Some Vmexit_popf
+      | 0x072 -> Some Vmexit_cpuid
+      | 0x073 -> Some Vmexit_rsm
+      | 0x074 -> Some Vmexit_iret
+      | 0x075 -> Some Vmexit_swint
+      | 0x076 -> Some Vmexit_invd
+      | 0x077 -> Some Vmexit_pause
+      | 0x078 -> Some Vmexit_hlt
+      | 0x079 -> Some Vmexit_invlpg
+      | 0x07A -> Some Vmexit_invlpga
+      | 0x07B -> Some Vmexit_ioio
+      | 0x07C -> Some Vmexit_msr
+      | 0x07D -> Some Vmexit_task_switch
+      | 0x07F -> Some Vmexit_shutdown
+      | 0x080 -> Some Vmexit_vmrun
+      | 0x081 -> Some Vmexit_vmmcall
+      | 0x082 -> Some Vmexit_vmload
+      | 0x083 -> Some Vmexit_vmsave
+      | 0x084 -> Some Vmexit_stgi
+      | 0x085 -> Some Vmexit_clgi
+      | 0x086 -> Some Vmexit_skinit
+      | 0x087 -> Some Vmexit_rdtscp
+      | 0x089 -> Some Vmexit_wbinvd
+      | 0x08A -> Some Vmexit_monitor
+      | 0x08B -> Some Vmexit_mwait
+      | 0x08D -> Some Vmexit_xsetbv
+      | 0x400 -> Some Vmexit_npf
+      | _ -> None
+    end
+  end
+
+let name t =
+  match t with
+  | Vmexit_cr_read n -> Printf.sprintf "VMEXIT_CR%d_READ" n
+  | Vmexit_cr_write n -> Printf.sprintf "VMEXIT_CR%d_WRITE" n
+  | Vmexit_excp v -> Printf.sprintf "VMEXIT_EXCP%d" v
+  | Vmexit_intr -> "VMEXIT_INTR"
+  | Vmexit_nmi -> "VMEXIT_NMI"
+  | Vmexit_smi -> "VMEXIT_SMI"
+  | Vmexit_init -> "VMEXIT_INIT"
+  | Vmexit_vintr -> "VMEXIT_VINTR"
+  | Vmexit_idtr_read -> "VMEXIT_IDTR_READ"
+  | Vmexit_gdtr_read -> "VMEXIT_GDTR_READ"
+  | Vmexit_ldtr_read -> "VMEXIT_LDTR_READ"
+  | Vmexit_tr_read -> "VMEXIT_TR_READ"
+  | Vmexit_rdtsc -> "VMEXIT_RDTSC"
+  | Vmexit_rdpmc -> "VMEXIT_RDPMC"
+  | Vmexit_pushf -> "VMEXIT_PUSHF"
+  | Vmexit_popf -> "VMEXIT_POPF"
+  | Vmexit_cpuid -> "VMEXIT_CPUID"
+  | Vmexit_rsm -> "VMEXIT_RSM"
+  | Vmexit_iret -> "VMEXIT_IRET"
+  | Vmexit_swint -> "VMEXIT_SWINT"
+  | Vmexit_invd -> "VMEXIT_INVD"
+  | Vmexit_pause -> "VMEXIT_PAUSE"
+  | Vmexit_hlt -> "VMEXIT_HLT"
+  | Vmexit_invlpg -> "VMEXIT_INVLPG"
+  | Vmexit_invlpga -> "VMEXIT_INVLPGA"
+  | Vmexit_ioio -> "VMEXIT_IOIO"
+  | Vmexit_msr -> "VMEXIT_MSR"
+  | Vmexit_task_switch -> "VMEXIT_TASK_SWITCH"
+  | Vmexit_shutdown -> "VMEXIT_SHUTDOWN"
+  | Vmexit_vmrun -> "VMEXIT_VMRUN"
+  | Vmexit_vmmcall -> "VMEXIT_VMMCALL"
+  | Vmexit_vmload -> "VMEXIT_VMLOAD"
+  | Vmexit_vmsave -> "VMEXIT_VMSAVE"
+  | Vmexit_stgi -> "VMEXIT_STGI"
+  | Vmexit_clgi -> "VMEXIT_CLGI"
+  | Vmexit_skinit -> "VMEXIT_SKINIT"
+  | Vmexit_rdtscp -> "VMEXIT_RDTSCP"
+  | Vmexit_wbinvd -> "VMEXIT_WBINVD"
+  | Vmexit_monitor -> "VMEXIT_MONITOR"
+  | Vmexit_mwait -> "VMEXIT_MWAIT"
+  | Vmexit_xsetbv -> "VMEXIT_XSETBV"
+  | Vmexit_npf -> "VMEXIT_NPF"
+  | Vmexit_invalid -> "VMEXIT_INVALID"
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let of_vtx reason =
+  match reason with
+  | R.Exception_or_nmi -> Some (Vmexit_excp 0)
+  | R.External_interrupt -> Some Vmexit_intr
+  | R.Triple_fault -> Some Vmexit_shutdown
+  | R.Init_signal -> Some Vmexit_init
+  | R.Interrupt_window -> Some Vmexit_vintr
+  | R.Nmi_window -> Some Vmexit_iret
+  | R.Task_switch -> Some Vmexit_task_switch
+  | R.Cpuid -> Some Vmexit_cpuid
+  | R.Hlt -> Some Vmexit_hlt
+  | R.Invd -> Some Vmexit_invd
+  | R.Invlpg -> Some Vmexit_invlpg
+  | R.Rdpmc -> Some Vmexit_rdpmc
+  | R.Rdtsc -> Some Vmexit_rdtsc
+  | R.Rdtscp -> Some Vmexit_rdtscp
+  | R.Rsm -> Some Vmexit_rsm
+  | R.Vmcall -> Some Vmexit_vmmcall
+  | R.Vmlaunch | R.Vmresume -> Some Vmexit_vmrun
+  | R.Vmptrld | R.Vmptrst -> Some Vmexit_vmload
+  | R.Vmclear | R.Vmwrite -> Some Vmexit_vmsave
+  | R.Vmread -> Some Vmexit_vmload
+  | R.Vmxoff -> Some Vmexit_stgi
+  | R.Vmxon -> Some Vmexit_clgi
+  | R.Cr_access -> Some (Vmexit_cr_write 0)
+  | R.Mov_dr -> None
+  | R.Io_instruction -> Some Vmexit_ioio
+  | R.Rdmsr | R.Wrmsr -> Some Vmexit_msr
+  | R.Entry_failure_guest_state | R.Entry_failure_msr_loading
+  | R.Entry_failure_machine_check -> Some Vmexit_invalid
+  | R.Mwait -> Some Vmexit_mwait
+  | R.Monitor -> Some Vmexit_monitor
+  | R.Pause -> Some Vmexit_pause
+  | R.Ept_violation | R.Ept_misconfiguration -> Some Vmexit_npf
+  | R.Gdtr_idtr_access -> Some Vmexit_gdtr_read
+  | R.Ldtr_tr_access -> Some Vmexit_ldtr_read
+  | R.Wbinvd -> Some Vmexit_wbinvd
+  | R.Xsetbv -> Some Vmexit_xsetbv
+  | R.Io_smi | R.Other_smi -> Some Vmexit_smi
+  | R.Sipi | R.Getsec | R.Monitor_trap_flag | R.Tpr_below_threshold
+  | R.Apic_access | R.Apic_write | R.Virtualized_eoi | R.Invept
+  | R.Invvpid | R.Vmfunc | R.Preemption_timer | R.Rdrand | R.Rdseed
+  | R.Invpcid | R.Encls | R.Pml_full | R.Xsaves | R.Xrstors ->
+      (* VT-x-specific mechanisms (APIC virtualization, VPID, the
+         preemption timer, SGX, PML, ...) with no VMCB counterpart:
+         these are the parts a port must re-engineer. *)
+      None
+
+let to_vtx t =
+  match t with
+  | Vmexit_excp _ -> Some R.Exception_or_nmi
+  | Vmexit_intr -> Some R.External_interrupt
+  | Vmexit_nmi -> Some R.Exception_or_nmi
+  | Vmexit_shutdown -> Some R.Triple_fault
+  | Vmexit_init -> Some R.Init_signal
+  | Vmexit_vintr -> Some R.Interrupt_window
+  | Vmexit_task_switch -> Some R.Task_switch
+  | Vmexit_cpuid -> Some R.Cpuid
+  | Vmexit_hlt -> Some R.Hlt
+  | Vmexit_invd -> Some R.Invd
+  | Vmexit_invlpg -> Some R.Invlpg
+  | Vmexit_rdpmc -> Some R.Rdpmc
+  | Vmexit_rdtsc -> Some R.Rdtsc
+  | Vmexit_rdtscp -> Some R.Rdtscp
+  | Vmexit_rsm -> Some R.Rsm
+  | Vmexit_vmmcall -> Some R.Vmcall
+  | Vmexit_vmrun -> Some R.Vmlaunch
+  | Vmexit_vmload -> Some R.Vmptrld
+  | Vmexit_vmsave -> Some R.Vmclear
+  | Vmexit_stgi -> Some R.Vmxoff
+  | Vmexit_clgi -> Some R.Vmxon
+  | Vmexit_cr_read _ | Vmexit_cr_write _ -> Some R.Cr_access
+  | Vmexit_ioio -> Some R.Io_instruction
+  | Vmexit_msr -> Some R.Rdmsr
+  | Vmexit_mwait -> Some R.Mwait
+  | Vmexit_monitor -> Some R.Monitor
+  | Vmexit_pause -> Some R.Pause
+  | Vmexit_npf -> Some R.Ept_violation
+  | Vmexit_gdtr_read | Vmexit_idtr_read -> Some R.Gdtr_idtr_access
+  | Vmexit_ldtr_read | Vmexit_tr_read -> Some R.Ldtr_tr_access
+  | Vmexit_wbinvd -> Some R.Wbinvd
+  | Vmexit_xsetbv -> Some R.Xsetbv
+  | Vmexit_invalid -> Some R.Entry_failure_guest_state
+  | Vmexit_smi | Vmexit_pushf | Vmexit_popf | Vmexit_iret | Vmexit_swint
+  | Vmexit_invlpga | Vmexit_skinit ->
+      None

@@ -1,0 +1,68 @@
+(** SVM exit codes and their correspondence to VT-x basic exit
+    reasons.
+
+    The "world switch" reports why the guest stopped in the VMCB's
+    EXITCODE field; most VT-x exit reasons have a direct SVM
+    counterpart, which is what makes the IRIS design portable
+    (paper §IX): a recorded VT-x trace can be re-targeted at an SVM
+    hypervisor by translating reasons and exit information. *)
+
+type t =
+  | Vmexit_cr_read of int    (** 0x000 + n: read of CRn *)
+  | Vmexit_cr_write of int   (** 0x010 + n: write of CRn *)
+  | Vmexit_excp of int       (** 0x040 + vector *)
+  | Vmexit_intr              (** 0x060: physical interrupt *)
+  | Vmexit_nmi               (** 0x061 *)
+  | Vmexit_smi               (** 0x062 *)
+  | Vmexit_init              (** 0x063 *)
+  | Vmexit_vintr             (** 0x064: virtual interrupt window *)
+  | Vmexit_idtr_read         (** 0x066 *)
+  | Vmexit_gdtr_read         (** 0x067 *)
+  | Vmexit_ldtr_read         (** 0x068 *)
+  | Vmexit_tr_read           (** 0x069 *)
+  | Vmexit_rdtsc             (** 0x06E *)
+  | Vmexit_rdpmc             (** 0x06F *)
+  | Vmexit_pushf             (** 0x070 *)
+  | Vmexit_popf              (** 0x071 *)
+  | Vmexit_cpuid             (** 0x072 *)
+  | Vmexit_rsm               (** 0x073 *)
+  | Vmexit_iret              (** 0x074 *)
+  | Vmexit_swint             (** 0x075 *)
+  | Vmexit_invd              (** 0x076 *)
+  | Vmexit_pause             (** 0x077 *)
+  | Vmexit_hlt               (** 0x078 *)
+  | Vmexit_invlpg            (** 0x079 *)
+  | Vmexit_invlpga           (** 0x07A *)
+  | Vmexit_ioio              (** 0x07B *)
+  | Vmexit_msr               (** 0x07C: RDMSR/WRMSR (direction in EXITINFO1) *)
+  | Vmexit_task_switch       (** 0x07D *)
+  | Vmexit_shutdown          (** 0x07F: triple fault *)
+  | Vmexit_vmrun             (** 0x080 *)
+  | Vmexit_vmmcall           (** 0x081 *)
+  | Vmexit_vmload            (** 0x082 *)
+  | Vmexit_vmsave            (** 0x083 *)
+  | Vmexit_stgi              (** 0x084 *)
+  | Vmexit_clgi              (** 0x085 *)
+  | Vmexit_skinit            (** 0x086 *)
+  | Vmexit_rdtscp            (** 0x087 *)
+  | Vmexit_wbinvd            (** 0x089 *)
+  | Vmexit_monitor           (** 0x08A *)
+  | Vmexit_mwait             (** 0x08B *)
+  | Vmexit_xsetbv            (** 0x08D *)
+  | Vmexit_npf               (** 0x400: nested page fault *)
+  | Vmexit_invalid           (** -1: VMRUN consistency failure *)
+
+val code : t -> int64
+val of_code : int64 -> t option
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_vtx : Iris_vtx.Exit_reason.t -> t option
+(** The portability mapping: [None] for VT-x reasons with no SVM
+    counterpart (e.g. the VMX-preemption timer — SVM pacing uses the
+    PAUSE filter / external timers instead, which is the one part of
+    the IRIS replay trigger that must be re-engineered per vendor). *)
+
+val to_vtx : t -> Iris_vtx.Exit_reason.t option
+(** Reverse direction, for replaying SVM-recorded traces on the VT-x
+    substrate. *)

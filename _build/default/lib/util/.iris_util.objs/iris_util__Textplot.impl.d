@@ -1,0 +1,1 @@
+lib/util/textplot.ml: Array Buffer Bytes Float List Printf Stats String

@@ -1,0 +1,35 @@
+(** 64-bit field manipulation helpers.
+
+    VMCS fields, control registers and exit qualifications are all bit
+    fields over [int64]; these helpers keep that manipulation in one
+    audited place. *)
+
+val bit : int -> int64
+(** [bit n] is [1 lsl n] as an int64; [0 <= n < 64]. *)
+
+val test : int64 -> int -> bool
+(** [test v n] is true iff bit [n] of [v] is set. *)
+
+val set : int64 -> int -> int64
+val clear : int64 -> int -> int64
+
+val assign : int64 -> int -> bool -> int64
+(** [assign v n b] sets bit [n] of [v] to [b]. *)
+
+val flip : int64 -> int -> int64
+
+val extract : int64 -> lo:int -> width:int -> int64
+(** [extract v ~lo ~width] is the [width]-bit field starting at [lo]. *)
+
+val deposit : int64 -> lo:int -> width:int -> int64 -> int64
+(** [deposit v ~lo ~width f] overwrites the field with [f] (truncated
+    to [width] bits). *)
+
+val mask : int -> int64
+(** [mask w] is a value with the low [w] bits set; [0 <= w <= 64]. *)
+
+val popcount : int64 -> int
+
+val truncate_width : int -> int64 -> int64
+(** [truncate_width bytes v] keeps the low [bytes * 8] bits ([bytes] is
+    2, 4, or 8), matching a VMCS field's natural width. *)

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: mix the incremented state. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next64 t in
+  create seed
+
+let bits t n =
+  assert (n >= 0 && n <= 64);
+  if n = 0 then 0L
+  else if n = 64 then next64 t
+  else Int64.shift_right_logical (next64 t) (64 - n)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias on the top bits. *)
+  let b = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub (Int64.sub r v) (Int64.sub b 1L) < 0L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let int64_any t = next64 t
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bound *. r /. 9007199254740992.0 (* 2^53 *)
+
+let chance t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 arr in
+  assert (total > 0.0);
+  let target = float t total in
+  let n = Array.length arr in
+  let rec loop i acc =
+    if i = n - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if target < acc then fst arr.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/vmcs/controls.ml: Int64 Iris_util List

@@ -1,0 +1,1 @@
+lib/vmcs/controls.mli:

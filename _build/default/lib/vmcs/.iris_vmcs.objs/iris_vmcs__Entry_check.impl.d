@@ -1,0 +1,1 @@
+lib/vmcs/entry_check.ml: Controls Cpu_mode Cr0 Cr4 Field Format Int64 Iris_x86 List Msr Printf Rflags Segment Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/entry_check.mli: Format Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/field.ml: Array Format Hashtbl Iris_util Iris_x86 List

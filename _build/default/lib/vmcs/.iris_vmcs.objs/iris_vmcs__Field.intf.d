@@ -1,0 +1,1 @@
+lib/vmcs/field.mli: Format Iris_x86

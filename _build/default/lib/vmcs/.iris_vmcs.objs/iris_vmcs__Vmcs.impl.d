@@ -1,0 +1,1 @@
+lib/vmcs/vmcs.ml: Array Field Format List

@@ -1,0 +1,1 @@
+lib/vmcs/vmcs.mli: Field Format

@@ -1,0 +1,1 @@
+lib/vmcs/vmx_op.ml: Entry_check Field Format Int64 Option Printf Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/vmx_op.mli: Entry_check Field Format Vmcs

@@ -1,0 +1,141 @@
+let b = Iris_util.Bits.bit
+
+(* Pin-based *)
+let pin_ext_intr_exiting = b 0
+let pin_nmi_exiting = b 3
+let pin_virtual_nmis = b 5
+let pin_preemption_timer = b 6
+let pin_reserved_one_mask = Int64.logor (b 1) (Int64.logor (b 2) (b 4))
+
+(* Primary processor-based *)
+let cpu_intr_window_exiting = b 2
+let cpu_tsc_offsetting = b 3
+let cpu_hlt_exiting = b 7
+let cpu_invlpg_exiting = b 9
+let cpu_mwait_exiting = b 10
+let cpu_rdpmc_exiting = b 11
+let cpu_rdtsc_exiting = b 12
+let cpu_cr3_load_exiting = b 15
+let cpu_cr3_store_exiting = b 16
+let cpu_cr8_load_exiting = b 19
+let cpu_cr8_store_exiting = b 20
+let cpu_tpr_shadow = b 21
+let cpu_mov_dr_exiting = b 23
+let cpu_uncond_io_exiting = b 24
+let cpu_use_io_bitmaps = b 25
+let cpu_use_msr_bitmaps = b 28
+let cpu_monitor_exiting = b 29
+let cpu_pause_exiting = b 30
+let cpu_secondary_controls = b 31
+
+let cpu_reserved_one_mask =
+  List.fold_left
+    (fun acc n -> Int64.logor acc (b n))
+    0L [ 1; 4; 5; 6; 8; 13; 14; 26 ]
+
+(* Secondary *)
+let sec_virt_apic_accesses = b 0
+let sec_enable_ept = b 1
+let sec_desc_table_exiting = b 2
+let sec_enable_rdtscp = b 3
+let sec_enable_vpid = b 5
+let sec_wbinvd_exiting = b 6
+let sec_unrestricted_guest = b 7
+let sec_pause_loop_exiting = b 10
+let sec_enable_invpcid = b 12
+let sec_enable_xsaves = b 20
+
+(* VM-exit controls *)
+let exit_save_debug_controls = b 2
+let exit_host_addr_space_size = b 9
+let exit_ack_intr_on_exit = b 15
+let exit_save_ia32_pat = b 18
+let exit_load_ia32_pat = b 19
+let exit_save_ia32_efer = b 20
+let exit_load_ia32_efer = b 21
+let exit_save_preemption_timer = b 22
+
+let exit_reserved_one_mask =
+  List.fold_left
+    (fun acc n -> Int64.logor acc (b n))
+    0L [ 0; 1; 3; 4; 5; 6; 7; 8; 10; 11 ]
+
+(* VM-entry controls *)
+let entry_load_debug_controls = b 2
+let entry_ia32e_mode_guest = b 9
+let entry_smm = b 10
+let entry_load_ia32_pat = b 14
+let entry_load_ia32_efer = b 15
+
+let entry_reserved_one_mask =
+  List.fold_left
+    (fun acc n -> Int64.logor acc (b n))
+    0L [ 0; 1; 3; 4; 5; 6; 7; 8; 11; 12 ]
+
+(* Interruption info *)
+let intr_info_valid = b 31
+
+type intr_type =
+  | External_interrupt
+  | Nmi
+  | Hardware_exception
+  | Software_interrupt
+  | Priv_sw_exception
+  | Software_exception
+  | Other_event
+
+let intr_type_code = function
+  | External_interrupt -> 0
+  | Nmi -> 2
+  | Hardware_exception -> 3
+  | Software_interrupt -> 4
+  | Priv_sw_exception -> 5
+  | Software_exception -> 6
+  | Other_event -> 7
+
+let intr_type_of_code = function
+  | 0 -> Some External_interrupt
+  | 2 -> Some Nmi
+  | 3 -> Some Hardware_exception
+  | 4 -> Some Software_interrupt
+  | 5 -> Some Priv_sw_exception
+  | 6 -> Some Software_exception
+  | 7 -> Some Other_event
+  | _ -> None
+
+let make_intr_info ?(error_code = false) ~typ ~vector () =
+  assert (vector >= 0 && vector < 256);
+  let v = Int64.of_int vector in
+  let t = Int64.shift_left (Int64.of_int (intr_type_code typ)) 8 in
+  let ec = if error_code then b 11 else 0L in
+  Int64.logor intr_info_valid (Int64.logor v (Int64.logor t ec))
+
+let intr_info_vector info =
+  Int64.to_int (Int64.logand info 0xFFL)
+
+let intr_info_type info =
+  intr_type_of_code (Int64.to_int (Iris_util.Bits.extract info ~lo:8 ~width:3))
+
+let intr_info_is_valid info = Iris_util.Bits.test info 31
+
+let intr_info_has_error_code info = Iris_util.Bits.test info 11
+
+(* Activity states *)
+let activity_active = 0L
+let activity_hlt = 1L
+let activity_shutdown = 2L
+let activity_wait_sipi = 3L
+
+let activity_valid v = v >= 0L && v <= 3L
+
+(* Interruptibility *)
+let interruptibility_sti_blocking = b 0
+let interruptibility_mov_ss_blocking = b 1
+let interruptibility_smi_blocking = b 2
+let interruptibility_nmi_blocking = b 3
+
+let interruptibility_valid v =
+  Int64.logand v (Int64.lognot 0xFL) = 0L
+  (* STI blocking and MOV-SS blocking cannot both be set. *)
+  && not
+       (Iris_util.Bits.test v 0 && Iris_util.Bits.test v 1)

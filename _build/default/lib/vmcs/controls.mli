@@ -1,0 +1,117 @@
+(** Bit definitions for the VM-execution, VM-entry and VM-exit control
+    fields, plus the interruption-information format.
+
+    These bits decide which guest actions trap: they are what the VTX
+    engine consults to turn a sensitive instruction into a VM exit,
+    and what VM-entry checks validate against the "allowed
+    settings". *)
+
+(** {2 Pin-based VM-execution controls (encoding 0x4000)} *)
+
+val pin_ext_intr_exiting : int64     (* bit 0 *)
+val pin_nmi_exiting : int64          (* bit 3 *)
+val pin_virtual_nmis : int64         (* bit 5 *)
+val pin_preemption_timer : int64     (* bit 6 *)
+val pin_reserved_one_mask : int64
+(** Bits that must read 1 (default1 class): 1, 2, 4. *)
+
+(** {2 Primary processor-based controls (0x4002)} *)
+
+val cpu_intr_window_exiting : int64  (* bit 2 *)
+val cpu_tsc_offsetting : int64       (* bit 3 *)
+val cpu_hlt_exiting : int64          (* bit 7 *)
+val cpu_invlpg_exiting : int64       (* bit 9 *)
+val cpu_mwait_exiting : int64        (* bit 10 *)
+val cpu_rdpmc_exiting : int64        (* bit 11 *)
+val cpu_rdtsc_exiting : int64        (* bit 12 *)
+val cpu_cr3_load_exiting : int64     (* bit 15 *)
+val cpu_cr3_store_exiting : int64    (* bit 16 *)
+val cpu_cr8_load_exiting : int64     (* bit 19 *)
+val cpu_cr8_store_exiting : int64    (* bit 20 *)
+val cpu_tpr_shadow : int64           (* bit 21 *)
+val cpu_mov_dr_exiting : int64       (* bit 23 *)
+val cpu_uncond_io_exiting : int64    (* bit 24 *)
+val cpu_use_io_bitmaps : int64       (* bit 25 *)
+val cpu_use_msr_bitmaps : int64      (* bit 28 *)
+val cpu_monitor_exiting : int64      (* bit 29 *)
+val cpu_pause_exiting : int64        (* bit 30 *)
+val cpu_secondary_controls : int64   (* bit 31 *)
+val cpu_reserved_one_mask : int64
+(** Default1 bits: 1, 4, 5, 6, 8, 13, 14, 26. *)
+
+(** {2 Secondary processor-based controls (0x401E)} *)
+
+val sec_virt_apic_accesses : int64   (* bit 0 *)
+val sec_enable_ept : int64           (* bit 1 *)
+val sec_desc_table_exiting : int64   (* bit 2 *)
+val sec_enable_rdtscp : int64        (* bit 3 *)
+val sec_enable_vpid : int64          (* bit 5 *)
+val sec_wbinvd_exiting : int64       (* bit 6 *)
+val sec_unrestricted_guest : int64   (* bit 7 *)
+val sec_pause_loop_exiting : int64   (* bit 10 *)
+val sec_enable_invpcid : int64       (* bit 12 *)
+val sec_enable_xsaves : int64        (* bit 20 *)
+
+(** {2 VM-exit controls (0x400C)} *)
+
+val exit_save_debug_controls : int64      (* bit 2 *)
+val exit_host_addr_space_size : int64     (* bit 9 *)
+val exit_ack_intr_on_exit : int64         (* bit 15 *)
+val exit_save_ia32_pat : int64            (* bit 18 *)
+val exit_load_ia32_pat : int64            (* bit 19 *)
+val exit_save_ia32_efer : int64           (* bit 20 *)
+val exit_load_ia32_efer : int64           (* bit 21 *)
+val exit_save_preemption_timer : int64    (* bit 22 *)
+val exit_reserved_one_mask : int64
+(** Default1 bits: 0..8 minus defined, i.e. 0,1,3,4,5,6,7,8 and 10,11. *)
+
+(** {2 VM-entry controls (0x4012)} *)
+
+val entry_load_debug_controls : int64     (* bit 2 *)
+val entry_ia32e_mode_guest : int64        (* bit 9 *)
+val entry_smm : int64                     (* bit 10 *)
+val entry_load_ia32_pat : int64           (* bit 14 *)
+val entry_load_ia32_efer : int64          (* bit 15 *)
+val entry_reserved_one_mask : int64
+(** Default1 bits: 0,1,3,4,5,6,7,8,11,12. *)
+
+(** {2 Interruption information (entry 0x4016 / exit 0x4404)} *)
+
+val intr_info_valid : int64               (* bit 31 *)
+
+type intr_type =
+  | External_interrupt   (* 0 *)
+  | Nmi                  (* 2 *)
+  | Hardware_exception   (* 3 *)
+  | Software_interrupt   (* 4 *)
+  | Priv_sw_exception    (* 5 *)
+  | Software_exception   (* 6 *)
+  | Other_event          (* 7 *)
+
+val intr_type_code : intr_type -> int
+val intr_type_of_code : int -> intr_type option
+
+val make_intr_info :
+  ?error_code:bool -> typ:intr_type -> vector:int -> unit -> int64
+(** Build a valid interruption-information value. *)
+
+val intr_info_vector : int64 -> int
+val intr_info_type : int64 -> intr_type option
+val intr_info_is_valid : int64 -> bool
+val intr_info_has_error_code : int64 -> bool
+
+(** {2 Guest activity states (0x4826)} *)
+
+val activity_active : int64
+val activity_hlt : int64
+val activity_shutdown : int64
+val activity_wait_sipi : int64
+val activity_valid : int64 -> bool
+
+(** {2 Interruptibility info bits (0x4824)} *)
+
+val interruptibility_sti_blocking : int64
+val interruptibility_mov_ss_blocking : int64
+val interruptibility_smi_blocking : int64
+val interruptibility_nmi_blocking : int64
+val interruptibility_valid : int64 -> bool

@@ -1,0 +1,297 @@
+type t = int
+
+type width = W16 | W32 | W64 | Wnat
+
+type area = Ctrl | Exit_info | Guest | Host
+
+type info = {
+  f_name : string;
+  f_enc : int;
+  f_width : width;
+  f_area : area;
+}
+
+(* The table is built by registration: [def] appends an entry and
+   returns its dense index, so declaration order defines the compact
+   1-byte encoding used on the seed wire format. *)
+let registry : info list ref = ref []
+
+let registry_count = ref 0
+
+let def f_name f_enc f_width f_area =
+  registry := { f_name; f_enc; f_width; f_area } :: !registry;
+  let idx = !registry_count in
+  incr registry_count;
+  idx
+
+(* --- 16-bit control fields --- *)
+let vpid = def "VPID" 0x0000 W16 Ctrl
+let posted_intr_nv = def "POSTED_INTR_NOTIFICATION_VECTOR" 0x0002 W16 Ctrl
+let eptp_index = def "EPTP_INDEX" 0x0004 W16 Ctrl
+
+(* --- 16-bit guest-state fields --- *)
+let guest_es_selector = def "GUEST_ES_SELECTOR" 0x0800 W16 Guest
+let guest_cs_selector = def "GUEST_CS_SELECTOR" 0x0802 W16 Guest
+let guest_ss_selector = def "GUEST_SS_SELECTOR" 0x0804 W16 Guest
+let guest_ds_selector = def "GUEST_DS_SELECTOR" 0x0806 W16 Guest
+let guest_fs_selector = def "GUEST_FS_SELECTOR" 0x0808 W16 Guest
+let guest_gs_selector = def "GUEST_GS_SELECTOR" 0x080A W16 Guest
+let guest_ldtr_selector = def "GUEST_LDTR_SELECTOR" 0x080C W16 Guest
+let guest_tr_selector = def "GUEST_TR_SELECTOR" 0x080E W16 Guest
+let guest_interrupt_status = def "GUEST_INTR_STATUS" 0x0810 W16 Guest
+let guest_pml_index = def "GUEST_PML_INDEX" 0x0812 W16 Guest
+
+(* --- 16-bit host-state fields --- *)
+let host_es_selector = def "HOST_ES_SELECTOR" 0x0C00 W16 Host
+let host_cs_selector = def "HOST_CS_SELECTOR" 0x0C02 W16 Host
+let host_ss_selector = def "HOST_SS_SELECTOR" 0x0C04 W16 Host
+let host_ds_selector = def "HOST_DS_SELECTOR" 0x0C06 W16 Host
+let host_fs_selector = def "HOST_FS_SELECTOR" 0x0C08 W16 Host
+let host_gs_selector = def "HOST_GS_SELECTOR" 0x0C0A W16 Host
+let host_tr_selector = def "HOST_TR_SELECTOR" 0x0C0C W16 Host
+
+(* --- 64-bit control fields --- *)
+let io_bitmap_a = def "IO_BITMAP_A" 0x2000 W64 Ctrl
+let io_bitmap_b = def "IO_BITMAP_B" 0x2002 W64 Ctrl
+let msr_bitmap = def "MSR_BITMAP" 0x2004 W64 Ctrl
+let vm_exit_msr_store_addr = def "VM_EXIT_MSR_STORE_ADDR" 0x2006 W64 Ctrl
+let vm_exit_msr_load_addr = def "VM_EXIT_MSR_LOAD_ADDR" 0x2008 W64 Ctrl
+let vm_entry_msr_load_addr = def "VM_ENTRY_MSR_LOAD_ADDR" 0x200A W64 Ctrl
+let executive_vmcs_pointer = def "EXECUTIVE_VMCS_POINTER" 0x200C W64 Ctrl
+let pml_address = def "PML_ADDRESS" 0x200E W64 Ctrl
+let tsc_offset = def "TSC_OFFSET" 0x2010 W64 Ctrl
+let virtual_apic_page_addr = def "VIRTUAL_APIC_PAGE_ADDR" 0x2012 W64 Ctrl
+let apic_access_addr = def "APIC_ACCESS_ADDR" 0x2014 W64 Ctrl
+let posted_intr_desc_addr = def "POSTED_INTR_DESC_ADDR" 0x2016 W64 Ctrl
+let vm_function_control = def "VM_FUNCTION_CONTROL" 0x2018 W64 Ctrl
+let ept_pointer = def "EPT_POINTER" 0x201A W64 Ctrl
+let eoi_exit_bitmap0 = def "EOI_EXIT_BITMAP0" 0x201C W64 Ctrl
+let eoi_exit_bitmap1 = def "EOI_EXIT_BITMAP1" 0x201E W64 Ctrl
+let eoi_exit_bitmap2 = def "EOI_EXIT_BITMAP2" 0x2020 W64 Ctrl
+let eoi_exit_bitmap3 = def "EOI_EXIT_BITMAP3" 0x2022 W64 Ctrl
+let eptp_list_address = def "EPTP_LIST_ADDRESS" 0x2024 W64 Ctrl
+let vmread_bitmap = def "VMREAD_BITMAP" 0x2026 W64 Ctrl
+let vmwrite_bitmap = def "VMWRITE_BITMAP" 0x2028 W64 Ctrl
+let xss_exit_bitmap = def "XSS_EXIT_BITMAP" 0x202C W64 Ctrl
+let tsc_multiplier = def "TSC_MULTIPLIER" 0x2032 W64 Ctrl
+
+(* --- 64-bit read-only data fields --- *)
+let guest_physical_address = def "GUEST_PHYSICAL_ADDRESS" 0x2400 W64 Exit_info
+
+(* --- 64-bit guest-state fields --- *)
+let vmcs_link_pointer = def "VMCS_LINK_POINTER" 0x2800 W64 Guest
+let guest_ia32_debugctl = def "GUEST_IA32_DEBUGCTL" 0x2802 W64 Guest
+let guest_ia32_pat = def "GUEST_IA32_PAT" 0x2804 W64 Guest
+let guest_ia32_efer = def "GUEST_IA32_EFER" 0x2806 W64 Guest
+let guest_ia32_perf_global_ctrl =
+  def "GUEST_IA32_PERF_GLOBAL_CTRL" 0x2808 W64 Guest
+let guest_pdpte0 = def "GUEST_PDPTE0" 0x280A W64 Guest
+let guest_pdpte1 = def "GUEST_PDPTE1" 0x280C W64 Guest
+let guest_pdpte2 = def "GUEST_PDPTE2" 0x280E W64 Guest
+let guest_pdpte3 = def "GUEST_PDPTE3" 0x2810 W64 Guest
+let guest_bndcfgs = def "GUEST_BNDCFGS" 0x2812 W64 Guest
+
+(* --- 64-bit host-state fields --- *)
+let host_ia32_pat = def "HOST_IA32_PAT" 0x2C00 W64 Host
+let host_ia32_efer = def "HOST_IA32_EFER" 0x2C02 W64 Host
+let host_ia32_perf_global_ctrl =
+  def "HOST_IA32_PERF_GLOBAL_CTRL" 0x2C04 W64 Host
+
+(* --- 32-bit control fields --- *)
+let pin_based_vm_exec_control = def "PIN_BASED_VM_EXEC_CONTROL" 0x4000 W32 Ctrl
+let cpu_based_vm_exec_control = def "CPU_BASED_VM_EXEC_CONTROL" 0x4002 W32 Ctrl
+let exception_bitmap = def "EXCEPTION_BITMAP" 0x4004 W32 Ctrl
+let page_fault_error_code_mask =
+  def "PAGE_FAULT_ERROR_CODE_MASK" 0x4006 W32 Ctrl
+let page_fault_error_code_match =
+  def "PAGE_FAULT_ERROR_CODE_MATCH" 0x4008 W32 Ctrl
+let cr3_target_count = def "CR3_TARGET_COUNT" 0x400A W32 Ctrl
+let vm_exit_controls = def "VM_EXIT_CONTROLS" 0x400C W32 Ctrl
+let vm_exit_msr_store_count = def "VM_EXIT_MSR_STORE_COUNT" 0x400E W32 Ctrl
+let vm_exit_msr_load_count = def "VM_EXIT_MSR_LOAD_COUNT" 0x4010 W32 Ctrl
+let vm_entry_controls = def "VM_ENTRY_CONTROLS" 0x4012 W32 Ctrl
+let vm_entry_msr_load_count = def "VM_ENTRY_MSR_LOAD_COUNT" 0x4014 W32 Ctrl
+let vm_entry_intr_info = def "VM_ENTRY_INTR_INFO" 0x4016 W32 Ctrl
+let vm_entry_exception_error_code =
+  def "VM_ENTRY_EXCEPTION_ERROR_CODE" 0x4018 W32 Ctrl
+let vm_entry_instruction_len = def "VM_ENTRY_INSTRUCTION_LEN" 0x401A W32 Ctrl
+let tpr_threshold = def "TPR_THRESHOLD" 0x401C W32 Ctrl
+let secondary_vm_exec_control = def "SECONDARY_VM_EXEC_CONTROL" 0x401E W32 Ctrl
+let ple_gap = def "PLE_GAP" 0x4020 W32 Ctrl
+let ple_window = def "PLE_WINDOW" 0x4022 W32 Ctrl
+
+(* --- 32-bit read-only data fields --- *)
+let vm_instruction_error = def "VM_INSTRUCTION_ERROR" 0x4400 W32 Exit_info
+let vm_exit_reason = def "VM_EXIT_REASON" 0x4402 W32 Exit_info
+let vm_exit_intr_info = def "VM_EXIT_INTR_INFO" 0x4404 W32 Exit_info
+let vm_exit_intr_error_code = def "VM_EXIT_INTR_ERROR_CODE" 0x4406 W32 Exit_info
+let idt_vectoring_info = def "IDT_VECTORING_INFO" 0x4408 W32 Exit_info
+let idt_vectoring_error_code =
+  def "IDT_VECTORING_ERROR_CODE" 0x440A W32 Exit_info
+let vm_exit_instruction_len = def "VM_EXIT_INSTRUCTION_LEN" 0x440C W32 Exit_info
+let vmx_instruction_info = def "VMX_INSTRUCTION_INFO" 0x440E W32 Exit_info
+
+(* --- 32-bit guest-state fields --- *)
+let guest_es_limit = def "GUEST_ES_LIMIT" 0x4800 W32 Guest
+let guest_cs_limit = def "GUEST_CS_LIMIT" 0x4802 W32 Guest
+let guest_ss_limit = def "GUEST_SS_LIMIT" 0x4804 W32 Guest
+let guest_ds_limit = def "GUEST_DS_LIMIT" 0x4806 W32 Guest
+let guest_fs_limit = def "GUEST_FS_LIMIT" 0x4808 W32 Guest
+let guest_gs_limit = def "GUEST_GS_LIMIT" 0x480A W32 Guest
+let guest_ldtr_limit = def "GUEST_LDTR_LIMIT" 0x480C W32 Guest
+let guest_tr_limit = def "GUEST_TR_LIMIT" 0x480E W32 Guest
+let guest_gdtr_limit = def "GUEST_GDTR_LIMIT" 0x4810 W32 Guest
+let guest_idtr_limit = def "GUEST_IDTR_LIMIT" 0x4812 W32 Guest
+let guest_es_ar_bytes = def "GUEST_ES_AR_BYTES" 0x4814 W32 Guest
+let guest_cs_ar_bytes = def "GUEST_CS_AR_BYTES" 0x4816 W32 Guest
+let guest_ss_ar_bytes = def "GUEST_SS_AR_BYTES" 0x4818 W32 Guest
+let guest_ds_ar_bytes = def "GUEST_DS_AR_BYTES" 0x481A W32 Guest
+let guest_fs_ar_bytes = def "GUEST_FS_AR_BYTES" 0x481C W32 Guest
+let guest_gs_ar_bytes = def "GUEST_GS_AR_BYTES" 0x481E W32 Guest
+let guest_ldtr_ar_bytes = def "GUEST_LDTR_AR_BYTES" 0x4820 W32 Guest
+let guest_tr_ar_bytes = def "GUEST_TR_AR_BYTES" 0x4822 W32 Guest
+let guest_interruptibility_info =
+  def "GUEST_INTERRUPTIBILITY_INFO" 0x4824 W32 Guest
+let guest_activity_state = def "GUEST_ACTIVITY_STATE" 0x4826 W32 Guest
+let guest_smbase = def "GUEST_SMBASE" 0x4828 W32 Guest
+let guest_sysenter_cs = def "GUEST_SYSENTER_CS" 0x482A W32 Guest
+let guest_preemption_timer = def "GUEST_PREEMPTION_TIMER" 0x482E W32 Guest
+
+(* --- 32-bit host-state fields --- *)
+let host_sysenter_cs = def "HOST_SYSENTER_CS" 0x4C00 W32 Host
+
+(* --- natural-width control fields --- *)
+let cr0_guest_host_mask = def "CR0_GUEST_HOST_MASK" 0x6000 Wnat Ctrl
+let cr4_guest_host_mask = def "CR4_GUEST_HOST_MASK" 0x6002 Wnat Ctrl
+let cr0_read_shadow = def "CR0_READ_SHADOW" 0x6004 Wnat Ctrl
+let cr4_read_shadow = def "CR4_READ_SHADOW" 0x6006 Wnat Ctrl
+let cr3_target_value0 = def "CR3_TARGET_VALUE0" 0x6008 Wnat Ctrl
+let cr3_target_value1 = def "CR3_TARGET_VALUE1" 0x600A Wnat Ctrl
+let cr3_target_value2 = def "CR3_TARGET_VALUE2" 0x600C Wnat Ctrl
+let cr3_target_value3 = def "CR3_TARGET_VALUE3" 0x600E Wnat Ctrl
+
+(* --- natural-width read-only data fields --- *)
+let exit_qualification = def "EXIT_QUALIFICATION" 0x6400 Wnat Exit_info
+let io_rcx = def "IO_RCX" 0x6402 Wnat Exit_info
+let io_rsi = def "IO_RSI" 0x6404 Wnat Exit_info
+let io_rdi = def "IO_RDI" 0x6406 Wnat Exit_info
+let io_rip = def "IO_RIP" 0x6408 Wnat Exit_info
+let guest_linear_address = def "GUEST_LINEAR_ADDRESS" 0x640A Wnat Exit_info
+
+(* --- natural-width guest-state fields --- *)
+let guest_cr0 = def "GUEST_CR0" 0x6800 Wnat Guest
+let guest_cr3 = def "GUEST_CR3" 0x6802 Wnat Guest
+let guest_cr4 = def "GUEST_CR4" 0x6804 Wnat Guest
+let guest_es_base = def "GUEST_ES_BASE" 0x6806 Wnat Guest
+let guest_cs_base = def "GUEST_CS_BASE" 0x6808 Wnat Guest
+let guest_ss_base = def "GUEST_SS_BASE" 0x680A Wnat Guest
+let guest_ds_base = def "GUEST_DS_BASE" 0x680C Wnat Guest
+let guest_fs_base = def "GUEST_FS_BASE" 0x680E Wnat Guest
+let guest_gs_base = def "GUEST_GS_BASE" 0x6810 Wnat Guest
+let guest_ldtr_base = def "GUEST_LDTR_BASE" 0x6812 Wnat Guest
+let guest_tr_base = def "GUEST_TR_BASE" 0x6814 Wnat Guest
+let guest_gdtr_base = def "GUEST_GDTR_BASE" 0x6816 Wnat Guest
+let guest_idtr_base = def "GUEST_IDTR_BASE" 0x6818 Wnat Guest
+let guest_dr7 = def "GUEST_DR7" 0x681A Wnat Guest
+let guest_rsp = def "GUEST_RSP" 0x681C Wnat Guest
+let guest_rip = def "GUEST_RIP" 0x681E Wnat Guest
+let guest_rflags = def "GUEST_RFLAGS" 0x6820 Wnat Guest
+let guest_pending_dbg_exceptions =
+  def "GUEST_PENDING_DBG_EXCEPTIONS" 0x6822 Wnat Guest
+let guest_sysenter_esp = def "GUEST_SYSENTER_ESP" 0x6824 Wnat Guest
+let guest_sysenter_eip = def "GUEST_SYSENTER_EIP" 0x6826 Wnat Guest
+
+(* --- natural-width host-state fields --- *)
+let host_cr0 = def "HOST_CR0" 0x6C00 Wnat Host
+let host_cr3 = def "HOST_CR3" 0x6C02 Wnat Host
+let host_cr4 = def "HOST_CR4" 0x6C04 Wnat Host
+let host_fs_base = def "HOST_FS_BASE" 0x6C06 Wnat Host
+let host_gs_base = def "HOST_GS_BASE" 0x6C08 Wnat Host
+let host_tr_base = def "HOST_TR_BASE" 0x6C0A Wnat Host
+let host_gdtr_base = def "HOST_GDTR_BASE" 0x6C0C Wnat Host
+let host_idtr_base = def "HOST_IDTR_BASE" 0x6C0E Wnat Host
+let host_sysenter_esp = def "HOST_SYSENTER_ESP" 0x6C10 Wnat Host
+let host_sysenter_eip = def "HOST_SYSENTER_EIP" 0x6C12 Wnat Host
+let host_rsp = def "HOST_RSP" 0x6C14 Wnat Host
+let host_rip = def "HOST_RIP" 0x6C16 Wnat Host
+
+(* Registration is over; freeze the table. *)
+let table = Array.of_list (List.rev !registry)
+
+let count = Array.length table
+
+let compact f = f
+
+let of_compact i = if i >= 0 && i < count then Some i else None
+
+let info f = table.(f)
+
+let encoding16 f = (info f).f_enc
+
+let name f = (info f).f_name
+
+let width f = (info f).f_width
+
+let area f = (info f).f_area
+
+let readonly f = area f = Exit_info
+
+let by_encoding : (int, t) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  Array.iteri (fun i inf -> Hashtbl.replace h inf.f_enc i) table;
+  h
+
+let of_encoding16 enc = Hashtbl.find_opt by_encoding enc
+
+let exists enc = Hashtbl.mem by_encoding enc
+
+let width_bytes f =
+  match width f with W16 -> 2 | W32 -> 4 | W64 | Wnat -> 8
+
+let truncate f v = Iris_util.Bits.truncate_width (width_bytes f) v
+
+let all = Array.init count (fun i -> i)
+
+let in_area a =
+  Array.to_list all |> List.filter (fun f -> area f = a)
+
+let pp fmt f = Format.pp_print_string fmt (name f)
+
+let segment_fields seg =
+  let open Iris_x86.Segment in
+  match seg with
+  | Cs -> (guest_cs_selector, guest_cs_base, guest_cs_limit, guest_cs_ar_bytes)
+  | Ds -> (guest_ds_selector, guest_ds_base, guest_ds_limit, guest_ds_ar_bytes)
+  | Es -> (guest_es_selector, guest_es_base, guest_es_limit, guest_es_ar_bytes)
+  | Fs -> (guest_fs_selector, guest_fs_base, guest_fs_limit, guest_fs_ar_bytes)
+  | Gs -> (guest_gs_selector, guest_gs_base, guest_gs_limit, guest_gs_ar_bytes)
+  | Ss -> (guest_ss_selector, guest_ss_base, guest_ss_limit, guest_ss_ar_bytes)
+  | Tr -> (guest_tr_selector, guest_tr_base, guest_tr_limit, guest_tr_ar_bytes)
+  | Ldtr ->
+      (guest_ldtr_selector, guest_ldtr_base, guest_ldtr_limit,
+       guest_ldtr_ar_bytes)
+
+(* Silence unused warnings for table-only fields that have no direct
+   consumer yet but must exist for encoding completeness. *)
+let _ = posted_intr_nv
+let _ = eptp_index
+let _ = guest_pml_index
+let _ = executive_vmcs_pointer
+let _ = pml_address
+let _ = posted_intr_desc_addr
+let _ = vm_function_control
+let _ = eoi_exit_bitmap0
+let _ = eoi_exit_bitmap1
+let _ = eoi_exit_bitmap2
+let _ = eoi_exit_bitmap3
+let _ = eptp_list_address
+let _ = vmread_bitmap
+let _ = vmwrite_bitmap
+let _ = xss_exit_bitmap
+let _ = tsc_multiplier
+let _ = guest_ia32_perf_global_ctrl
+let _ = guest_bndcfgs
+let _ = host_ia32_perf_global_ctrl
+let _ = ple_gap
+let _ = ple_window
+let _ = guest_smbase

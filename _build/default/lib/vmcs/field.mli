@@ -1,0 +1,230 @@
+(** VMCS field table.
+
+    Every field the model supports, keyed by its architectural 16-bit
+    encoding (SDM Appendix B).  The encoding packs the access width in
+    bits 13..14 and the field type (control / read-only data / guest
+    state / host state) in bits 10..11; we expose both decoded
+    properties and a dense 1-byte [compact] index, which is what the
+    IRIS seed wire format stores ("the encoding (1 byte) of ... VMCS
+    fields (147 values)", §V-A).
+
+    Fields in the exit-information area are read-only: VMWRITE to them
+    fails (the CPUs of the paper's era lack "VMWRITE to any field"),
+    which is why the IRIS replayer must shim VMREAD return values for
+    them instead of writing the VMCS. *)
+
+type t = private int
+(** Dense index, stable across runs; usable as the compact wire
+    encoding. *)
+
+type width = W16 | W32 | W64 | Wnat
+
+type area =
+  | Ctrl       (** VM-execution / entry / exit controls *)
+  | Exit_info  (** read-only exit information *)
+  | Guest      (** guest-state area *)
+  | Host       (** host-state area *)
+
+val compact : t -> int
+val of_compact : int -> t option
+val count : int
+(** Total number of fields in the table. *)
+
+val encoding16 : t -> int
+(** Architectural encoding. *)
+
+val of_encoding16 : int -> t option
+val name : t -> string
+val width : t -> width
+val area : t -> area
+val readonly : t -> bool
+(** True exactly for [Exit_info] fields. *)
+
+val width_bytes : t -> int
+(** 2, 4 or 8 ([Wnat] is 8: the model is a 64-bit machine). *)
+
+val truncate : t -> int64 -> int64
+(** Truncate a value to the field's width, as VMWRITE does. *)
+
+val all : t array
+(** All fields in compact order. *)
+
+val in_area : area -> t list
+
+val exists : int -> bool
+(** Whether a 16-bit encoding is in the table ([VMREAD]/[VMWRITE] of
+    an unsupported encoding VMfails). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Named fields}
+
+    Grouped as in SDM Appendix B. Only the ones the hypervisor model
+    manipulates are listed individually; the rest are still in {!all}
+    and reachable by encoding. *)
+
+(* 16-bit control *)
+val vpid : t
+
+(* 16-bit guest state *)
+val guest_es_selector : t
+val guest_cs_selector : t
+val guest_ss_selector : t
+val guest_ds_selector : t
+val guest_fs_selector : t
+val guest_gs_selector : t
+val guest_ldtr_selector : t
+val guest_tr_selector : t
+val guest_interrupt_status : t
+
+(* 16-bit host state *)
+val host_es_selector : t
+val host_cs_selector : t
+val host_ss_selector : t
+val host_ds_selector : t
+val host_fs_selector : t
+val host_gs_selector : t
+val host_tr_selector : t
+
+(* 64-bit control *)
+val io_bitmap_a : t
+val io_bitmap_b : t
+val msr_bitmap : t
+val vm_exit_msr_store_addr : t
+val vm_exit_msr_load_addr : t
+val vm_entry_msr_load_addr : t
+val tsc_offset : t
+val virtual_apic_page_addr : t
+val apic_access_addr : t
+val ept_pointer : t
+
+(* 64-bit read-only *)
+val guest_physical_address : t
+
+(* 64-bit guest state *)
+val vmcs_link_pointer : t
+val guest_ia32_debugctl : t
+val guest_ia32_pat : t
+val guest_ia32_efer : t
+val guest_pdpte0 : t
+val guest_pdpte1 : t
+val guest_pdpte2 : t
+val guest_pdpte3 : t
+
+(* 64-bit host state *)
+val host_ia32_pat : t
+val host_ia32_efer : t
+
+(* 32-bit control *)
+val pin_based_vm_exec_control : t
+val cpu_based_vm_exec_control : t
+val exception_bitmap : t
+val page_fault_error_code_mask : t
+val page_fault_error_code_match : t
+val cr3_target_count : t
+val vm_exit_controls : t
+val vm_exit_msr_store_count : t
+val vm_exit_msr_load_count : t
+val vm_entry_controls : t
+val vm_entry_msr_load_count : t
+val vm_entry_intr_info : t
+val vm_entry_exception_error_code : t
+val vm_entry_instruction_len : t
+val tpr_threshold : t
+val secondary_vm_exec_control : t
+
+(* 32-bit read-only *)
+val vm_instruction_error : t
+val vm_exit_reason : t
+val vm_exit_intr_info : t
+val vm_exit_intr_error_code : t
+val idt_vectoring_info : t
+val idt_vectoring_error_code : t
+val vm_exit_instruction_len : t
+val vmx_instruction_info : t
+
+(* 32-bit guest state *)
+val guest_es_limit : t
+val guest_cs_limit : t
+val guest_ss_limit : t
+val guest_ds_limit : t
+val guest_fs_limit : t
+val guest_gs_limit : t
+val guest_ldtr_limit : t
+val guest_tr_limit : t
+val guest_gdtr_limit : t
+val guest_idtr_limit : t
+val guest_es_ar_bytes : t
+val guest_cs_ar_bytes : t
+val guest_ss_ar_bytes : t
+val guest_ds_ar_bytes : t
+val guest_fs_ar_bytes : t
+val guest_gs_ar_bytes : t
+val guest_ldtr_ar_bytes : t
+val guest_tr_ar_bytes : t
+val guest_interruptibility_info : t
+val guest_activity_state : t
+val guest_sysenter_cs : t
+val guest_preemption_timer : t
+
+(* 32-bit host state *)
+val host_sysenter_cs : t
+
+(* natural-width control *)
+val cr0_guest_host_mask : t
+val cr4_guest_host_mask : t
+val cr0_read_shadow : t
+val cr4_read_shadow : t
+val cr3_target_value0 : t
+val cr3_target_value1 : t
+val cr3_target_value2 : t
+val cr3_target_value3 : t
+
+(* natural-width read-only *)
+val exit_qualification : t
+val io_rcx : t
+val io_rsi : t
+val io_rdi : t
+val io_rip : t
+val guest_linear_address : t
+
+(* natural-width guest state *)
+val guest_cr0 : t
+val guest_cr3 : t
+val guest_cr4 : t
+val guest_es_base : t
+val guest_cs_base : t
+val guest_ss_base : t
+val guest_ds_base : t
+val guest_fs_base : t
+val guest_gs_base : t
+val guest_ldtr_base : t
+val guest_tr_base : t
+val guest_gdtr_base : t
+val guest_idtr_base : t
+val guest_dr7 : t
+val guest_rsp : t
+val guest_rip : t
+val guest_rflags : t
+val guest_pending_dbg_exceptions : t
+val guest_sysenter_esp : t
+val guest_sysenter_eip : t
+
+(* natural-width host state *)
+val host_cr0 : t
+val host_cr3 : t
+val host_cr4 : t
+val host_fs_base : t
+val host_gs_base : t
+val host_tr_base : t
+val host_gdtr_base : t
+val host_idtr_base : t
+val host_sysenter_esp : t
+val host_sysenter_eip : t
+val host_rsp : t
+val host_rip : t
+
+val segment_fields :
+  Iris_x86.Segment.name -> t * t * t * t
+(** [(selector, base, limit, ar)] fields of a guest segment
+    register. *)

@@ -1,0 +1,83 @@
+type launch_state = Clear | Active_current_clear | Active_current_launched
+
+type t = {
+  values : int64 array; (* indexed by Field.compact *)
+  mutable launch : launch_state;
+}
+
+let revision_id = 0x00DE5E27L
+
+let create () = { values = Array.make Field.count 0L; launch = Clear }
+
+let state t = t.launch
+
+let vmclear t = t.launch <- Clear
+
+let set_active t =
+  match t.launch with
+  | Clear -> t.launch <- Active_current_clear
+  | Active_current_clear | Active_current_launched -> ()
+
+let mark_launched t = t.launch <- Active_current_launched
+
+let is_launched t = t.launch = Active_current_launched
+
+type access_error =
+  | Unsupported_field of int
+  | Readonly_field of Field.t
+
+let read t f = t.values.(Field.compact f)
+
+let write t f v =
+  if Field.readonly f then Error (Readonly_field f)
+  else begin
+    t.values.(Field.compact f) <- Field.truncate f v;
+    Ok ()
+  end
+
+let write_exit_info t f v =
+  (* Processor-internal writes touch the exit-info area, the guest
+     area (state save), and entry controls (clearing the event-
+     injection valid bit); never the host area. *)
+  assert (Field.area f <> Field.Host);
+  t.values.(Field.compact f) <- Field.truncate f v
+
+let read_by_encoding t enc =
+  match Field.of_encoding16 enc with
+  | None -> Error (Unsupported_field enc)
+  | Some f -> Ok (read t f)
+
+let write_by_encoding t enc v =
+  match Field.of_encoding16 enc with
+  | None -> Error (Unsupported_field enc)
+  | Some f -> write t f v
+
+let copy t = { values = Array.copy t.values; launch = t.launch }
+
+let restore_from t ~src =
+  Array.blit src.values 0 t.values 0 Field.count;
+  t.launch <- src.launch
+
+let equal_area a b area =
+  List.for_all
+    (fun f -> read a f = read b f)
+    (Field.in_area area)
+
+let nonzero_fields t =
+  Array.to_list Field.all
+  |> List.filter_map (fun f ->
+         let v = read t f in
+         if v <> 0L then Some (f, v) else None)
+
+let pp fmt t =
+  let st =
+    match t.launch with
+    | Clear -> "clear"
+    | Active_current_clear -> "active-current-clear"
+    | Active_current_launched -> "active-current-launched"
+  in
+  Format.fprintf fmt "@[<v>VMCS (%s)@ " st;
+  List.iter
+    (fun (f, v) -> Format.fprintf fmt "%s = 0x%Lx@ " (Field.name f) v)
+    (nonzero_fields t);
+  Format.fprintf fmt "@]"

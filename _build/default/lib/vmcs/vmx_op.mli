@@ -1,0 +1,56 @@
+(** VMX instruction semantics in root operation.
+
+    Models the instruction set the hypervisor drives the hardware
+    with: VMXON/VMXOFF, VMCLEAR, VMPTRLD, VMREAD/VMWRITE on the
+    *current* VMCS, and VMLAUNCH/VMRESUME including the entry checks.
+    Failures follow the SDM's VMfailInvalid / VMfailValid(n) scheme;
+    the error number of a VMfailValid lands in the current VMCS's
+    VM-instruction-error field, as on hardware. *)
+
+type ctx
+(** Per-logical-processor VMX state: whether VMX operation is on and
+    which VMCS is current. *)
+
+val create : unit -> ctx
+val copy : ctx -> ctx
+
+type error =
+  | VMfail_invalid
+      (** no current VMCS, or not in VMX operation *)
+  | VMfail_valid of int * string
+      (** VM-instruction error number + diagnostic *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** VM-instruction error numbers used (SDM 30.4). *)
+
+val err_vmclear_bad_addr : int      (* 2 *)
+val err_vmlaunch_nonclear : int     (* 4 *)
+val err_vmresume_nonlaunched : int  (* 5 *)
+val err_entry_bad_controls : int    (* 7 *)
+val err_entry_bad_host : int        (* 8 *)
+val err_unsupported_component : int (* 12 *)
+val err_readonly_component : int    (* 13 *)
+
+val vmxon : ctx -> (unit, error) result
+val vmxoff : ctx -> (unit, error) result
+val in_vmx_operation : ctx -> bool
+
+val vmclear : ctx -> Vmcs.t -> (unit, error) result
+val vmptrld : ctx -> Vmcs.t -> (unit, error) result
+val current : ctx -> Vmcs.t option
+
+val vmread : ctx -> Field.t -> (int64, error) result
+val vmwrite : ctx -> Field.t -> int64 -> (unit, error) result
+val vmread_enc : ctx -> int -> (int64, error) result
+val vmwrite_enc : ctx -> int -> int64 -> (unit, error) result
+
+type entry_outcome =
+  | Entered
+      (** control passed to the guest *)
+  | Entry_failed of Entry_check.failure
+      (** guest-state check failed: a "VM-entry failure" VM exit
+          (reason 33) is delivered instead of running the guest *)
+
+val vmlaunch : ctx -> (entry_outcome, error) result
+val vmresume : ctx -> (entry_outcome, error) result

@@ -1,0 +1,1 @@
+lib/vtx/clock.ml: Int64

@@ -1,0 +1,1 @@
+lib/vtx/cost.ml:

@@ -1,0 +1,1 @@
+lib/vtx/engine.ml: Clock Cost Cr0 Exit_qual Exit_reason Exn Gpr Insn Int64 Iris_memory Iris_util Iris_vmcs Iris_x86 Msr Option Rflags Segment Vcpu

@@ -1,0 +1,1 @@
+lib/vtx/engine.mli: Exit_reason Iris_memory Iris_x86 Vcpu

@@ -1,0 +1,1 @@
+lib/vtx/exit_qual.ml: Int64 Iris_memory Iris_util Iris_x86

@@ -1,0 +1,1 @@
+lib/vtx/exit_qual.mli: Iris_memory Iris_x86

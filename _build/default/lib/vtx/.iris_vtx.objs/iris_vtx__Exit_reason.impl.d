@@ -1,0 +1,1 @@
+lib/vtx/exit_reason.ml: Format Int64 Iris_util List

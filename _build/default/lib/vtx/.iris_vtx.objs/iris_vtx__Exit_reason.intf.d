@@ -1,0 +1,1 @@
+lib/vtx/exit_reason.mli: Format

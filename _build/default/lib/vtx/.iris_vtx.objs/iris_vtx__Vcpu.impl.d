@@ -1,0 +1,1 @@
+lib/vtx/vcpu.ml: Array Clock Cpu_mode Cr0 Exn Gpr Int64 Iris_vmcs Iris_x86 List Msr Rflags Segment

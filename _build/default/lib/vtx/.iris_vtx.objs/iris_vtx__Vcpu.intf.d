@@ -1,0 +1,1 @@
+lib/vtx/vcpu.mli: Clock Iris_vmcs Iris_x86

@@ -1,0 +1,25 @@
+type t = { mutable cycles : int64 }
+
+let hz = 3.6e9
+
+let create () = { cycles = 0L }
+
+let now t = t.cycles
+
+let advance t n =
+  assert (n >= 0);
+  t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+let advance64 t n =
+  assert (n >= 0L);
+  t.cycles <- Int64.add t.cycles n
+
+let set t v = t.cycles <- v
+
+let cycles_to_seconds c = Int64.to_float c /. hz
+
+let seconds t = cycles_to_seconds t.cycles
+
+let elapsed ~since t = Int64.sub t.cycles since
+
+let copy t = { cycles = t.cycles }

@@ -1,0 +1,32 @@
+(** Simulated time-stamp counter.
+
+    Every cost in the model — guest instructions, hardware context
+    switches, handler work, IRIS callbacks — advances one of these
+    counters.  Seconds are derived at the paper testbed's frequency
+    (Intel Xeon i7-4790 @ 3.6 GHz), so the efficiency results can be
+    reported in the same units as Fig. 9/10. *)
+
+type t
+
+val hz : float
+(** 3.6e9. *)
+
+val create : unit -> t
+val now : t -> int64
+(** Current cycle count. *)
+
+val advance : t -> int -> unit
+(** Add [n] cycles; [n >= 0]. *)
+
+val advance64 : t -> int64 -> unit
+
+val set : t -> int64 -> unit
+
+val seconds : t -> float
+(** [now /. hz]. *)
+
+val cycles_to_seconds : int64 -> float
+
+val elapsed : since:int64 -> t -> int64
+
+val copy : t -> t

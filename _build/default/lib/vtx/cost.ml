@@ -1,0 +1,17 @@
+let exit_transition = 22_000
+
+let entry_transition = 18_000
+
+let dispatch_base = 24_000
+
+let event_injection = 2_000
+
+let vmread_cost = 120
+
+let vmwrite_cost = 150
+
+let handler_base = 6_000
+
+let timer_interrupt_period = 14_400_000
+
+let idle_hlt_wait = 12_000_000

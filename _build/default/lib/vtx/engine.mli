@@ -1,0 +1,54 @@
+(** Non-root execution engine.
+
+    Plays the hardware's part: executes guest instructions until one
+    of them (or a pending event) must trap, then performs the VM-exit
+    transition — saving guest state into the VMCS, recording the
+    exit-information fields, and handing an {!event} to the caller
+    (the hypervisor's exit dispatcher).  {!complete_entry} plays the
+    VM-entry half: loading guest state back and delivering any event
+    the hypervisor queued in the entry interruption-information
+    field. *)
+
+type t = {
+  vcpu : Vcpu.t;
+  mem : Iris_memory.Gmem.t;
+  ept : Iris_memory.Ept.t;
+}
+
+type event = {
+  reason : Exit_reason.t;
+  qualification : int64;
+  guest_linear : int64;
+  guest_physical : int64;
+  intr_info : int64;
+  intr_error : int64;
+  insn_len : int;
+  insn : Iris_x86.Insn.t option;
+      (** the trapping instruction, available to the emulator on the
+          record side; [None] on replayed exits, where there is no
+          guest instruction stream to fetch from *)
+}
+
+val create :
+  vcpu:Vcpu.t -> mem:Iris_memory.Gmem.t -> ept:Iris_memory.Ept.t -> t
+
+type outcome =
+  | Exit of event
+  | Program_done
+      (** the instruction stream is exhausted without a trap *)
+
+val run_until_exit : t -> fetch:(unit -> Iris_x86.Insn.t option) -> outcome
+(** Execute from the current guest state.  Checks, in priority order:
+    forced triple fault, preemption-timer expiry, pending external
+    interrupt (if unmasked), interrupt-window, then instructions. *)
+
+val complete_entry : t -> unit
+(** VM-entry tail: load guest state from the VMCS, deliver a pending
+    entry event, charge the entry-transition cost. *)
+
+val inject_extint : Vcpu.t -> vector:int -> unit
+(** Platform raises an interrupt line towards the vCPU. *)
+
+val insn_length : Iris_x86.Insn.t -> int
+(** Architectural instruction length recorded in the
+    VM-exit-instruction-length field. *)

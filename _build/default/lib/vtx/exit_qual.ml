@@ -1,0 +1,75 @@
+type cr_access_type = Mov_to_cr | Mov_from_cr | Clts_op | Lmsw_op
+
+type cr_access = {
+  cr : int;
+  access : cr_access_type;
+  gpr : Iris_x86.Gpr.reg;
+}
+
+let cr_access_code = function
+  | Mov_to_cr -> 0
+  | Mov_from_cr -> 1
+  | Clts_op -> 2
+  | Lmsw_op -> 3
+
+let cr_access_of_code = function
+  | 0 -> Some Mov_to_cr
+  | 1 -> Some Mov_from_cr
+  | 2 -> Some Clts_op
+  | 3 -> Some Lmsw_op
+  | _ -> None
+
+let encode_cr q =
+  assert (q.cr >= 0 && q.cr <= 15);
+  let open Iris_util.Bits in
+  let v = deposit 0L ~lo:0 ~width:4 (Int64.of_int q.cr) in
+  let v = deposit v ~lo:4 ~width:2 (Int64.of_int (cr_access_code q.access)) in
+  deposit v ~lo:8 ~width:4 (Int64.of_int (Iris_x86.Gpr.encode q.gpr))
+
+let decode_cr v =
+  let open Iris_util.Bits in
+  let cr = Int64.to_int (extract v ~lo:0 ~width:4) in
+  let acc = Int64.to_int (extract v ~lo:4 ~width:2) in
+  let gpr = Int64.to_int (extract v ~lo:8 ~width:4) in
+  match (cr_access_of_code acc, Iris_x86.Gpr.decode gpr) with
+  | Some access, Some gpr -> Some { cr; access; gpr }
+  | _, _ -> None
+
+type io_direction = Io_out | Io_in
+
+type io = {
+  size : int;
+  direction : io_direction;
+  string_op : bool;
+  rep : bool;
+  port : int;
+}
+
+let encode_io q =
+  assert (q.size = 1 || q.size = 2 || q.size = 4);
+  assert (q.port >= 0 && q.port < 0x10000);
+  let open Iris_util.Bits in
+  let v = deposit 0L ~lo:0 ~width:3 (Int64.of_int (q.size - 1)) in
+  let v = assign v 3 (q.direction = Io_in) in
+  let v = assign v 4 q.string_op in
+  let v = assign v 5 q.rep in
+  deposit v ~lo:16 ~width:16 (Int64.of_int q.port)
+
+let decode_io v =
+  let open Iris_util.Bits in
+  let size = Int64.to_int (extract v ~lo:0 ~width:3) + 1 in
+  if size <> 1 && size <> 2 && size <> 4 then None
+  else
+    Some
+      { size;
+        direction = (if test v 3 then Io_in else Io_out);
+        string_op = test v 4;
+        rep = test v 5;
+        port = Int64.to_int (extract v ~lo:16 ~width:16) }
+
+let decode_ept_access v =
+  let open Iris_util.Bits in
+  if test v 0 then Some Iris_memory.Ept.Read
+  else if test v 1 then Some Iris_memory.Ept.Write
+  else if test v 2 then Some Iris_memory.Ept.Exec
+  else None

@@ -1,0 +1,45 @@
+(** Typed exit qualifications (SDM Table 27-x).
+
+    The exit-qualification VMCS field is a read-only natural-width
+    value whose layout depends on the exit reason.  The handlers
+    decode it; the engine (and the replayer, via recorded seeds)
+    encode it. *)
+
+(** {2 Control-register access (reason 28)} *)
+
+type cr_access_type =
+  | Mov_to_cr
+  | Mov_from_cr
+  | Clts_op
+  | Lmsw_op
+
+type cr_access = {
+  cr : int;                  (** 0, 3, 4 or 8 *)
+  access : cr_access_type;
+  gpr : Iris_x86.Gpr.reg;    (** source/destination register *)
+}
+
+val encode_cr : cr_access -> int64
+val decode_cr : int64 -> cr_access option
+
+(** {2 I/O instruction (reason 30)} *)
+
+type io_direction = Io_out | Io_in
+
+type io = {
+  size : int;                (** access size in bytes: 1, 2 or 4 *)
+  direction : io_direction;
+  string_op : bool;
+  rep : bool;
+  port : int;                (** 16-bit port *)
+}
+
+val encode_io : io -> int64
+val decode_io : int64 -> io option
+
+(** {2 HLT, RDTSC, CPUID, ...: no qualification (zero)} *)
+
+(** {2 EPT violation (reason 48): see {!Iris_memory.Ept.qualification}} *)
+
+val decode_ept_access : int64 -> Iris_memory.Ept.access option
+(** Recover the access type from an EPT-violation qualification. *)

@@ -1,0 +1,253 @@
+type t =
+  | Exception_or_nmi
+  | External_interrupt
+  | Triple_fault
+  | Init_signal
+  | Sipi
+  | Io_smi
+  | Other_smi
+  | Interrupt_window
+  | Nmi_window
+  | Task_switch
+  | Cpuid
+  | Getsec
+  | Hlt
+  | Invd
+  | Invlpg
+  | Rdpmc
+  | Rdtsc
+  | Rsm
+  | Vmcall
+  | Vmclear
+  | Vmlaunch
+  | Vmptrld
+  | Vmptrst
+  | Vmread
+  | Vmresume
+  | Vmwrite
+  | Vmxoff
+  | Vmxon
+  | Cr_access
+  | Mov_dr
+  | Io_instruction
+  | Rdmsr
+  | Wrmsr
+  | Entry_failure_guest_state
+  | Entry_failure_msr_loading
+  | Mwait
+  | Monitor_trap_flag
+  | Monitor
+  | Pause
+  | Entry_failure_machine_check
+  | Tpr_below_threshold
+  | Apic_access
+  | Virtualized_eoi
+  | Gdtr_idtr_access
+  | Ldtr_tr_access
+  | Ept_violation
+  | Ept_misconfiguration
+  | Invept
+  | Rdtscp
+  | Preemption_timer
+  | Invvpid
+  | Wbinvd
+  | Xsetbv
+  | Apic_write
+  | Rdrand
+  | Invpcid
+  | Vmfunc
+  | Encls
+  | Rdseed
+  | Pml_full
+  | Xsaves
+  | Xrstors
+
+let all =
+  [ Exception_or_nmi; External_interrupt; Triple_fault; Init_signal; Sipi;
+    Io_smi; Other_smi; Interrupt_window; Nmi_window; Task_switch; Cpuid;
+    Getsec; Hlt; Invd; Invlpg; Rdpmc; Rdtsc; Rsm; Vmcall; Vmclear;
+    Vmlaunch; Vmptrld; Vmptrst; Vmread; Vmresume; Vmwrite; Vmxoff; Vmxon;
+    Cr_access; Mov_dr; Io_instruction; Rdmsr; Wrmsr;
+    Entry_failure_guest_state; Entry_failure_msr_loading; Mwait;
+    Monitor_trap_flag; Monitor; Pause; Entry_failure_machine_check;
+    Tpr_below_threshold; Apic_access; Virtualized_eoi; Gdtr_idtr_access;
+    Ldtr_tr_access; Ept_violation; Ept_misconfiguration; Invept; Rdtscp;
+    Preemption_timer; Invvpid; Wbinvd; Xsetbv; Apic_write; Rdrand;
+    Invpcid; Vmfunc; Encls; Rdseed; Pml_full; Xsaves; Xrstors ]
+
+let code = function
+  | Exception_or_nmi -> 0
+  | External_interrupt -> 1
+  | Triple_fault -> 2
+  | Init_signal -> 3
+  | Sipi -> 4
+  | Io_smi -> 5
+  | Other_smi -> 6
+  | Interrupt_window -> 7
+  | Nmi_window -> 8
+  | Task_switch -> 9
+  | Cpuid -> 10
+  | Getsec -> 11
+  | Hlt -> 12
+  | Invd -> 13
+  | Invlpg -> 14
+  | Rdpmc -> 15
+  | Rdtsc -> 16
+  | Rsm -> 17
+  | Vmcall -> 18
+  | Vmclear -> 19
+  | Vmlaunch -> 20
+  | Vmptrld -> 21
+  | Vmptrst -> 22
+  | Vmread -> 23
+  | Vmresume -> 24
+  | Vmwrite -> 25
+  | Vmxoff -> 26
+  | Vmxon -> 27
+  | Cr_access -> 28
+  | Mov_dr -> 29
+  | Io_instruction -> 30
+  | Rdmsr -> 31
+  | Wrmsr -> 32
+  | Entry_failure_guest_state -> 33
+  | Entry_failure_msr_loading -> 34
+  | Mwait -> 36
+  | Monitor_trap_flag -> 37
+  | Monitor -> 39
+  | Pause -> 40
+  | Entry_failure_machine_check -> 41
+  | Tpr_below_threshold -> 43
+  | Apic_access -> 44
+  | Virtualized_eoi -> 45
+  | Gdtr_idtr_access -> 46
+  | Ldtr_tr_access -> 47
+  | Ept_violation -> 48
+  | Ept_misconfiguration -> 49
+  | Invept -> 50
+  | Rdtscp -> 51
+  | Preemption_timer -> 52
+  | Invvpid -> 53
+  | Wbinvd -> 54
+  | Xsetbv -> 55
+  | Apic_write -> 56
+  | Rdrand -> 57
+  | Invpcid -> 58
+  | Vmfunc -> 59
+  | Encls -> 60
+  | Rdseed -> 61
+  | Pml_full -> 62
+  | Xsaves -> 63
+  | Xrstors -> 64
+
+let of_code c = List.find_opt (fun r -> code r = c) all
+
+let name = function
+  | Exception_or_nmi -> "Exception or NMI"
+  | External_interrupt -> "External interrupt"
+  | Triple_fault -> "Triple fault"
+  | Init_signal -> "INIT signal"
+  | Sipi -> "Start-up IPI"
+  | Io_smi -> "I/O SMI"
+  | Other_smi -> "Other SMI"
+  | Interrupt_window -> "Interrupt window"
+  | Nmi_window -> "NMI window"
+  | Task_switch -> "Task switch"
+  | Cpuid -> "CPUID"
+  | Getsec -> "GETSEC"
+  | Hlt -> "HLT"
+  | Invd -> "INVD"
+  | Invlpg -> "INVLPG"
+  | Rdpmc -> "RDPMC"
+  | Rdtsc -> "RDTSC"
+  | Rsm -> "RSM"
+  | Vmcall -> "VMCALL"
+  | Vmclear -> "VMCLEAR"
+  | Vmlaunch -> "VMLAUNCH"
+  | Vmptrld -> "VMPTRLD"
+  | Vmptrst -> "VMPTRST"
+  | Vmread -> "VMREAD"
+  | Vmresume -> "VMRESUME"
+  | Vmwrite -> "VMWRITE"
+  | Vmxoff -> "VMXOFF"
+  | Vmxon -> "VMXON"
+  | Cr_access -> "Control-register accesses"
+  | Mov_dr -> "MOV DR"
+  | Io_instruction -> "I/O instruction"
+  | Rdmsr -> "RDMSR"
+  | Wrmsr -> "WRMSR"
+  | Entry_failure_guest_state -> "VM-entry failure (invalid guest state)"
+  | Entry_failure_msr_loading -> "VM-entry failure (MSR loading)"
+  | Mwait -> "MWAIT"
+  | Monitor_trap_flag -> "Monitor trap flag"
+  | Monitor -> "MONITOR"
+  | Pause -> "PAUSE"
+  | Entry_failure_machine_check -> "VM-entry failure (machine check)"
+  | Tpr_below_threshold -> "TPR below threshold"
+  | Apic_access -> "APIC access"
+  | Virtualized_eoi -> "Virtualized EOI"
+  | Gdtr_idtr_access -> "Access to GDTR or IDTR"
+  | Ldtr_tr_access -> "Access to LDTR or TR"
+  | Ept_violation -> "EPT violation"
+  | Ept_misconfiguration -> "EPT misconfiguration"
+  | Invept -> "INVEPT"
+  | Rdtscp -> "RDTSCP"
+  | Preemption_timer -> "VMX-preemption timer expired"
+  | Invvpid -> "INVVPID"
+  | Wbinvd -> "WBINVD"
+  | Xsetbv -> "XSETBV"
+  | Apic_write -> "APIC write"
+  | Rdrand -> "RDRAND"
+  | Invpcid -> "INVPCID"
+  | Vmfunc -> "VMFUNC"
+  | Encls -> "ENCLS"
+  | Rdseed -> "RDSEED"
+  | Pml_full -> "Page-modification log full"
+  | Xsaves -> "XSAVES"
+  | Xrstors -> "XRSTORS"
+
+let short_name = function
+  | Exception_or_nmi -> "EXC/NMI"
+  | External_interrupt -> "EXT. INT."
+  | Interrupt_window -> "INT.WI."
+  | Cpuid -> "CPUID"
+  | Hlt -> "HLT"
+  | Rdtsc -> "RDTSC"
+  | Rdtscp -> "RDTSCP"
+  | Vmcall -> "VMCALL"
+  | Cr_access -> "CR ACC."
+  | Io_instruction -> "I/O INST."
+  | Ept_violation -> "EPT VIOL."
+  | Rdmsr -> "RDMSR"
+  | Wrmsr -> "WRMSR"
+  | Preemption_timer -> "PREEMPT."
+  | Pause -> "PAUSE"
+  | Wbinvd -> "WBINVD"
+  | Xsetbv -> "XSETBV"
+  | Invlpg -> "INVLPG"
+  | Triple_fault -> "TRIPLE F."
+  | Entry_failure_guest_state -> "ENTRY FAIL"
+  | r -> name r
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+let entry_failure = function
+  | Entry_failure_guest_state | Entry_failure_msr_loading
+  | Entry_failure_machine_check -> true
+  | Exception_or_nmi | External_interrupt | Triple_fault | Init_signal
+  | Sipi | Io_smi | Other_smi | Interrupt_window | Nmi_window | Task_switch
+  | Cpuid | Getsec | Hlt | Invd | Invlpg | Rdpmc | Rdtsc | Rsm | Vmcall
+  | Vmclear | Vmlaunch | Vmptrld | Vmptrst | Vmread | Vmresume | Vmwrite
+  | Vmxoff | Vmxon | Cr_access | Mov_dr | Io_instruction | Rdmsr | Wrmsr
+  | Mwait | Monitor_trap_flag | Monitor | Pause | Tpr_below_threshold
+  | Apic_access | Virtualized_eoi | Gdtr_idtr_access | Ldtr_tr_access
+  | Ept_violation | Ept_misconfiguration | Invept | Rdtscp
+  | Preemption_timer | Invvpid | Wbinvd | Xsetbv | Apic_write | Rdrand
+  | Invpcid | Vmfunc | Encls | Rdseed | Pml_full | Xsaves | Xrstors ->
+      false
+
+let reason_field_value r =
+  let base = Int64.of_int (code r) in
+  if entry_failure r then Int64.logor base (Iris_util.Bits.bit 31) else base
+
+let of_reason_field v =
+  of_code (Int64.to_int (Int64.logand v 0xFFFFL))

@@ -1,0 +1,96 @@
+(** Basic VM-exit reasons (SDM Appendix C).
+
+    The paper: "Currently, Intel x86 architecture support 69 VM exit
+    reasons".  All of them are enumerated here; the subset our guest
+    workloads can actually trigger is exercised by the engine, the
+    rest are still valid seed/mutation targets. *)
+
+type t =
+  | Exception_or_nmi            (** 0 *)
+  | External_interrupt          (** 1 *)
+  | Triple_fault                (** 2 *)
+  | Init_signal                 (** 3 *)
+  | Sipi                        (** 4 *)
+  | Io_smi                      (** 5 *)
+  | Other_smi                   (** 6 *)
+  | Interrupt_window            (** 7 *)
+  | Nmi_window                  (** 8 *)
+  | Task_switch                 (** 9 *)
+  | Cpuid                       (** 10 *)
+  | Getsec                      (** 11 *)
+  | Hlt                         (** 12 *)
+  | Invd                        (** 13 *)
+  | Invlpg                      (** 14 *)
+  | Rdpmc                       (** 15 *)
+  | Rdtsc                       (** 16 *)
+  | Rsm                         (** 17 *)
+  | Vmcall                      (** 18 *)
+  | Vmclear                     (** 19 *)
+  | Vmlaunch                    (** 20 *)
+  | Vmptrld                     (** 21 *)
+  | Vmptrst                     (** 22 *)
+  | Vmread                      (** 23 *)
+  | Vmresume                    (** 24 *)
+  | Vmwrite                     (** 25 *)
+  | Vmxoff                      (** 26 *)
+  | Vmxon                       (** 27 *)
+  | Cr_access                   (** 28 *)
+  | Mov_dr                      (** 29 *)
+  | Io_instruction              (** 30 *)
+  | Rdmsr                       (** 31 *)
+  | Wrmsr                       (** 32 *)
+  | Entry_failure_guest_state   (** 33 *)
+  | Entry_failure_msr_loading   (** 34 *)
+  | Mwait                       (** 36 *)
+  | Monitor_trap_flag           (** 37 *)
+  | Monitor                     (** 39 *)
+  | Pause                       (** 40 *)
+  | Entry_failure_machine_check (** 41 *)
+  | Tpr_below_threshold         (** 43 *)
+  | Apic_access                 (** 44 *)
+  | Virtualized_eoi             (** 45 *)
+  | Gdtr_idtr_access            (** 46 *)
+  | Ldtr_tr_access              (** 47 *)
+  | Ept_violation               (** 48 *)
+  | Ept_misconfiguration        (** 49 *)
+  | Invept                      (** 50 *)
+  | Rdtscp                      (** 51 *)
+  | Preemption_timer            (** 52 *)
+  | Invvpid                     (** 53 *)
+  | Wbinvd                      (** 54 *)
+  | Xsetbv                      (** 55 *)
+  | Apic_write                  (** 56 *)
+  | Rdrand                      (** 57 *)
+  | Invpcid                     (** 58 *)
+  | Vmfunc                      (** 59 *)
+  | Encls                       (** 60 *)
+  | Rdseed                      (** 61 *)
+  | Pml_full                    (** 62 *)
+  | Xsaves                      (** 63 *)
+  | Xrstors                     (** 64 *)
+
+val all : t list
+
+val code : t -> int
+(** Basic exit-reason number. *)
+
+val of_code : int -> t option
+
+val name : t -> string
+(** Long name, e.g. "Control-register accesses". *)
+
+val short_name : t -> string
+(** The figure labels the paper uses: "CR ACC.", "EXT. INT.",
+    "I/O INST.", "EPT VIOL.", "INT.WI.", ... *)
+
+val pp : Format.formatter -> t -> unit
+
+val entry_failure : t -> bool
+(** Reasons 33, 34, 41: set the "VM-entry failure" bit (31) in the
+    exit-reason VMCS field. *)
+
+val reason_field_value : t -> int64
+(** Value stored in the VM_EXIT_REASON VMCS field, including the
+    entry-failure bit. *)
+
+val of_reason_field : int64 -> t option

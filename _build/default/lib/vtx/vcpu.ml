@@ -1,0 +1,208 @@
+open Iris_x86
+module F = Iris_vmcs.Field
+module V = Iris_vmcs.Vmcs
+
+type t = {
+  regs : Gpr.file;
+  mutable rip : int64;
+  mutable rsp : int64;
+  mutable rflags : int64;
+  mutable cr0 : int64;
+  mutable cr2 : int64;
+  mutable cr3 : int64;
+  mutable cr4 : int64;
+  mutable cr8 : int64;
+  mutable efer : int64;
+  msrs : Msr.file;
+  segs : Segment.t array;
+  mutable gdtr_base : int64;
+  mutable gdtr_limit : int64;
+  mutable idtr_base : int64;
+  mutable idtr_limit : int64;
+  mutable dr7 : int64;
+  mutable activity : int64;
+  mutable interruptibility : int64;
+  mutable pending_extint : int option;
+  mutable in_delivery : Exn.t option;
+  mutable force_triple_fault : bool;
+  mutable code_base : int64;
+  mutable code_size : int64;
+  mutable host_timer_deadline : int64;
+  mutable host_timer_period : int64;
+  mutable host_timer_vector : int;
+  clock : Clock.t;
+  vmx : Iris_vmcs.Vmx_op.ctx;
+  vmcs : V.t;
+  mutable preemption_timer : int64;
+  mutable exits : int;
+}
+
+let seg_index n =
+  let open Segment in
+  match n with
+  | Cs -> 0 | Ds -> 1 | Es -> 2 | Fs -> 3 | Gs -> 4 | Ss -> 5
+  | Tr -> 6 | Ldtr -> 7
+
+let create () =
+  let segs =
+    Array.of_list (List.map Segment.real_mode Segment.all_names)
+  in
+  segs.(seg_index Segment.Tr) <- Segment.initial_tr;
+  segs.(seg_index Segment.Ldtr) <- Segment.initial_ldtr;
+  { regs = Gpr.create ();
+    rip = 0x1000L;
+    rsp = 0x8000L;
+    rflags = Rflags.reset_value;
+    cr0 = Cr0.reset_value;
+    cr2 = 0L;
+    cr3 = 0L;
+    cr4 = 0L;
+    cr8 = 0L;
+    efer = 0L;
+    msrs = Msr.create_file ();
+    segs;
+    gdtr_base = 0L;
+    gdtr_limit = 0xFFFFL;
+    idtr_base = 0L;
+    idtr_limit = 0x3FFL;
+    dr7 = 0x400L;
+    activity = Iris_vmcs.Controls.activity_active;
+    interruptibility = 0L;
+    pending_extint = None;
+    in_delivery = None;
+    force_triple_fault = false;
+    code_base = 0x1000L;
+    code_size = 0xE000L;
+    host_timer_deadline = 0L;
+    host_timer_period = 0L;
+    host_timer_vector = 0xEF;
+    clock = Clock.create ();
+    vmx = Iris_vmcs.Vmx_op.create ();
+    vmcs = V.create ();
+    preemption_timer = 0L;
+    exits = 0 }
+
+let get_seg t n = t.segs.(seg_index n)
+
+let set_seg t n s = t.segs.(seg_index n) <- s
+
+let mode t = Cpu_mode.of_cr0 t.cr0
+
+let if_enabled t =
+  Rflags.test t.rflags Rflags.IF
+  && Int64.logand t.interruptibility
+       (Int64.logor Iris_vmcs.Controls.interruptibility_sti_blocking
+          Iris_vmcs.Controls.interruptibility_mov_ss_blocking)
+     = 0L
+
+let advance_rip t len =
+  assert (len >= 0);
+  let off = Int64.sub t.rip t.code_base in
+  let off' = Int64.rem (Int64.add off (Int64.of_int len)) t.code_size in
+  t.rip <- Int64.add t.code_base off'
+
+(* Hardware guest-state save.  Uses the processor-internal write path:
+   these stores are performed by the CPU during the exit transition,
+   not by hypervisor VMWRITEs, so they are invisible to IRIS hooks. *)
+let save_to_vmcs t =
+  let w f v = V.write_exit_info t.vmcs f v in
+  w F.guest_cr0 t.cr0;
+  w F.guest_cr3 t.cr3;
+  w F.guest_cr4 t.cr4;
+  w F.guest_rip t.rip;
+  w F.guest_rsp t.rsp;
+  w F.guest_rflags t.rflags;
+  w F.guest_ia32_efer t.efer;
+  w F.guest_dr7 t.dr7;
+  w F.guest_activity_state t.activity;
+  w F.guest_interruptibility_info t.interruptibility;
+  w F.guest_gdtr_base t.gdtr_base;
+  w F.guest_gdtr_limit t.gdtr_limit;
+  w F.guest_idtr_base t.idtr_base;
+  w F.guest_idtr_limit t.idtr_limit;
+  w F.guest_sysenter_cs (Msr.read t.msrs Msr.Ia32_sysenter_cs);
+  w F.guest_sysenter_esp (Msr.read t.msrs Msr.Ia32_sysenter_esp);
+  w F.guest_sysenter_eip (Msr.read t.msrs Msr.Ia32_sysenter_eip);
+  List.iter
+    (fun name ->
+      let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
+      let s = get_seg t name in
+      w sel_f (Int64.of_int s.Segment.selector);
+      w base_f s.Segment.base;
+      w limit_f s.Segment.limit;
+      w ar_f (Int64.of_int s.Segment.ar))
+    Segment.all_names
+
+let load_from_vmcs t =
+  let r f = V.read t.vmcs f in
+  t.cr0 <- r F.guest_cr0;
+  t.cr3 <- r F.guest_cr3;
+  t.cr4 <- r F.guest_cr4;
+  t.rip <- r F.guest_rip;
+  t.rsp <- r F.guest_rsp;
+  t.rflags <- Rflags.canonical (r F.guest_rflags);
+  t.efer <- r F.guest_ia32_efer;
+  t.dr7 <- r F.guest_dr7;
+  t.activity <- r F.guest_activity_state;
+  t.interruptibility <- r F.guest_interruptibility_info;
+  t.gdtr_base <- r F.guest_gdtr_base;
+  t.gdtr_limit <- r F.guest_gdtr_limit;
+  t.idtr_base <- r F.guest_idtr_base;
+  t.idtr_limit <- r F.guest_idtr_limit;
+  Msr.write t.msrs Msr.Ia32_sysenter_cs (r F.guest_sysenter_cs);
+  Msr.write t.msrs Msr.Ia32_sysenter_esp (r F.guest_sysenter_esp);
+  Msr.write t.msrs Msr.Ia32_sysenter_eip (r F.guest_sysenter_eip);
+  List.iter
+    (fun name ->
+      let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
+      set_seg t name
+        { Segment.selector = Int64.to_int (r sel_f);
+          base = r base_f;
+          limit = r limit_f;
+          ar = Int64.to_int (r ar_f) })
+    Segment.all_names;
+  t.preemption_timer <- r F.guest_preemption_timer
+
+let snapshot t =
+  { t with
+    regs = Gpr.copy t.regs;
+    msrs = Msr.copy_file t.msrs;
+    segs = Array.copy t.segs;
+    clock = Clock.copy t.clock;
+    vmx = Iris_vmcs.Vmx_op.copy t.vmx;
+    vmcs = V.copy t.vmcs }
+
+let restore t ~from =
+  Gpr.copy_into ~src:from.regs ~dst:t.regs;
+  t.rip <- from.rip;
+  t.rsp <- from.rsp;
+  t.rflags <- from.rflags;
+  t.cr0 <- from.cr0;
+  t.cr2 <- from.cr2;
+  t.cr3 <- from.cr3;
+  t.cr4 <- from.cr4;
+  t.cr8 <- from.cr8;
+  t.efer <- from.efer;
+  List.iter
+    (fun i -> Msr.write t.msrs i (Msr.read from.msrs i))
+    Msr.all;
+  Array.blit from.segs 0 t.segs 0 (Array.length t.segs);
+  t.gdtr_base <- from.gdtr_base;
+  t.gdtr_limit <- from.gdtr_limit;
+  t.idtr_base <- from.idtr_base;
+  t.idtr_limit <- from.idtr_limit;
+  t.dr7 <- from.dr7;
+  t.activity <- from.activity;
+  t.interruptibility <- from.interruptibility;
+  t.pending_extint <- from.pending_extint;
+  t.in_delivery <- from.in_delivery;
+  t.force_triple_fault <- from.force_triple_fault;
+  t.code_base <- from.code_base;
+  t.code_size <- from.code_size;
+  t.host_timer_deadline <- from.host_timer_deadline;
+  t.host_timer_period <- from.host_timer_period;
+  t.host_timer_vector <- from.host_timer_vector;
+  Clock.set t.clock (Clock.now from.clock);
+  V.restore_from t.vmcs ~src:from.vmcs;
+  t.preemption_timer <- from.preemption_timer;
+  t.exits <- from.exits

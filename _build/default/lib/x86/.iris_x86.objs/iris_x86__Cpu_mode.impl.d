@@ -1,0 +1,1 @@
+lib/x86/cpu_mode.ml: Cr0 Format Printf

@@ -1,0 +1,1 @@
+lib/x86/cpu_mode.mli: Format

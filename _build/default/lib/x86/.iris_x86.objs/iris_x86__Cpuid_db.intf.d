@@ -1,0 +1,1 @@
+lib/x86/cpuid_db.mli:

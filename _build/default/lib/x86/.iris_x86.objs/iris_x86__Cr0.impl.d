@@ -1,0 +1,1 @@
+lib/x86/cr0.ml: Format Iris_util List String

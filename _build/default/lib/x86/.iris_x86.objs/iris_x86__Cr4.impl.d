@@ -1,0 +1,1 @@
+lib/x86/cr4.ml: Format Int64 Iris_util List String

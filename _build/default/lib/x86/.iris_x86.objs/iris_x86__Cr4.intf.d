@@ -1,0 +1,1 @@
+lib/x86/cr4.mli: Format

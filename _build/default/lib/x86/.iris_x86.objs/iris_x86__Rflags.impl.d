@@ -1,0 +1,1 @@
+lib/x86/rflags.ml: Format Int64 Iris_util List String

@@ -1,0 +1,93 @@
+type regs = { eax : int64; ebx : int64; ecx : int64; edx : int64 }
+
+let max_basic_leaf = 0xDL
+
+let max_extended_leaf = 0x80000008L
+
+let feature_ecx_vmx = 0x20L
+
+let feature_edx_tsc = 0x10L
+
+let vendor_string = "GenuineIntel"
+
+let brand_string = "Intel(R) Core(TM) i7-4790 CPU @ 3.60GHz"
+
+(* Pack 4 bytes of a string into a little-endian register image. *)
+let pack s off =
+  let b i =
+    if off + i < String.length s then Int64.of_int (Char.code s.[off + i])
+    else 0L
+  in
+  Int64.logor (b 0)
+    (Int64.logor
+       (Int64.shift_left (b 1) 8)
+       (Int64.logor (Int64.shift_left (b 2) 16) (Int64.shift_left (b 3) 24)))
+
+let leaf0 =
+  { eax = max_basic_leaf;
+    ebx = pack "GenuineIntelGenuineIntel" 0;  (* "Genu" *)
+    edx = pack vendor_string 4;               (* "ineI" *)
+    ecx = pack vendor_string 8 }              (* "ntel" *)
+
+(* Family 6, model 0x3C (Haswell), stepping 3. *)
+let leaf1 =
+  { eax = 0x000306C3L;
+    ebx = 0x00100800L;
+    ecx = 0x7FFAFBFFL;  (* includes VMX (bit 5), x2APIC, TSC-deadline *)
+    edx = 0xBFEBFBFFL } (* includes TSC (bit 4), APIC, PAE, MSR *)
+
+let leaf_cache =
+  { eax = 0x76036301L; ebx = 0x00F0B5FFL; ecx = 0x0L; edx = 0x00C30000L }
+
+let leaf7 =
+  { eax = 0x0L; ebx = 0x000027ABL; ecx = 0x0L; edx = 0x0L }
+
+let leaf_ext0 =
+  { eax = max_extended_leaf; ebx = 0L; ecx = 0L; edx = 0L }
+
+let leaf_ext1 =
+  { eax = 0L; ebx = 0L; ecx = 0x21L; edx = 0x2C100800L }
+
+let brand_leaf n =
+  let off = n * 16 in
+  { eax = pack brand_string off;
+    ebx = pack brand_string (off + 4);
+    ecx = pack brand_string (off + 8);
+    edx = pack brand_string (off + 12) }
+
+let leaf_ext8 =
+  { eax = 0x3027L; ebx = 0L; ecx = 0L; edx = 0L } (* 39/48-bit addresses *)
+
+let zero = { eax = 0L; ebx = 0L; ecx = 0L; edx = 0L }
+
+let query ~leaf ~subleaf =
+  match leaf with
+  | 0x0L -> leaf0
+  | 0x1L -> leaf1
+  | 0x2L -> leaf_cache
+  | 0x4L ->
+      (* Deterministic cache topology: subleaf index selects level. *)
+      if subleaf > 3L then zero
+      else
+        { eax = Int64.add 0x121L (Int64.mul subleaf 0x20L);
+          ebx = 0x01C0003FL; ecx = 0x3FL; edx = 0x0L }
+  | 0x6L -> { eax = 0x77L; ebx = 0x2L; ecx = 0x9L; edx = 0x0L }
+  | 0x7L -> if subleaf = 0L then leaf7 else zero
+  | 0xAL -> { eax = 0x07300403L; ebx = 0L; ecx = 0L; edx = 0x603L }
+  | 0xBL ->
+      if subleaf = 0L then { eax = 1L; ebx = 2L; ecx = 0x100L; edx = 0L }
+      else if subleaf = 1L then { eax = 4L; ebx = 8L; ecx = 0x201L; edx = 0L }
+      else zero
+  | 0xDL -> { eax = 0x7L; ebx = 0x340L; ecx = 0x340L; edx = 0L }
+  | 0x80000000L -> leaf_ext0
+  | 0x80000001L -> leaf_ext1
+  | 0x80000002L -> brand_leaf 0
+  | 0x80000003L -> brand_leaf 1
+  | 0x80000004L -> brand_leaf 2
+  | 0x80000006L -> { eax = 0L; ebx = 0L; ecx = 0x01006040L; edx = 0L }
+  | 0x80000007L -> { eax = 0L; ebx = 0L; ecx = 0L; edx = 0x100L }
+  | 0x80000008L -> leaf_ext8
+  | _ ->
+      (* Out-of-range leaves mirror the highest basic leaf, like real
+         hardware with the default CPUID fault behaviour. *)
+      { eax = 0x7L; ebx = 0x340L; ecx = 0x340L; edx = 0L }

@@ -1,0 +1,27 @@
+(** CPUID leaf database.
+
+    CPUID unconditionally VM-exits (reason 10).  The hypervisor policy
+    layer filters the physical leaves: it hides VMX from the guest,
+    caps the leaf range, and rewrites topology.  The database here is
+    modelled on the Xeon i7-4790 (Haswell) used in the paper's
+    testbed. *)
+
+type regs = { eax : int64; ebx : int64; ecx : int64; edx : int64 }
+
+val query : leaf:int64 -> subleaf:int64 -> regs
+(** Raw (host) values.  Out-of-range leaves return the highest basic
+    leaf's values, as real hardware does. *)
+
+val max_basic_leaf : int64
+val max_extended_leaf : int64
+
+val feature_ecx_vmx : int64
+(** Bit 5 of leaf 1 ECX — masked out of guest-visible values. *)
+
+val feature_edx_tsc : int64
+(** Bit 4 of leaf 1 EDX. *)
+
+val vendor_string : string
+(** "GenuineIntel". *)
+
+val brand_string : string

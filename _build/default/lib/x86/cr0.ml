@@ -1,0 +1,36 @@
+type flag = PE | MP | EM | TS | ET | NE | WP | AM | NW | CD | PG
+
+let bit_of_flag = function
+  | PE -> 0 | MP -> 1 | EM -> 2 | TS -> 3 | ET -> 4 | NE -> 5
+  | WP -> 16 | AM -> 18 | NW -> 29 | CD -> 30 | PG -> 31
+
+let all_flags = [ PE; MP; EM; TS; ET; NE; WP; AM; NW; CD; PG ]
+
+let flag_name = function
+  | PE -> "PE" | MP -> "MP" | EM -> "EM" | TS -> "TS" | ET -> "ET"
+  | NE -> "NE" | WP -> "WP" | AM -> "AM" | NW -> "NW" | CD -> "CD"
+  | PG -> "PG"
+
+let test v f = Iris_util.Bits.test v (bit_of_flag f)
+
+let set v f = Iris_util.Bits.set v (bit_of_flag f)
+
+let clear v f = Iris_util.Bits.clear v (bit_of_flag f)
+
+let assign v f b = Iris_util.Bits.assign v (bit_of_flag f) b
+
+let reset_value = 0x60000010L
+
+let valid v =
+  let pg_needs_pe = (not (test v PG)) || test v PE in
+  let nw_needs_cd = (not (test v NW)) || test v CD in
+  pg_needs_pe && nw_needs_cd
+
+let pp fmt v =
+  let names =
+    List.filter_map
+      (fun f -> if test v f then Some (flag_name f) else None)
+      all_flags
+  in
+  let s = match names with [] -> "-" | _ -> String.concat "|" names in
+  Format.fprintf fmt "%s (0x%Lx)" s v

@@ -1,0 +1,41 @@
+(** Control register CR0.
+
+    CR0 drives the operating-mode lattice the paper tracks in Fig. 8:
+    PE selects protected mode, PG enables paging, and AM/TS/CD/NW
+    refine the mode further.  MOV-to/from-CR0 is a sensitive operation
+    that VM-exits (reason 28, "Control-register accesses") subject to
+    the guest/host mask and read shadow held in the VMCS. *)
+
+type flag =
+  | PE  (** bit 0: protection enable *)
+  | MP  (** bit 1: monitor coprocessor *)
+  | EM  (** bit 2: x87 emulation *)
+  | TS  (** bit 3: task switched *)
+  | ET  (** bit 4: extension type (fixed 1 on modern CPUs) *)
+  | NE  (** bit 5: numeric error *)
+  | WP  (** bit 16: write protect *)
+  | AM  (** bit 18: alignment mask *)
+  | NW  (** bit 29: not write-through *)
+  | CD  (** bit 30: cache disable *)
+  | PG  (** bit 31: paging *)
+
+val bit_of_flag : flag -> int
+val all_flags : flag list
+val flag_name : flag -> string
+
+val test : int64 -> flag -> bool
+val set : int64 -> flag -> int64
+val clear : int64 -> flag -> int64
+val assign : int64 -> flag -> bool -> int64
+
+val reset_value : int64
+(** Architectural CR0 value after INIT/reset: [0x60000010]
+    (CD | NW | ET). *)
+
+val valid : int64 -> bool
+(** Architectural consistency: PG requires PE; NW requires CD
+    (setting NW with CD clear is a #GP source and a VM-entry check
+    failure). *)
+
+val pp : Format.formatter -> int64 -> unit
+(** Symbolic rendering, e.g. "PE|PG|NE (0x80000031)". *)

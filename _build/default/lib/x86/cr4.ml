@@ -1,0 +1,48 @@
+type flag =
+  | VME | PVI | TSD | DE | PSE | PAE | MCE | PGE | PCE
+  | OSFXSR | OSXMMEXCPT | UMIP | VMXE | SMXE | FSGSBASE
+  | PCIDE | OSXSAVE | SMEP | SMAP
+
+let bit_of_flag = function
+  | VME -> 0 | PVI -> 1 | TSD -> 2 | DE -> 3 | PSE -> 4 | PAE -> 5
+  | MCE -> 6 | PGE -> 7 | PCE -> 8 | OSFXSR -> 9 | OSXMMEXCPT -> 10
+  | UMIP -> 11 | VMXE -> 13 | SMXE -> 14 | FSGSBASE -> 16 | PCIDE -> 17
+  | OSXSAVE -> 18 | SMEP -> 20 | SMAP -> 21
+
+let all_flags =
+  [ VME; PVI; TSD; DE; PSE; PAE; MCE; PGE; PCE; OSFXSR; OSXMMEXCPT;
+    UMIP; VMXE; SMXE; FSGSBASE; PCIDE; OSXSAVE; SMEP; SMAP ]
+
+let flag_name = function
+  | VME -> "VME" | PVI -> "PVI" | TSD -> "TSD" | DE -> "DE"
+  | PSE -> "PSE" | PAE -> "PAE" | MCE -> "MCE" | PGE -> "PGE"
+  | PCE -> "PCE" | OSFXSR -> "OSFXSR" | OSXMMEXCPT -> "OSXMMEXCPT"
+  | UMIP -> "UMIP" | VMXE -> "VMXE" | SMXE -> "SMXE"
+  | FSGSBASE -> "FSGSBASE" | PCIDE -> "PCIDE" | OSXSAVE -> "OSXSAVE"
+  | SMEP -> "SMEP" | SMAP -> "SMAP"
+
+let test v f = Iris_util.Bits.test v (bit_of_flag f)
+
+let set v f = Iris_util.Bits.set v (bit_of_flag f)
+
+let clear v f = Iris_util.Bits.clear v (bit_of_flag f)
+
+let assign v f b = Iris_util.Bits.assign v (bit_of_flag f) b
+
+let defined_mask =
+  List.fold_left (fun acc f -> Iris_util.Bits.set acc (bit_of_flag f)) 0L all_flags
+
+let reserved_mask = Int64.lognot defined_mask
+
+let valid v =
+  Int64.logand v reserved_mask = 0L
+  && ((not (test v PCIDE)) || test v PAE)
+
+let pp fmt v =
+  let names =
+    List.filter_map
+      (fun f -> if test v f then Some (flag_name f) else None)
+      all_flags
+  in
+  let s = match names with [] -> "-" | _ -> String.concat "|" names in
+  Format.fprintf fmt "%s (0x%Lx)" s v

@@ -1,0 +1,45 @@
+(** Control register CR4.
+
+    Like CR0, CR4 accesses are sensitive and subject to a guest/host
+    mask and read shadow in the VMCS.  VMXE (bit 13) must be set while
+    in VMX operation, which VM-entry checks enforce for the host and
+    which a guest must not be able to observe cleared. *)
+
+type flag =
+  | VME        (** bit 0 *)
+  | PVI        (** bit 1 *)
+  | TSD        (** bit 2: RDTSC restricted to CPL0 *)
+  | DE         (** bit 3 *)
+  | PSE        (** bit 4 *)
+  | PAE        (** bit 5 *)
+  | MCE        (** bit 6 *)
+  | PGE        (** bit 7 *)
+  | PCE        (** bit 8 *)
+  | OSFXSR     (** bit 9 *)
+  | OSXMMEXCPT (** bit 10 *)
+  | UMIP       (** bit 11 *)
+  | VMXE       (** bit 13 *)
+  | SMXE       (** bit 14 *)
+  | FSGSBASE   (** bit 16 *)
+  | PCIDE      (** bit 17 *)
+  | OSXSAVE    (** bit 18 *)
+  | SMEP       (** bit 20 *)
+  | SMAP       (** bit 21 *)
+
+val bit_of_flag : flag -> int
+val all_flags : flag list
+val flag_name : flag -> string
+
+val test : int64 -> flag -> bool
+val set : int64 -> flag -> int64
+val clear : int64 -> flag -> int64
+val assign : int64 -> flag -> bool -> int64
+
+val reserved_mask : int64
+(** Bits that must be zero; setting any is a #GP in a guest and a
+    VM-entry failure in the guest-state area. *)
+
+val valid : int64 -> bool
+(** No reserved bit set, and PCIDE requires PAE. *)
+
+val pp : Format.formatter -> int64 -> unit

@@ -1,0 +1,42 @@
+type t =
+  | DE | DB | NMI | BP | OF | BR | UD | NM | DF
+  | TS | NP | SS | GP | PF | MF | AC | MC | XM | VE
+
+let vector = function
+  | DE -> 0 | DB -> 1 | NMI -> 2 | BP -> 3 | OF -> 4 | BR -> 5
+  | UD -> 6 | NM -> 7 | DF -> 8 | TS -> 10 | NP -> 11 | SS -> 12
+  | GP -> 13 | PF -> 14 | MF -> 16 | AC -> 17 | MC -> 18 | XM -> 19
+  | VE -> 20
+
+let all =
+  [ DE; DB; NMI; BP; OF; BR; UD; NM; DF; TS; NP; SS; GP; PF; MF; AC;
+    MC; XM; VE ]
+
+let of_vector v = List.find_opt (fun e -> vector e = v) all
+
+let name = function
+  | DE -> "#DE" | DB -> "#DB" | NMI -> "NMI" | BP -> "#BP" | OF -> "#OF"
+  | BR -> "#BR" | UD -> "#UD" | NM -> "#NM" | DF -> "#DF" | TS -> "#TS"
+  | NP -> "#NP" | SS -> "#SS" | GP -> "#GP" | PF -> "#PF" | MF -> "#MF"
+  | AC -> "#AC" | MC -> "#MC" | XM -> "#XM" | VE -> "#VE"
+
+let pp fmt e = Format.pp_print_string fmt (name e)
+
+let has_error_code = function
+  | DF | TS | NP | SS | GP | PF | AC -> true
+  | DE | DB | NMI | BP | OF | BR | UD | NM | MF | MC | XM | VE -> false
+
+let is_contributory = function
+  | DE | TS | NP | SS | GP -> true
+  | DB | NMI | BP | OF | BR | UD | NM | DF | PF | MF | AC | MC | XM | VE ->
+      false
+
+let escalate ~current next =
+  match current with
+  | None -> `Deliver next
+  | Some DF -> `Triple
+  | Some cur ->
+      let contributes =
+        (is_contributory cur || cur = PF) && (is_contributory next || next = PF)
+      in
+      if contributes then `Double else `Deliver next

@@ -1,0 +1,48 @@
+(** Architectural exception vectors.
+
+    Exceptions raised while a VM runs either stay inside the guest or
+    VM-exit (reason 0, "exception or NMI") according to the exception
+    bitmap in the VMCS.  The hypervisor can also *inject* exceptions
+    into the guest through the VM-entry interruption-information field
+    — the mechanism behind #GP on bad MSR accesses and behind the
+    double/triple-fault escalation that the fuzzer's failure triage
+    classifies as a VM crash. *)
+
+type t =
+  | DE   (** 0: divide error *)
+  | DB   (** 1: debug *)
+  | NMI  (** 2 *)
+  | BP   (** 3: breakpoint *)
+  | OF   (** 4: overflow *)
+  | BR   (** 5: bound range *)
+  | UD   (** 6: invalid opcode *)
+  | NM   (** 7: device not available *)
+  | DF   (** 8: double fault *)
+  | TS   (** 10: invalid TSS *)
+  | NP   (** 11: segment not present *)
+  | SS   (** 12: stack fault *)
+  | GP   (** 13: general protection *)
+  | PF   (** 14: page fault *)
+  | MF   (** 16: x87 FP *)
+  | AC   (** 17: alignment check *)
+  | MC   (** 18: machine check *)
+  | XM   (** 19: SIMD FP *)
+  | VE   (** 20: virtualisation exception *)
+
+val vector : t -> int
+val of_vector : int -> t option
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val has_error_code : t -> bool
+(** Whether the exception pushes an error code (DF, TS, NP, SS, GP,
+    PF, AC). *)
+
+val is_contributory : t -> bool
+(** Contributory exceptions escalate to double fault when raised while
+    delivering another contributory exception or a page fault. *)
+
+val escalate : current:t option -> t -> [ `Deliver of t | `Double | `Triple ]
+(** Fault-delivery escalation: a fault during double-fault delivery is
+    a triple fault, which shuts the VM down (the hypervisor sees exit
+    reason 2). *)

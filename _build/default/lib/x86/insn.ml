@@ -1,0 +1,102 @@
+type cr = Creg0 | Creg3 | Creg4 | Creg8
+
+let cr_number = function Creg0 -> 0 | Creg3 -> 3 | Creg4 -> 4 | Creg8 -> 8
+
+let cr_of_number = function
+  | 0 -> Some Creg0
+  | 3 -> Some Creg3
+  | 4 -> Some Creg4
+  | 8 -> Some Creg8
+  | _ -> None
+
+let cr_name c = Printf.sprintf "cr%d" (cr_number c)
+
+type io_width = Io8 | Io16 | Io32
+
+let io_bytes = function Io8 -> 1 | Io16 -> 2 | Io32 -> 4
+
+type t =
+  | Compute of int
+  | Set_gpr of Gpr.reg * int64
+  | Rdtsc
+  | Rdtscp
+  | Hlt
+  | Pause
+  | Cpuid of { leaf : int64; subleaf : int64 }
+  | Rdmsr of int64
+  | Wrmsr of int64 * int64
+  | Mov_to_cr of cr * int64
+  | Mov_from_cr of cr * Gpr.reg
+  | Clts
+  | Lgdt of { base : int64; limit : int }
+  | Lidt of { base : int64; limit : int }
+  | Ltr of int
+  | Out of { port : int; width : io_width; value : int64 }
+  | In of { port : int; width : io_width; dst : Gpr.reg }
+  | Outs of { port : int; width : io_width; src : int64; count : int }
+  | Ins of { port : int; width : io_width; dst_mem : int64; count : int }
+  | Read_mem of { gpa : int64; width : int }
+  | Write_mem of { gpa : int64; width : int; value : int64 }
+  | Vmcall of { nr : int64; arg : int64 }
+  | Far_jump of { target : int64; code64 : bool }
+  | Sti
+  | Cli
+  | Invlpg of int64
+  | Wbinvd
+  | Xsetbv of { idx : int64; value : int64 }
+  | Int3
+
+let mnemonic = function
+  | Compute _ -> "compute"
+  | Set_gpr _ -> "mov"
+  | Rdtsc -> "rdtsc"
+  | Rdtscp -> "rdtscp"
+  | Hlt -> "hlt"
+  | Pause -> "pause"
+  | Cpuid _ -> "cpuid"
+  | Rdmsr _ -> "rdmsr"
+  | Wrmsr _ -> "wrmsr"
+  | Mov_to_cr (c, _) -> "mov_to_" ^ cr_name c
+  | Mov_from_cr (c, _) -> "mov_from_" ^ cr_name c
+  | Clts -> "clts"
+  | Lgdt _ -> "lgdt"
+  | Lidt _ -> "lidt"
+  | Ltr _ -> "ltr"
+  | Out _ -> "out"
+  | In _ -> "in"
+  | Outs _ -> "outs"
+  | Ins _ -> "ins"
+  | Read_mem _ -> "mov_load"
+  | Write_mem _ -> "mov_store"
+  | Vmcall _ -> "vmcall"
+  | Far_jump _ -> "ljmp"
+  | Sti -> "sti"
+  | Cli -> "cli"
+  | Invlpg _ -> "invlpg"
+  | Wbinvd -> "wbinvd"
+  | Xsetbv _ -> "xsetbv"
+  | Int3 -> "int3"
+
+let base_cycles = function
+  | Compute n -> n
+  | Set_gpr _ -> 1
+  | Rdtsc | Rdtscp -> 25
+  | Hlt -> 10
+  | Pause -> 10
+  | Cpuid _ -> 100
+  | Rdmsr _ | Wrmsr _ -> 80
+  | Mov_to_cr _ | Mov_from_cr _ -> 20
+  | Clts -> 10
+  | Lgdt _ | Lidt _ | Ltr _ -> 60
+  | Out _ | In _ -> 50
+  | Outs { count; _ } | Ins { count; _ } -> 50 * max 1 count
+  | Read_mem _ | Write_mem _ -> 5
+  | Vmcall _ -> 50
+  | Far_jump _ -> 30
+  | Sti | Cli -> 5
+  | Invlpg _ -> 100
+  | Wbinvd -> 2000
+  | Xsetbv _ -> 80
+  | Int3 -> 30
+
+let pp fmt i = Format.pp_print_string fmt (mnemonic i)

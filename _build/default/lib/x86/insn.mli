@@ -1,0 +1,69 @@
+(** Abstract guest instruction stream.
+
+    Guest workloads are programs over this small ISA.  Only the
+    distinction that matters to hardware-assisted virtualization is
+    modelled: whether an instruction is *sensitive* (may trap to the
+    hypervisor depending on the VMCS execution controls) and what
+    architectural effect it has.  Plain computation is abstracted as
+    [Compute n] — [n] cycles of non-root execution that never exit,
+    which is exactly the time the paper's replay mechanism saves by
+    skipping guest execution. *)
+
+type cr = Creg0 | Creg3 | Creg4 | Creg8
+
+val cr_number : cr -> int
+val cr_of_number : int -> cr option
+val cr_name : cr -> string
+
+type io_width = Io8 | Io16 | Io32
+
+val io_bytes : io_width -> int
+
+type t =
+  | Compute of int
+      (** [n] cycles of non-sensitive execution. *)
+  | Set_gpr of Gpr.reg * int64
+      (** Non-sensitive register write (models MOV imm). *)
+  | Rdtsc
+  | Rdtscp
+  | Hlt
+  | Pause
+  | Cpuid of { leaf : int64; subleaf : int64 }
+  | Rdmsr of int64
+  | Wrmsr of int64 * int64
+  | Mov_to_cr of cr * int64
+  | Mov_from_cr of cr * Gpr.reg
+  | Clts
+  | Lgdt of { base : int64; limit : int }
+  | Lidt of { base : int64; limit : int }
+  | Ltr of int
+  | Out of { port : int; width : io_width; value : int64 }
+  | In of { port : int; width : io_width; dst : Gpr.reg }
+  | Outs of { port : int; width : io_width; src : int64; count : int }
+      (** String I/O from guest memory — forces the hypervisor's
+          instruction emulator to dereference guest memory. *)
+  | Ins of { port : int; width : io_width; dst_mem : int64; count : int }
+  | Read_mem of { gpa : int64; width : int }
+      (** May hit an MMIO region and cause an EPT violation. *)
+  | Write_mem of { gpa : int64; width : int; value : int64 }
+  | Vmcall of { nr : int64; arg : int64 }
+  | Far_jump of { target : int64; code64 : bool }
+      (** Non-sensitive control transfer that reloads CS — how a guest
+          lands in its protected/long-mode code region after flipping
+          CR0.PE (see SDM 9.9.1, the paper's §III example). *)
+  | Sti
+  | Cli
+  | Invlpg of int64
+  | Wbinvd
+  | Xsetbv of { idx : int64; value : int64 }
+  | Int3
+
+val mnemonic : t -> string
+(** Short opcode-like name, e.g. "rdtsc", "mov_to_cr0". *)
+
+val base_cycles : t -> int
+(** Cost in guest (non-root) cycles when the instruction does not
+    trap.  [Compute n] costs [n]; HLT's waiting time is decided by the
+    platform (time to next interrupt), not here. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type flag =
+  | CF | PF | AF | ZF | SF | TF | IF | DF | OF | NT
+  | RF | VM | AC | VIF | VIP | ID
+
+let bit_of_flag = function
+  | CF -> 0 | PF -> 2 | AF -> 4 | ZF -> 6 | SF -> 7 | TF -> 8
+  | IF -> 9 | DF -> 10 | OF -> 11 | NT -> 14 | RF -> 16 | VM -> 17
+  | AC -> 18 | VIF -> 19 | VIP -> 20 | ID -> 21
+
+let flag_name = function
+  | CF -> "CF" | PF -> "PF" | AF -> "AF" | ZF -> "ZF" | SF -> "SF"
+  | TF -> "TF" | IF -> "IF" | DF -> "DF" | OF -> "OF" | NT -> "NT"
+  | RF -> "RF" | VM -> "VM" | AC -> "AC" | VIF -> "VIF" | VIP -> "VIP"
+  | ID -> "ID"
+
+let all_flags =
+  [ CF; PF; AF; ZF; SF; TF; IF; DF; OF; NT; RF; VM; AC; VIF; VIP; ID ]
+
+let test v f = Iris_util.Bits.test v (bit_of_flag f)
+
+let set v f = Iris_util.Bits.set v (bit_of_flag f)
+
+let clear v f = Iris_util.Bits.clear v (bit_of_flag f)
+
+let assign v f b = Iris_util.Bits.assign v (bit_of_flag f) b
+
+let reset_value = 0x2L
+
+let defined_mask =
+  List.fold_left
+    (fun acc f -> Iris_util.Bits.set acc (bit_of_flag f))
+    0x2L all_flags
+
+let canonical v = Int64.logor (Int64.logand v defined_mask) 0x2L
+
+let entry_valid v =
+  Iris_util.Bits.test v 1 && Int64.logand v (Int64.lognot defined_mask) = 0L
+
+let pp fmt v =
+  let names =
+    List.filter_map
+      (fun f -> if test v f then Some (flag_name f) else None)
+      all_flags
+  in
+  let s = match names with [] -> "-" | _ -> String.concat "|" names in
+  Format.fprintf fmt "%s (0x%Lx)" s v

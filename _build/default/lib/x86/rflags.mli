@@ -1,0 +1,48 @@
+(** RFLAGS register.
+
+    Saved/restored through the VMCS guest-state area on every exit and
+    entry.  VM-entry checks require bit 1 set and several bits clear;
+    the IF flag gates external-interrupt injection and the interrupt-
+    window exit the hypervisor requests when it must deliver an
+    interrupt to a guest with interrupts masked. *)
+
+type flag =
+  | CF   (** bit 0 *)
+  | PF   (** bit 2 *)
+  | AF   (** bit 4 *)
+  | ZF   (** bit 6 *)
+  | SF   (** bit 7 *)
+  | TF   (** bit 8 *)
+  | IF   (** bit 9: interrupt enable *)
+  | DF   (** bit 10 *)
+  | OF   (** bit 11 *)
+  | NT   (** bit 14 *)
+  | RF   (** bit 16 *)
+  | VM   (** bit 17: virtual-8086 *)
+  | AC   (** bit 18 *)
+  | VIF  (** bit 19 *)
+  | VIP  (** bit 20 *)
+  | ID   (** bit 21 *)
+
+val bit_of_flag : flag -> int
+val flag_name : flag -> string
+val all_flags : flag list
+
+val test : int64 -> flag -> bool
+val set : int64 -> flag -> int64
+val clear : int64 -> flag -> int64
+val assign : int64 -> flag -> bool -> int64
+
+val reset_value : int64
+(** [0x2]: only the fixed bit 1. *)
+
+val canonical : int64 -> int64
+(** Force bit 1 set and the always-zero bits (3, 5, 15, 22..63)
+    clear, as the hardware does on loads. *)
+
+val entry_valid : int64 -> bool
+(** The VM-entry check subset: bit 1 set, reserved bits clear, and VM
+    clear when the guest claims long/protected paging modes is checked
+    elsewhere. *)
+
+val pp : Format.formatter -> int64 -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Filename Gen Gpr Int64 Iris_core Iris_coverage Iris_guest Iris_hv Iris_vmcs Iris_vtx Iris_x86 List QCheck QCheck_alcotest String Sys

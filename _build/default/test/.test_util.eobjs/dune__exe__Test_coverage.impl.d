@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Iris_coverage List QCheck QCheck_alcotest

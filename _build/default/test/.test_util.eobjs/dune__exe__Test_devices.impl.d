@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Char Int64 Iris_devices List Pci Pic Pit Port_bus Rtc String Uart

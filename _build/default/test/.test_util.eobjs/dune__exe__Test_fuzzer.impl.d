@@ -1,0 +1,1 @@
+test/test_fuzzer.ml: Alcotest Array Gpr Int64 Iris_core Iris_fuzzer Iris_guest Iris_util Iris_vmcs Iris_vtx Iris_x86 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Cpu_mode Insn Iris_core Iris_coverage Iris_devices Iris_guest Iris_hv Iris_vtx Iris_x86 List String

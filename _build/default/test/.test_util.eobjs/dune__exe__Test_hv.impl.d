@@ -1,0 +1,1 @@
+test/test_hv.ml: Alcotest Bytes Char Cpu_mode Cpuid_db Cr0 Cr4 Exn Gpr Insn Int64 Iris_coverage Iris_devices Iris_hv Iris_memory Iris_vmcs Iris_vtx Iris_x86 List Msr Rflags String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cpu_mode Float Gpr Hashtbl Insn Int64 Iris_core Iris_coverage Iris_guest Iris_hv Iris_util Iris_vmcs Iris_vtx Iris_x86 List Printf

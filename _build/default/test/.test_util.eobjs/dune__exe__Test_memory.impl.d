@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Bytes Int64 Iris_memory Iris_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Cr0 Gpr Hashtbl Int64 Iris_core Iris_guest Iris_svm Iris_vmcs Iris_vtx Iris_x86 List Msr Printf Rflags

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Float Gen Int64 Iris_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vmcs.ml: Alcotest Array Cr0 Cr4 Hashtbl Int64 Iris_vmcs Iris_x86 List Printf QCheck QCheck_alcotest Rflags Segment String

@@ -1,0 +1,1 @@
+test/test_vtx.ml: Alcotest Cpu_mode Cr0 Gpr Insn Int64 Iris_memory Iris_util Iris_vmcs Iris_vtx Iris_x86 List Rflags Segment

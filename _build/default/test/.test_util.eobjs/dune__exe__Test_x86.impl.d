@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Char Cpu_mode Cpuid_db Cr0 Cr4 Exn Gpr Insn Int64 Iris_x86 List Msr QCheck QCheck_alcotest Rflags Segment String

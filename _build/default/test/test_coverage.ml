@@ -1,0 +1,326 @@
+(* Tests for the gcov-like coverage machinery: the store, spans, the
+   record/replay diff analysis, and the AFL-style bitmap. *)
+
+module Comp = Iris_coverage.Component
+module Cov = Iris_coverage.Cov
+module Diff = Iris_coverage.Diff
+module Bitmap = Iris_coverage.Bitmap
+
+let check = Alcotest.check
+
+(* --- Component --- *)
+
+let test_component_indices () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool (Comp.name c) true
+        (Comp.of_index (Comp.index c) = Some c))
+    Comp.all;
+  check Alcotest.int "count" (List.length Comp.all) Comp.count
+
+let test_component_paper_files () =
+  (* Fig. 7's clusters must exist by name. *)
+  let names = List.map Comp.name Comp.all in
+  List.iter
+    (fun n -> check Alcotest.bool n true (List.mem n names))
+    [ "vlapic.c"; "irq.c"; "vpt.c"; "emulate.c"; "intr.c"; "vmx.c" ]
+
+let test_iris_component_not_instrumented () =
+  (* "code coverage is cleaned up by removing hits due to the
+     execution of our record and replay components". *)
+  check Alcotest.bool "iris.c filtered" false (Comp.instrumented Comp.Iris_c);
+  check Alcotest.bool "vmx.c instrumented" true (Comp.instrumented Comp.Vmx_c)
+
+(* --- Cov --- *)
+
+let test_cov_hit_and_count () =
+  let c = Cov.create () in
+  check Alcotest.int "empty" 0 (Cov.unique_lines c);
+  Cov.hit c Comp.Vmx_c 10;
+  let n1 = Cov.unique_lines c in
+  check Alcotest.bool "block of lines registered" true (n1 >= 1 && n1 <= 8);
+  (* Re-hitting the same probe adds nothing new. *)
+  Cov.hit c Comp.Vmx_c 10;
+  check Alcotest.int "idempotent uniques" n1 (Cov.unique_lines c);
+  (* A different probe adds distinct lines. *)
+  Cov.hit c Comp.Vmx_c 50;
+  check Alcotest.bool "new probe adds" true (Cov.unique_lines c > n1)
+
+let test_cov_disabled () =
+  let c = Cov.create () in
+  Cov.disable c;
+  Cov.hit c Comp.Vmx_c 10;
+  check Alcotest.int "nothing while disabled" 0 (Cov.unique_lines c);
+  Cov.enable c;
+  Cov.hit c Comp.Vmx_c 10;
+  check Alcotest.bool "counts after enable" true (Cov.unique_lines c > 0)
+
+let test_cov_iris_filtered () =
+  let c = Cov.create () in
+  Cov.hit c Comp.Iris_c 10;
+  check Alcotest.int "iris.c hits dropped" 0 (Cov.unique_lines c)
+
+let test_cov_spans () =
+  let c = Cov.create () in
+  Cov.hit c Comp.Vmx_c 1;
+  let (), span = Cov.with_span c (fun () -> Cov.hit c Comp.Vmx_c 2) in
+  check Alcotest.bool "span contains probe-2 lines" true
+    (Cov.Pset.cardinal span > 0);
+  (* Spans include already-covered points hit again. *)
+  let (), span2 = Cov.with_span c (fun () -> Cov.hit c Comp.Vmx_c 2) in
+  check Alcotest.bool "re-hit included" true (Cov.Pset.equal span span2);
+  (* Points hit outside the span are not in it. *)
+  let all = Cov.covered c in
+  check Alcotest.bool "span smaller than total" true
+    (Cov.Pset.cardinal span < Cov.Pset.cardinal all)
+
+let test_cov_span_begin_end () =
+  let c = Cov.create () in
+  Cov.span_begin c;
+  Cov.hit c Comp.Irq_c 3;
+  let s = Cov.span_end c in
+  check Alcotest.bool "callback-style span" true (Cov.Pset.cardinal s > 0);
+  check Alcotest.bool "ended span empty" true
+    (Cov.Pset.is_empty (Cov.span_end c))
+
+let test_cov_lines_of_component () =
+  let c = Cov.create () in
+  Cov.hit c Comp.Vmx_c 1;
+  Cov.hit c Comp.Irq_c 1;
+  check Alcotest.bool "vmx lines present" true
+    (List.length (Cov.lines_of c Comp.Vmx_c) > 0);
+  check Alcotest.bool "vpt lines absent" true
+    (Cov.lines_of c Comp.Vpt_c = [])
+
+let test_cov_by_component () =
+  let c = Cov.create () in
+  Cov.hit c Comp.Vmx_c 1;
+  Cov.hit c Comp.Vmx_c 9;
+  Cov.hit c Comp.Irq_c 1;
+  let groups = Cov.by_component (Cov.covered c) in
+  check Alcotest.bool "vmx first (more lines)" true
+    (fst (List.hd groups) = Comp.Vmx_c)
+
+(* --- Diff --- *)
+
+let span_of probes =
+  let c = Cov.create () in
+  Cov.span_begin c;
+  List.iter (fun (comp, line) -> Cov.hit c comp line) probes;
+  Cov.span_end c
+
+let test_diff_exact_match () =
+  let a = span_of [ (Comp.Vmx_c, 1); (Comp.Irq_c, 2) ] in
+  let d = Diff.diff ~recorded:a ~replayed:a in
+  check Alcotest.int "no difference" 0 (Diff.total_lines d);
+  check Alcotest.bool "not noise" false (Diff.is_noise d)
+
+let test_diff_noise_classification () =
+  let recorded = span_of [ (Comp.Vmx_c, 1); (Comp.Vlapic_c, 3) ] in
+  let replayed = span_of [ (Comp.Vmx_c, 1) ] in
+  let d = Diff.diff ~recorded ~replayed in
+  check Alcotest.bool "small diff is noise" true (Diff.is_noise d);
+  check Alcotest.bool "missing on record side" true
+    (Cov.Pset.cardinal d.Diff.missing > 0);
+  check Alcotest.bool "vlapic named" true
+    (List.mem_assoc Comp.Vlapic_c (Diff.by_component d))
+
+let test_diff_divergent_classification () =
+  let recorded = span_of [ (Comp.Vmx_c, 1) ] in
+  let replayed =
+    span_of
+      ((Comp.Vmx_c, 1)
+      :: List.init 12 (fun i -> (Comp.Emulate_c, 100 + (i * 7))))
+  in
+  let d = Diff.diff ~recorded ~replayed in
+  check Alcotest.bool "large diff beyond threshold" true
+    (Diff.total_lines d > Diff.noise_threshold)
+
+let test_diff_summary_buckets () =
+  let base = span_of [ (Comp.Vmx_c, 1) ] in
+  let noisy = span_of [ (Comp.Vmx_c, 1); (Comp.Vpt_c, 5) ] in
+  let divergent =
+    span_of
+      ((Comp.Vmx_c, 1)
+      :: List.init 12 (fun i -> (Comp.Emulate_c, 200 + (i * 3))))
+  in
+  let diffs =
+    [ Diff.diff ~recorded:base ~replayed:base;
+      Diff.diff ~recorded:noisy ~replayed:base;
+      Diff.diff ~recorded:divergent ~replayed:base ]
+  in
+  let s = Diff.summarise diffs in
+  check Alcotest.int "one exact" 1 s.Diff.exact;
+  check Alcotest.int "one noise" 1 s.Diff.noise;
+  check Alcotest.int "one divergent" 1 s.Diff.divergent;
+  check Alcotest.bool "vpt in noise cluster" true
+    (List.mem_assoc Comp.Vpt_c s.Diff.noise_components);
+  check Alcotest.bool "emulate in divergent cluster" true
+    (List.mem_assoc Comp.Emulate_c s.Diff.divergent_components)
+
+let test_diff_fitting_pct () =
+  let a = span_of [ (Comp.Vmx_c, 1); (Comp.Vmx_c, 2) ] in
+  check (Alcotest.float 1e-9) "identical = 100%" 100.0
+    (Diff.fitting_pct ~recorded_cumulative:a ~replayed_cumulative:a);
+  check (Alcotest.float 1e-9) "empty replay = 0%" 0.0
+    (Diff.fitting_pct ~recorded_cumulative:a
+       ~replayed_cumulative:Cov.Pset.empty);
+  check (Alcotest.float 1e-9) "empty record = 100%" 100.0
+    (Diff.fitting_pct ~recorded_cumulative:Cov.Pset.empty
+       ~replayed_cumulative:a)
+
+(* --- Bitmap --- *)
+
+let test_bitmap_basics () =
+  let b = Bitmap.create ~size:4096 () in
+  check Alcotest.int "empty" 0 (Bitmap.set_bytes b);
+  let span = span_of [ (Comp.Vmx_c, 1); (Comp.Irq_c, 2) ] in
+  Bitmap.record_set b span;
+  check Alcotest.bool "bytes set" true (Bitmap.set_bytes b > 0)
+
+let test_bitmap_novelty () =
+  let virgin = Bitmap.create ~size:4096 () in
+  let m1 = Bitmap.create ~size:4096 () in
+  Bitmap.record_set m1 (span_of [ (Comp.Vmx_c, 1) ]);
+  let fresh1 = Bitmap.merge_new ~virgin m1 in
+  check Alcotest.bool "first merge is novel" true (fresh1 > 0);
+  let m2 = Bitmap.create ~size:4096 () in
+  Bitmap.record_set m2 (span_of [ (Comp.Vmx_c, 1) ]);
+  check Alcotest.int "same coverage not novel" 0
+    (Bitmap.merge_new ~virgin m2);
+  let m3 = Bitmap.create ~size:4096 () in
+  Bitmap.record_set m3 (span_of [ (Comp.Ept_c, 9) ]);
+  check Alcotest.bool "new coverage novel again" true
+    (Bitmap.merge_new ~virgin m3 > 0)
+
+let test_bitmap_reset_copy () =
+  let b = Bitmap.create ~size:4096 () in
+  Bitmap.record_set b (span_of [ (Comp.Vmx_c, 1) ]);
+  let c = Bitmap.copy b in
+  Bitmap.reset b;
+  check Alcotest.int "reset clears" 0 (Bitmap.set_bytes b);
+  check Alcotest.bool "copy kept" true (Bitmap.set_bytes c > 0)
+
+(* --- Ipt (processor-trace backend) --- *)
+
+module Ipt = Iris_coverage.Ipt
+
+let test_ipt_decode_matches_gcov () =
+  let ipt = Ipt.create () in
+  let c = Cov.create () in
+  let probes = [ (Comp.Vmx_c, 3); (Comp.Irq_c, 17); (Comp.Vmx_c, 3) ] in
+  List.iter
+    (fun (comp, line) ->
+      Cov.hit c comp line;
+      Ipt.emit ipt comp line)
+    probes;
+  check Alcotest.int "packets buffered" 3 (Ipt.packets ipt);
+  check Alcotest.bool "decode equals gcov coverage" true
+    (Cov.Pset.equal (Ipt.decode ipt) (Cov.covered c))
+
+let test_ipt_filtering_and_enable () =
+  let ipt = Ipt.create () in
+  Ipt.emit ipt Comp.Iris_c 1;
+  check Alcotest.int "iris.c filtered like PT IP ranges" 0 (Ipt.packets ipt);
+  Ipt.disable ipt;
+  Ipt.emit ipt Comp.Vmx_c 1;
+  check Alcotest.int "disabled emits nothing" 0 (Ipt.packets ipt);
+  Ipt.enable ipt;
+  Ipt.emit ipt Comp.Vmx_c 1;
+  check Alcotest.int "enabled emits" 1 (Ipt.packets ipt)
+
+let test_ipt_overflow_drops_oldest () =
+  let ipt = Ipt.create ~buffer_packets:4 () in
+  for line = 1 to 6 do
+    Ipt.emit ipt Comp.Vmx_c line
+  done;
+  check Alcotest.bool "overflowed" true (Ipt.overflowed ipt);
+  check Alcotest.int "capacity retained" 4 (Ipt.packets ipt);
+  (* Only the newest 4 probes (lines 3..6) survive. *)
+  let decoded = Ipt.decode ipt in
+  check Alcotest.bool "oldest dropped" false
+    (Cov.Pset.subset (Cov.block_points Comp.Vmx_c 1) decoded);
+  check Alcotest.bool "newest kept" true
+    (Cov.Pset.subset (Cov.block_points Comp.Vmx_c 6) decoded)
+
+let test_ipt_clear () =
+  let ipt = Ipt.create () in
+  Ipt.emit ipt Comp.Vmx_c 1;
+  Ipt.clear ipt;
+  check Alcotest.int "cleared" 0 (Ipt.packets ipt);
+  check Alcotest.bool "overflow reset" false (Ipt.overflowed ipt)
+
+let test_block_points_matches_hit () =
+  let c = Cov.create () in
+  Cov.hit c Comp.Ept_c 42;
+  check Alcotest.bool "block_points = hit expansion" true
+    (Cov.Pset.equal (Cov.block_points Comp.Ept_c 42) (Cov.covered c))
+
+(* --- properties --- *)
+
+let comp_gen =
+  QCheck.Gen.oneofl (List.filter Comp.instrumented Comp.all)
+
+let probes_gen =
+  QCheck.Gen.(list_size (int_range 0 20) (pair comp_gen (int_range 0 500)))
+
+let arb_probes = QCheck.make probes_gen
+
+let prop_span_subset_of_covered =
+  QCheck.Test.make ~name:"span is a subset of total coverage" ~count:200
+    arb_probes
+    (fun probes ->
+      let c = Cov.create () in
+      Cov.span_begin c;
+      List.iter (fun (comp, l) -> Cov.hit c comp l) probes;
+      let s = Cov.span_end c in
+      Cov.Pset.subset s (Cov.covered c))
+
+let prop_diff_symmetric_total =
+  QCheck.Test.make ~name:"diff total symmetric in its arguments" ~count:200
+    (QCheck.pair arb_probes arb_probes)
+    (fun (pa, pb) ->
+      let a = span_of pa and b = span_of pb in
+      Diff.total_lines (Diff.diff ~recorded:a ~replayed:b)
+      = Diff.total_lines (Diff.diff ~recorded:b ~replayed:a))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iris_coverage"
+    [ ( "component",
+        [ Alcotest.test_case "indices" `Quick test_component_indices;
+          Alcotest.test_case "paper files" `Quick test_component_paper_files;
+          Alcotest.test_case "iris not instrumented" `Quick
+            test_iris_component_not_instrumented ] );
+      ( "cov",
+        [ Alcotest.test_case "hit/count" `Quick test_cov_hit_and_count;
+          Alcotest.test_case "disabled" `Quick test_cov_disabled;
+          Alcotest.test_case "iris filtered" `Quick test_cov_iris_filtered;
+          Alcotest.test_case "spans" `Quick test_cov_spans;
+          Alcotest.test_case "span begin/end" `Quick test_cov_span_begin_end;
+          Alcotest.test_case "lines_of" `Quick test_cov_lines_of_component;
+          Alcotest.test_case "by_component" `Quick test_cov_by_component ] );
+      ( "diff",
+        [ Alcotest.test_case "exact" `Quick test_diff_exact_match;
+          Alcotest.test_case "noise" `Quick test_diff_noise_classification;
+          Alcotest.test_case "divergent" `Quick
+            test_diff_divergent_classification;
+          Alcotest.test_case "summary buckets" `Quick
+            test_diff_summary_buckets;
+          Alcotest.test_case "fitting pct" `Quick test_diff_fitting_pct ] );
+      ( "bitmap",
+        [ Alcotest.test_case "basics" `Quick test_bitmap_basics;
+          Alcotest.test_case "novelty" `Quick test_bitmap_novelty;
+          Alcotest.test_case "reset/copy" `Quick test_bitmap_reset_copy ] );
+      ( "ipt",
+        [ Alcotest.test_case "decode matches gcov" `Quick
+            test_ipt_decode_matches_gcov;
+          Alcotest.test_case "filtering/enable" `Quick
+            test_ipt_filtering_and_enable;
+          Alcotest.test_case "overflow" `Quick test_ipt_overflow_drops_oldest;
+          Alcotest.test_case "clear" `Quick test_ipt_clear;
+          Alcotest.test_case "block points" `Quick
+            test_block_points_matches_hit ] );
+      ( "properties",
+        qcheck [ prop_span_subset_of_covered; prop_diff_symmetric_total ] ) ]

@@ -1,0 +1,278 @@
+(* Tests for the emulated platform devices and the port bus. *)
+
+open Iris_devices
+
+let check = Alcotest.check
+
+(* --- Port_bus --- *)
+
+let test_bus_unclaimed_floats_high () =
+  let bus = Port_bus.create () in
+  check Alcotest.int64 "8-bit float" 0xFFL (Port_bus.read bus ~port:0x999 ~size:1);
+  check Alcotest.int64 "32-bit float" 0xFFFFFFFFL
+    (Port_bus.read bus ~port:0x999 ~size:4);
+  (* Writes to nowhere are dropped silently. *)
+  Port_bus.write bus ~port:0x999 ~size:1 0xAAL
+
+let test_bus_dispatch_and_ownership () =
+  let bus = Port_bus.create () in
+  let seen = ref [] in
+  Port_bus.register bus ~first:0x10 ~last:0x13 ~name:"dev"
+    { Port_bus.read = (fun ~port ~size:_ -> Int64.of_int port);
+      write = (fun ~port ~size:_ v -> seen := (port, v) :: !seen) };
+  check Alcotest.int64 "routed read" 0x12L (Port_bus.read bus ~port:0x12 ~size:1);
+  Port_bus.write bus ~port:0x11 ~size:1 0x7L;
+  check Alcotest.bool "routed write" true (!seen = [ (0x11, 0x7L) ]);
+  check Alcotest.bool "owner" true (Port_bus.owner bus 0x10 = Some "dev");
+  check Alcotest.bool "no owner" true (Port_bus.owner bus 0x20 = None)
+
+let test_bus_overlap_rejected () =
+  let bus = Port_bus.create () in
+  let h =
+    { Port_bus.read = (fun ~port:_ ~size:_ -> 0L);
+      write = (fun ~port:_ ~size:_ _ -> ()) }
+  in
+  Port_bus.register bus ~first:0x10 ~last:0x1F ~name:"a" h;
+  Alcotest.check_raises "overlap" (Invalid_argument "Port_bus.register: b overlaps")
+    (fun () -> Port_bus.register bus ~first:0x1F ~last:0x2F ~name:"b" h)
+
+(* --- Pic --- *)
+
+let pic_with_bus () =
+  let bus = Port_bus.create () in
+  let pic = Pic.create () in
+  Pic.attach pic bus;
+  (pic, bus)
+
+let init_pic bus =
+  (* Standard ICW sequence remapping to 0x20/0x28. *)
+  List.iter
+    (fun (port, v) -> Port_bus.write bus ~port ~size:1 v)
+    [ (0x20, 0x11L); (0x21, 0x20L); (0x21, 0x04L); (0x21, 0x01L);
+      (0xA0, 0x11L); (0xA1, 0x28L); (0xA1, 0x02L); (0xA1, 0x01L);
+      (0x21, 0x00L); (0xA1, 0x00L) ]
+
+let test_pic_init_sequence () =
+  let pic, bus = pic_with_bus () in
+  check Alcotest.bool "not initialised at reset" false (Pic.initialised pic);
+  init_pic bus;
+  check Alcotest.bool "initialised" true (Pic.initialised pic);
+  check Alcotest.bool "bases remapped" true (Pic.vector_base pic = (0x20, 0x28));
+  check Alcotest.bool "unmasked" true (Pic.imr pic = (0, 0))
+
+let test_pic_ack_priority_and_vector () =
+  let pic, bus = pic_with_bus () in
+  init_pic bus;
+  Pic.raise_irq pic 4;
+  Pic.raise_irq pic 0;
+  check Alcotest.bool "IRQ0 wins priority" true (Pic.ack pic = Some 0x20);
+  check Alcotest.bool "then IRQ4" true (Pic.ack pic = Some 0x24);
+  check Alcotest.bool "empty" true (Pic.ack pic = None)
+
+let test_pic_masking () =
+  let pic, bus = pic_with_bus () in
+  init_pic bus;
+  Port_bus.write bus ~port:0x21 ~size:1 0x01L (* mask IRQ0 *);
+  Pic.raise_irq pic 0;
+  check Alcotest.bool "masked line not delivered" true (Pic.ack pic = None);
+  check Alcotest.bool "has_pending false" false (Pic.has_pending pic)
+
+let test_pic_cascade () =
+  let pic, bus = pic_with_bus () in
+  init_pic bus;
+  Pic.raise_irq pic 8;
+  check Alcotest.bool "slave vector through cascade" true
+    (Pic.ack pic = Some 0x28)
+
+let test_pic_imr_readback () =
+  let pic, bus = pic_with_bus () in
+  init_pic bus;
+  Port_bus.write bus ~port:0x21 ~size:1 0x55L;
+  check Alcotest.int64 "imr readback" 0x55L
+    (Port_bus.read bus ~port:0x21 ~size:1);
+  ignore pic
+
+(* --- Pit --- *)
+
+let pit_with_bus () =
+  let bus = Port_bus.create () in
+  let pit = Pit.create () in
+  Pit.attach pit bus;
+  (pit, bus)
+
+let program_ch0 bus divisor =
+  Port_bus.write bus ~port:0x43 ~size:1 0x34L;
+  Port_bus.write bus ~port:0x40 ~size:1 (Int64.of_int (divisor land 0xFF));
+  Port_bus.write bus ~port:0x40 ~size:1 (Int64.of_int ((divisor lsr 8) land 0xFF))
+
+let test_pit_programming () =
+  let pit, bus = pit_with_bus () in
+  check Alcotest.bool "unprogrammed" true (Pit.channel_period pit 0 = None);
+  program_ch0 bus 11932;
+  check Alcotest.bool "period stored" true
+    (Pit.channel_period pit 0 = Some 11932);
+  check Alcotest.int "mode 2" 2 (Pit.channel_mode pit 0)
+
+let test_pit_tick_rate () =
+  let pit, bus = pit_with_bus () in
+  program_ch0 bus 11932 (* ~100 Hz *);
+  (* 3.6e9 cycles = 1 s => ~100 pulses. *)
+  let fired = Pit.tick pit ~cycles:3_600_000_000 in
+  check Alcotest.bool "about 100 pulses" true (fired >= 98 && fired <= 102)
+
+let test_pit_no_tick_unprogrammed () =
+  let pit, _ = pit_with_bus () in
+  check Alcotest.int "no pulses" 0 (Pit.tick pit ~cycles:10_000_000)
+
+let test_pit_latch_read () =
+  let _pit, bus = pit_with_bus () in
+  program_ch0 bus 0x1234;
+  (* Latch command for channel 0, then read twice. *)
+  Port_bus.write bus ~port:0x43 ~size:1 0x00L;
+  let lo = Port_bus.read bus ~port:0x40 ~size:1 in
+  check Alcotest.int64 "latched low byte" 0x34L lo
+
+(* --- Uart --- *)
+
+let uart_with_bus () =
+  let bus = Port_bus.create () in
+  let u = Uart.create () in
+  Uart.attach u bus;
+  (u, bus)
+
+let test_uart_divisor_and_config () =
+  let u, bus = uart_with_bus () in
+  Port_bus.write bus ~port:0x3FB ~size:1 0x80L (* DLAB *);
+  Port_bus.write bus ~port:0x3F8 ~size:1 0x01L;
+  Port_bus.write bus ~port:0x3F9 ~size:1 0x00L;
+  Port_bus.write bus ~port:0x3FB ~size:1 0x03L;
+  check Alcotest.int "divisor 1 = 115200" 1 (Uart.divisor u);
+  check Alcotest.bool "configured" true (Uart.configured u)
+
+let test_uart_transmit () =
+  let u, bus = uart_with_bus () in
+  Port_bus.write bus ~port:0x3FB ~size:1 0x03L (* DLAB off *);
+  String.iter
+    (fun c -> Port_bus.write bus ~port:0x3F8 ~size:1 (Int64.of_int (Char.code c)))
+    "ok";
+  check Alcotest.string "transmitted" "ok" (Uart.transmitted u)
+
+let test_uart_lsr_and_rx () =
+  let u, bus = uart_with_bus () in
+  let line_status () = Port_bus.read bus ~port:0x3FD ~size:1 in
+  check Alcotest.int64 "THR empty, no data" 0x60L (line_status ());
+  Uart.push_rx u 'x';
+  check Alcotest.int64 "data ready" 0x61L (line_status ());
+  check Alcotest.int64 "rx byte" (Int64.of_int (Char.code 'x'))
+    (Port_bus.read bus ~port:0x3F8 ~size:1);
+  check Alcotest.int64 "drained" 0x60L (line_status ())
+
+(* --- Rtc --- *)
+
+let test_rtc_index_data () =
+  let bus = Port_bus.create () in
+  let rtc = Rtc.create () in
+  Rtc.attach rtc bus;
+  Port_bus.write bus ~port:0x70 ~size:1 0x09L (* year *);
+  check Alcotest.int64 "BCD year 23" 0x23L (Port_bus.read bus ~port:0x71 ~size:1);
+  Port_bus.write bus ~port:0x70 ~size:1 0x0BL;
+  check Alcotest.int64 "status B 24h" 0x02L (Port_bus.read bus ~port:0x71 ~size:1)
+
+let test_rtc_write_and_status_c_clear () =
+  let bus = Port_bus.create () in
+  let rtc = Rtc.create () in
+  Rtc.attach rtc bus;
+  Port_bus.write bus ~port:0x70 ~size:1 0x0BL;
+  Port_bus.write bus ~port:0x71 ~size:1 0x42L;
+  check Alcotest.int "reg B updated" 0x42 (Rtc.reg_b rtc);
+  (* Status D is read-only. *)
+  Port_bus.write bus ~port:0x70 ~size:1 0x0DL;
+  Port_bus.write bus ~port:0x71 ~size:1 0x00L;
+  check Alcotest.int64 "status D unchanged" 0x80L
+    (Port_bus.read bus ~port:0x71 ~size:1)
+
+(* --- Pci --- *)
+
+let pci_with_bus () =
+  let bus = Port_bus.create () in
+  let pci = Pci.create () in
+  Pci.attach pci bus;
+  (pci, bus)
+
+let cfg_addr ~slot ~reg =
+  Int64.of_int (0x80000000 lor (slot lsl 11) lor reg)
+
+let test_pci_probe_present_device () =
+  let _, bus = pci_with_bus () in
+  Port_bus.write bus ~port:0xCF8 ~size:4 (cfg_addr ~slot:0 ~reg:0);
+  check Alcotest.int64 "host bridge id" 0x0C008086L
+    (Port_bus.read bus ~port:0xCFC ~size:4)
+
+let test_pci_probe_absent_device () =
+  let _, bus = pci_with_bus () in
+  Port_bus.write bus ~port:0xCF8 ~size:4 (cfg_addr ~slot:9 ~reg:0);
+  check Alcotest.int64 "absent floats high" 0xFFFFFFFFL
+    (Port_bus.read bus ~port:0xCFC ~size:4)
+
+let test_pci_disabled_address () =
+  let _, bus = pci_with_bus () in
+  (* Enable bit clear: no config cycle. *)
+  Port_bus.write bus ~port:0xCF8 ~size:4 0x00000000L;
+  check Alcotest.int64 "disabled floats high" 0xFFFFFFFFL
+    (Port_bus.read bus ~port:0xCFC ~size:4)
+
+let test_pci_class_codes () =
+  let _, bus = pci_with_bus () in
+  Port_bus.write bus ~port:0xCF8 ~size:4 (cfg_addr ~slot:3 ~reg:8);
+  let v = Port_bus.read bus ~port:0xCFC ~size:4 in
+  check Alcotest.int64 "NIC class 0x02" 0x02L
+    (Int64.shift_right_logical v 24)
+
+let test_pci_topology_sane () =
+  check Alcotest.int "four devices" 4 (List.length Pci.devices);
+  List.iter
+    (fun d ->
+      check Alcotest.bool "valid vendor" true
+        (d.Pci.vendor_id > 0 && d.Pci.vendor_id < 0xFFFF))
+    Pci.devices
+
+let () =
+  Alcotest.run "iris_devices"
+    [ ( "port-bus",
+        [ Alcotest.test_case "unclaimed floats high" `Quick
+            test_bus_unclaimed_floats_high;
+          Alcotest.test_case "dispatch/ownership" `Quick
+            test_bus_dispatch_and_ownership;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_bus_overlap_rejected ] );
+      ( "pic",
+        [ Alcotest.test_case "init sequence" `Quick test_pic_init_sequence;
+          Alcotest.test_case "ack priority" `Quick
+            test_pic_ack_priority_and_vector;
+          Alcotest.test_case "masking" `Quick test_pic_masking;
+          Alcotest.test_case "cascade" `Quick test_pic_cascade;
+          Alcotest.test_case "imr readback" `Quick test_pic_imr_readback ] );
+      ( "pit",
+        [ Alcotest.test_case "programming" `Quick test_pit_programming;
+          Alcotest.test_case "tick rate" `Quick test_pit_tick_rate;
+          Alcotest.test_case "unprogrammed silent" `Quick
+            test_pit_no_tick_unprogrammed;
+          Alcotest.test_case "latch read" `Quick test_pit_latch_read ] );
+      ( "uart",
+        [ Alcotest.test_case "divisor/config" `Quick
+            test_uart_divisor_and_config;
+          Alcotest.test_case "transmit" `Quick test_uart_transmit;
+          Alcotest.test_case "lsr/rx" `Quick test_uart_lsr_and_rx ] );
+      ( "rtc",
+        [ Alcotest.test_case "index/data" `Quick test_rtc_index_data;
+          Alcotest.test_case "writes + status" `Quick
+            test_rtc_write_and_status_c_clear ] );
+      ( "pci",
+        [ Alcotest.test_case "present device" `Quick
+            test_pci_probe_present_device;
+          Alcotest.test_case "absent device" `Quick
+            test_pci_probe_absent_device;
+          Alcotest.test_case "disabled address" `Quick
+            test_pci_disabled_address;
+          Alcotest.test_case "class codes" `Quick test_pci_class_codes;
+          Alcotest.test_case "topology" `Quick test_pci_topology_sane ] ) ]

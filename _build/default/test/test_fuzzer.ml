@@ -1,0 +1,314 @@
+(* Tests for the IRIS-based fuzzer prototype: mutations, campaigns,
+   failure triage, and Table I plumbing. *)
+
+module Mutation = Iris_fuzzer.Mutation
+module Campaign = Iris_fuzzer.Campaign
+module Table1 = Iris_fuzzer.Table1
+module Seed = Iris_core.Seed
+module Manager = Iris_core.Manager
+module F = Iris_vmcs.Field
+module R = Iris_vtx.Exit_reason
+module W = Iris_guest.Workload
+module Prng = Iris_util.Prng
+open Iris_x86
+
+let check = Alcotest.check
+
+let sample_seed () =
+  { Seed.index = 0;
+    reason = R.Rdtsc;
+    gprs = Array.to_list (Array.map (fun r -> (r, 0L)) Gpr.all);
+    reads =
+      [ (F.vm_exit_reason, 16L); (F.vm_exit_instruction_len, 2L);
+        (F.tsc_offset, 0L); (F.guest_rip, 0x1000L) ];
+    writes = [] }
+
+(* --- Mutation --- *)
+
+let test_mutation_gpr_single_bit () =
+  let s = sample_seed () in
+  let m = Mutation.Flip_gpr (Gpr.Rcx, 5) in
+  let s' = Mutation.apply m s in
+  check Alcotest.int64 "bit flipped" 0x20L (Seed.gpr_value s' Gpr.Rcx);
+  (* All other registers untouched. *)
+  Array.iter
+    (fun r ->
+      if r <> Gpr.Rcx then
+        check Alcotest.int64 (Gpr.name r) 0L (Seed.gpr_value s' r))
+    Gpr.all;
+  (* Reads untouched. *)
+  check Alcotest.bool "reads unchanged" true (s'.Seed.reads = s.Seed.reads)
+
+let test_mutation_field_occurrence () =
+  (* A field read twice: only the addressed occurrence flips. *)
+  let s =
+    { (sample_seed ()) with
+      Seed.reads = [ (F.guest_rip, 0x10L); (F.guest_rip, 0x20L) ] }
+  in
+  let s' = Mutation.apply (Mutation.Flip_field (F.guest_rip, 1, 0)) s in
+  check Alcotest.bool "second occurrence flipped" true
+    (s'.Seed.reads = [ (F.guest_rip, 0x10L); (F.guest_rip, 0x21L) ])
+
+let test_mutation_apply_is_pure () =
+  let s = sample_seed () in
+  let _ = Mutation.apply (Mutation.Flip_gpr (Gpr.Rax, 0)) s in
+  check Alcotest.int64 "original untouched" 0L (Seed.gpr_value s Gpr.Rax)
+
+let test_mutation_random_area () =
+  let prng = Prng.of_int 4 in
+  for _ = 1 to 50 do
+    match Mutation.random prng Mutation.Area_gpr (sample_seed ()) with
+    | Some (Mutation.Flip_gpr (_, bit)) ->
+        check Alcotest.bool "bit in range" true (bit >= 0 && bit < 64)
+    | Some (Mutation.Flip_field _) -> Alcotest.fail "GPR area gave field"
+    | None -> Alcotest.fail "GPR mutation always possible"
+  done;
+  for _ = 1 to 50 do
+    match Mutation.random prng Mutation.Area_vmcs (sample_seed ()) with
+    | Some (Mutation.Flip_field (f, _, bit)) ->
+        check Alcotest.bool "bit within field width" true
+          (bit >= 0 && bit < 8 * F.width_bytes f)
+    | Some (Mutation.Flip_gpr _) -> Alcotest.fail "VMCS area gave GPR"
+    | None -> Alcotest.fail "seed has reads"
+  done
+
+let test_mutation_random_empty_vmcs () =
+  let prng = Prng.of_int 4 in
+  let s = { (sample_seed ()) with Seed.reads = [] } in
+  check Alcotest.bool "no reads -> no VMCS mutation" true
+    (Mutation.random prng Mutation.Area_vmcs s = None)
+
+let prop_mutation_single_bit =
+  QCheck.Test.make ~name:"mutation flips exactly one bit" ~count:300
+    QCheck.(pair small_int small_int)
+    (fun (seed, pick) ->
+      let prng = Prng.of_int seed in
+      let s = sample_seed () in
+      let area =
+        if pick mod 2 = 0 then Mutation.Area_vmcs else Mutation.Area_gpr
+      in
+      match Mutation.random prng area s with
+      | None -> false
+      | Some m ->
+          let s' = Mutation.apply m s in
+          let bit_diff pairs pairs' =
+            List.fold_left2
+              (fun acc (_, a) (_, b) ->
+                acc + Iris_util.Bits.popcount (Int64.logxor a b))
+              0 pairs pairs'
+          in
+          bit_diff s.Seed.gprs s'.Seed.gprs
+          + bit_diff s.Seed.reads s'.Seed.reads
+          = 1)
+
+(* --- Campaign --- *)
+
+let mgr () = Manager.create ~boot_scale:0.02 ~prng_seed:21 ()
+
+let config n = { Campaign.mutations = n; prng_seed = 77 }
+
+let test_campaign_absent_reason () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  (* CPU-bound never halts. *)
+  check Alcotest.bool "HLT absent" true
+    (Campaign.run ~config:(config 10) ~manager:m ~recording ~reason:R.Hlt
+       ~area:Mutation.Area_vmcs
+    = None)
+
+let test_campaign_discovers_coverage () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:400 in
+  match
+    Campaign.run ~config:(config 150) ~manager:m ~recording ~reason:R.Rdtsc
+      ~area:Mutation.Area_vmcs
+  with
+  | None -> Alcotest.fail "rdtsc seeds exist"
+  | Some r ->
+      check Alcotest.int "all mutations executed" 150 r.Campaign.executed;
+      check Alcotest.bool "baseline non-empty" true
+        (r.Campaign.baseline_lines > 0);
+      check Alcotest.bool "new coverage found" true
+        (r.Campaign.fuzz_lines > r.Campaign.baseline_lines);
+      check Alcotest.bool "percentage positive" true
+        (r.Campaign.coverage_increase_pct > 0.0);
+      check Alcotest.bool "cell renders" true
+        (String.length (Campaign.pct_string r) > 1)
+
+let test_campaign_finds_crashes () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:400 in
+  match
+    Campaign.run ~config:(config 250) ~manager:m ~recording ~reason:R.Rdtsc
+      ~area:Mutation.Area_vmcs
+  with
+  | None -> Alcotest.fail "rdtsc seeds exist"
+  | Some r ->
+      (* VMCS bit-flips must tickle both failure classes. *)
+      check Alcotest.bool "hypervisor crashes found" true
+        (r.Campaign.hv_crashes > 0);
+      check Alcotest.bool "vm crashes found" true (r.Campaign.vm_crashes > 0);
+      check Alcotest.int "verdicts recorded"
+        (r.Campaign.vm_crashes + r.Campaign.hv_crashes)
+        (List.length r.Campaign.crashing);
+      (* Failure details carry the crash reason. *)
+      List.iter
+        (fun v ->
+          check Alcotest.bool "detail non-empty" true
+            (String.length v.Campaign.detail > 0))
+        r.Campaign.crashing
+
+let test_campaign_gpr_mostly_harmless () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:400 in
+  match
+    Campaign.run ~config:(config 200) ~manager:m ~recording ~reason:R.Rdtsc
+      ~area:Mutation.Area_gpr
+  with
+  | None -> Alcotest.fail "rdtsc seeds exist"
+  | Some r ->
+      (* §VII-4: GPR mutations rarely crash anything outside
+         CR-access seeds. *)
+      check Alcotest.bool "few crashes" true
+        (r.Campaign.vm_crashes + r.Campaign.hv_crashes
+        < r.Campaign.executed / 10)
+
+let test_campaign_deterministic () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  let run () =
+    match
+      Campaign.run ~config:(config 60) ~manager:m ~recording ~reason:R.Rdtsc
+        ~area:Mutation.Area_vmcs
+    with
+    | Some r ->
+        (r.Campaign.fuzz_lines, r.Campaign.vm_crashes, r.Campaign.hv_crashes)
+    | None -> Alcotest.fail "no result"
+  in
+  check Alcotest.bool "same seed, same campaign" true (run () = run ())
+
+(* --- Guided fuzzing (§IX extension) --- *)
+
+let guided_config n =
+  { Iris_fuzzer.Guided.default_config with
+    Iris_fuzzer.Guided.iterations = n;
+    prng_seed = 5 }
+
+let test_guided_beats_naive () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:400 in
+  match
+    ( Iris_fuzzer.Guided.naive_baseline ~config:(guided_config 400)
+        ~manager:m ~recording ~reason:R.Rdtsc,
+      Iris_fuzzer.Guided.run ~config:(guided_config 400) ~manager:m
+        ~recording ~reason:R.Rdtsc )
+  with
+  | Some naive, Some guided ->
+      check Alcotest.bool "corpus grew" true
+        (guided.Iris_fuzzer.Guided.corpus_size > 1);
+      check Alcotest.bool "guided covers at least as much" true
+        (guided.Iris_fuzzer.Guided.unique_lines
+        >= naive.Iris_fuzzer.Guided.unique_lines);
+      check Alcotest.bool "curve is monotone" true
+        (let rec mono : Iris_fuzzer.Guided.progress list -> bool = function
+           | a :: (b :: _ as rest) ->
+               a.Iris_fuzzer.Guided.unique_lines
+               <= b.Iris_fuzzer.Guided.unique_lines
+               && mono rest
+           | _ -> true
+         in
+         mono guided.Iris_fuzzer.Guided.curve);
+      check Alcotest.bool "crashing inputs saved" true
+        (List.length guided.Iris_fuzzer.Guided.crashing > 0)
+  | _, _ -> Alcotest.fail "rdtsc seeds exist"
+
+let test_guided_absent_reason () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:200 in
+  check Alcotest.bool "no HLT in cpu-bound" true
+    (Iris_fuzzer.Guided.run ~config:(guided_config 10) ~manager:m ~recording
+       ~reason:R.Hlt
+    = None)
+
+let test_guided_deterministic () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  let once () =
+    match
+      Iris_fuzzer.Guided.run ~config:(guided_config 150) ~manager:m
+        ~recording ~reason:R.Rdtsc
+    with
+    | Some r ->
+        ( r.Iris_fuzzer.Guided.unique_lines,
+          r.Iris_fuzzer.Guided.corpus_size,
+          r.Iris_fuzzer.Guided.vm_crashes,
+          r.Iris_fuzzer.Guided.hv_crashes )
+    | None -> Alcotest.fail "no result"
+  in
+  check Alcotest.bool "deterministic" true (once () = once ())
+
+(* --- Table 1 plumbing --- *)
+
+let test_table1_structure () =
+  check Alcotest.int "nine reasons" 9 (List.length Table1.reasons);
+  check Alcotest.bool "boot/cpu/idle workloads" true
+    (Table1.workloads = [ W.Os_boot; W.Cpu_bound; W.Idle ])
+
+let test_table1_small_run_and_stats () =
+  let m = mgr () in
+  let recordings =
+    [ (W.Cpu_bound, Manager.record m W.Cpu_bound ~exits:300) ]
+  in
+  let rows = Table1.run ~mutations:40 ~manager:m ~recordings () in
+  check Alcotest.int "one row per reason" 9 (List.length rows);
+  (* RDTSC row must have live cells for CPU-bound; HLT must be
+     absent. *)
+  let row r = List.find (fun x -> x.Table1.reason = r) rows in
+  let cells_of r = (row r).Table1.cells in
+  check Alcotest.bool "rdtsc cell present" true
+    (List.exists
+       (fun (_, _, c) -> match c with Table1.Cell _ -> true | _ -> false)
+       (cells_of R.Rdtsc));
+  check Alcotest.bool "hlt cell absent" true
+    (List.for_all
+       (fun (_, _, c) -> c = Table1.Absent)
+       (cells_of R.Hlt));
+  let stats = Table1.crash_stats rows in
+  check Alcotest.bool "vmcs tests counted" true (stats.Table1.vmcs_tests > 0);
+  check Alcotest.bool "gpr tests counted" true (stats.Table1.gpr_tests > 0);
+  check Alcotest.bool "percentages bounded" true
+    (stats.Table1.vmcs_hv_crash_pct >= 0.0
+    && stats.Table1.vmcs_hv_crash_pct <= 100.0)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iris_fuzzer"
+    [ ( "mutation",
+        [ Alcotest.test_case "gpr single bit" `Quick
+            test_mutation_gpr_single_bit;
+          Alcotest.test_case "field occurrence" `Quick
+            test_mutation_field_occurrence;
+          Alcotest.test_case "pure" `Quick test_mutation_apply_is_pure;
+          Alcotest.test_case "random areas" `Quick test_mutation_random_area;
+          Alcotest.test_case "empty vmcs area" `Quick
+            test_mutation_random_empty_vmcs ] );
+      ( "campaign",
+        [ Alcotest.test_case "absent reason" `Slow test_campaign_absent_reason;
+          Alcotest.test_case "discovers coverage" `Slow
+            test_campaign_discovers_coverage;
+          Alcotest.test_case "finds crashes" `Slow test_campaign_finds_crashes;
+          Alcotest.test_case "gpr mostly harmless" `Slow
+            test_campaign_gpr_mostly_harmless;
+          Alcotest.test_case "deterministic" `Slow
+            test_campaign_deterministic ] );
+      ( "guided",
+        [ Alcotest.test_case "beats naive" `Slow test_guided_beats_naive;
+          Alcotest.test_case "absent reason" `Slow test_guided_absent_reason;
+          Alcotest.test_case "deterministic" `Slow test_guided_deterministic ]
+      );
+      ( "table1",
+        [ Alcotest.test_case "structure" `Quick test_table1_structure;
+          Alcotest.test_case "small run + stats" `Slow
+            test_table1_small_run_and_stats ] );
+      ("properties", qcheck [ prop_mutation_single_bit ]) ]

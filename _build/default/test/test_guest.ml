@@ -1,0 +1,197 @@
+(* Tests for the guest workload generators: determinism, structure,
+   and the exit-mix shapes of §VI-A / Fig. 5. *)
+
+module W = Iris_guest.Workload
+module Gen = Iris_guest.Gen
+module R = Iris_vtx.Exit_reason
+open Iris_x86
+
+let check = Alcotest.check
+
+(* --- Gen combinators --- *)
+
+let test_gen_of_list () =
+  let g = Gen.of_list [ Insn.Rdtsc; Insn.Hlt ] in
+  check Alcotest.bool "first" true (g () = Some Insn.Rdtsc);
+  check Alcotest.bool "second" true (g () = Some Insn.Hlt);
+  check Alcotest.bool "end" true (g () = None);
+  check Alcotest.bool "stays ended" true (g () = None)
+
+let test_gen_concat_and_repeat () =
+  let g =
+    Gen.concat
+      [ Gen.of_list [ Insn.Cli ];
+        Gen.repeat ~times:3 (fun i -> [ Insn.Compute (i + 1) ]) ]
+  in
+  let all = Gen.take_insns g 10 in
+  check Alcotest.int "lengths" 4 (List.length all);
+  check Alcotest.bool "order" true
+    (all = [ Insn.Cli; Insn.Compute 1; Insn.Compute 2; Insn.Compute 3 ])
+
+let test_gen_chunked_stops () =
+  let n = ref 0 in
+  let g =
+    Gen.chunked (fun () ->
+        incr n;
+        if !n <= 2 then Some [ Insn.Rdtsc ] else None)
+  in
+  check Alcotest.int "two chunks" 2 (List.length (Gen.take_insns g 100))
+
+let test_gen_forever_unbounded () =
+  let g = Gen.forever (fun i -> [ Insn.Compute i ]) in
+  check Alcotest.int "serves any amount" 1000
+    (List.length (Gen.take_insns g 1000))
+
+(* --- Workload registry --- *)
+
+let test_workload_names () =
+  check Alcotest.string "paper label" "OS BOOT" (W.name W.Os_boot);
+  check Alcotest.bool "of_name exact" true (W.of_name "OS BOOT" = Some W.Os_boot);
+  check Alcotest.bool "of_name kebab" true (W.of_name "os-boot" = Some W.Os_boot);
+  check Alcotest.bool "of_name cpu" true (W.of_name "CPU-bound" = Some W.Cpu_bound);
+  check Alcotest.bool "of_name io slash" true
+    (W.of_name "I/O-bound" = Some W.Io_bound);
+  check Alcotest.bool "unknown" true (W.of_name "frobnicate" = None)
+
+let test_workload_boot_requirements () =
+  check Alcotest.bool "boot self-contained" false (W.needs_boot W.Os_boot);
+  List.iter
+    (fun w -> check Alcotest.bool (W.name w) true (W.needs_boot w))
+    [ W.Cpu_bound; W.Mem_bound; W.Io_bound; W.Idle ]
+
+let test_workload_determinism () =
+  List.iter
+    (fun w ->
+      let a = Gen.take_insns (W.program w ~seed:9) 500 in
+      let b = Gen.take_insns (W.program w ~seed:9) 500 in
+      check Alcotest.bool (W.name w ^ " deterministic") true (a = b);
+      let c = Gen.take_insns (W.program w ~seed:10) 500 in
+      check Alcotest.bool (W.name w ^ " seed-sensitive") true (a <> c))
+    W.all
+
+(* --- trace shapes on the real hypervisor --- *)
+
+let record_mix workload exits =
+  let mgr = Iris_core.Manager.create ~boot_scale:0.02 ~prng_seed:5 () in
+  let recording = Iris_core.Manager.record mgr workload ~exits in
+  recording.Iris_core.Manager.trace
+
+let fraction trace reason =
+  let mix = Iris_core.Trace.exit_mix trace in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 mix in
+  match List.assoc_opt reason mix with
+  | Some n -> float_of_int n /. float_of_int total
+  | None -> 0.0
+
+let test_cpu_bound_mix () =
+  (* Fig. 5: "almost 80% of VM exits are related to RDTSC". *)
+  let t = record_mix W.Cpu_bound 2000 in
+  let rdtsc = fraction t R.Rdtsc in
+  check Alcotest.bool "rdtsc dominates" true (rdtsc > 0.6 && rdtsc < 0.95)
+
+let test_idle_mix () =
+  let t = record_mix W.Idle 1500 in
+  check Alcotest.bool "rdtsc dominant" true (fraction t R.Rdtsc > 0.5);
+  check Alcotest.bool "HLT present" true (fraction t R.Hlt > 0.02);
+  check Alcotest.bool "external interrupts present" true
+    (fraction t R.External_interrupt > 0.01)
+
+let test_boot_mix () =
+  (* Boot is dominated by I/O instructions and CR accesses. *)
+  let t = record_mix W.Os_boot 3000 in
+  let io = fraction t R.Io_instruction in
+  let cr = fraction t R.Cr_access in
+  check Alcotest.bool "io heavy" true (io > 0.3);
+  check Alcotest.bool "cr accesses present" true (cr > 0.01);
+  check Alcotest.bool "io + cr majority" true (io +. cr > 0.4)
+
+let test_io_bound_has_more_io_than_cpu () =
+  let t_io = record_mix W.Io_bound 1500 in
+  let t_cpu = record_mix W.Cpu_bound 1500 in
+  check Alcotest.bool "io-bound > cpu-bound in I/O exits" true
+    (fraction t_io R.Io_instruction > fraction t_cpu R.Io_instruction)
+
+let test_mem_bound_has_ept_violations () =
+  let t = record_mix W.Mem_bound 1500 in
+  check Alcotest.bool "EPT violations present" true
+    (fraction t R.Ept_violation > 0.005)
+
+(* --- boot structure --- *)
+
+let test_boot_reaches_login_and_modes () =
+  let cov = Iris_coverage.Cov.create () in
+  let hooks = Iris_hv.Hooks.create () in
+  let ctx = Iris_hv.Xen.construct ~cov ~hooks ~name:"boot" () in
+  let fetch = Iris_guest.Os_boot.program ~scale:0.01 ~seed:3 () in
+  let res = Iris_hv.Xen.run ctx ~fetch in
+  (match res.Iris_hv.Xen.stop with
+  | Iris_hv.Xen.Completed -> ()
+  | Iris_hv.Xen.Crashed m -> Alcotest.fail ("boot crashed: " ^ m)
+  | Iris_hv.Xen.Budget -> Alcotest.fail "unexpected budget");
+  (* The guest must have climbed the mode ladder out of real mode. *)
+  check Alcotest.bool "left real mode" true
+    (Cpu_mode.to_int ctx.Iris_hv.Ctx.dom.Iris_hv.Domain.guest_mode >= 5);
+  (* The console carries the boot log, ending at the login prompt. *)
+  let console =
+    Iris_devices.Uart.transmitted ctx.Iris_hv.Ctx.dom.Iris_hv.Domain.uart
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i =
+      i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+    in
+    nn = 0 || scan 0
+  in
+  check Alcotest.bool "banner printed" true (contains console "SeaBIOS");
+  check Alcotest.bool "login reached" true (contains console "login:")
+
+let test_bios_exit_count_regime () =
+  let cov = Iris_coverage.Cov.create () in
+  let hooks = Iris_hv.Hooks.create () in
+  let ctx = Iris_hv.Xen.construct ~cov ~hooks ~name:"bios" () in
+  let res = Iris_hv.Xen.run ctx ~fetch:(Iris_guest.Os_boot.bios ~seed:3) in
+  (* "The distribution includes a sequence of VM exits (the first
+     10K) that are related to the BIOS". *)
+  check Alcotest.bool "BIOS approx 10K exits" true
+    (res.Iris_hv.Xen.exits > 8_000 && res.Iris_hv.Xen.exits < 12_000)
+
+let test_boot_scale_shrinks () =
+  let count scale =
+    let cov = Iris_coverage.Cov.create () in
+    let hooks = Iris_hv.Hooks.create () in
+    let ctx = Iris_hv.Xen.construct ~cov ~hooks ~name:"scale" () in
+    let res =
+      Iris_hv.Xen.run ctx ~fetch:(Iris_guest.Os_boot.kernel ~scale ~seed:3)
+    in
+    res.Iris_hv.Xen.exits
+  in
+  check Alcotest.bool "scale shrinks exits" true (count 0.01 < count 0.05)
+
+let () =
+  Alcotest.run "iris_guest"
+    [ ( "gen",
+        [ Alcotest.test_case "of_list" `Quick test_gen_of_list;
+          Alcotest.test_case "concat/repeat" `Quick
+            test_gen_concat_and_repeat;
+          Alcotest.test_case "chunked" `Quick test_gen_chunked_stops;
+          Alcotest.test_case "forever" `Quick test_gen_forever_unbounded ] );
+      ( "registry",
+        [ Alcotest.test_case "names" `Quick test_workload_names;
+          Alcotest.test_case "boot requirements" `Quick
+            test_workload_boot_requirements;
+          Alcotest.test_case "determinism" `Quick test_workload_determinism ]
+      );
+      ( "mix",
+        [ Alcotest.test_case "cpu-bound" `Slow test_cpu_bound_mix;
+          Alcotest.test_case "idle" `Slow test_idle_mix;
+          Alcotest.test_case "boot" `Slow test_boot_mix;
+          Alcotest.test_case "io vs cpu" `Slow
+            test_io_bound_has_more_io_than_cpu;
+          Alcotest.test_case "mem-bound ept" `Slow
+            test_mem_bound_has_ept_violations ] );
+      ( "boot",
+        [ Alcotest.test_case "login + modes" `Slow
+            test_boot_reaches_login_and_modes;
+          Alcotest.test_case "BIOS exit regime" `Slow
+            test_bios_exit_count_regime;
+          Alcotest.test_case "scaling" `Slow test_boot_scale_shrinks ] ) ]

@@ -1,0 +1,773 @@
+(* Tests for the Xen-like hypervisor: domain construction, the
+   instrumented VMCS access wrappers, individual exit handlers, the
+   dispatcher, interrupt assist, and the crash model. *)
+
+module Hv = Iris_hv
+module Ctx = Hv.Ctx
+module F = Iris_vmcs.Field
+module V = Iris_vmcs.Vmcs
+module C = Iris_vmcs.Controls
+module R = Iris_vtx.Exit_reason
+module Q = Iris_vtx.Exit_qual
+module Vcpu = Iris_vtx.Vcpu
+module Comp = Iris_coverage.Component
+open Iris_x86
+
+let check = Alcotest.check
+
+let make_ctx ?dummy () =
+  let cov = Iris_coverage.Cov.create () in
+  let hooks = Hv.Hooks.create () in
+  Hv.Xen.construct ?dummy ~cov ~hooks ~name:"test" ()
+
+(* Fake a VM exit: write the exit-information fields as the hardware
+   would, then let the dispatcher loose. *)
+let fake_exit ctx reason ~qual =
+  let vcpu = Ctx.vcpu ctx in
+  Iris_vtx.Vcpu.save_to_vmcs vcpu;
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value reason);
+  V.write_exit_info vcpu.Vcpu.vmcs F.exit_qualification qual;
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_instruction_len 2L
+
+(* --- construction --- *)
+
+let test_construct_controls () =
+  let ctx = make_ctx () in
+  let rd f = Hv.Access.vmread_raw ctx f in
+  let has v m = Int64.logand v m = m in
+  check Alcotest.bool "ext-int exiting" true
+    (has (rd F.pin_based_vm_exec_control) C.pin_ext_intr_exiting);
+  check Alcotest.bool "hlt exiting" true
+    (has (rd F.cpu_based_vm_exec_control) C.cpu_hlt_exiting);
+  check Alcotest.bool "rdtsc exiting" true
+    (has (rd F.cpu_based_vm_exec_control) C.cpu_rdtsc_exiting);
+  check Alcotest.bool "uncond io" true
+    (has (rd F.cpu_based_vm_exec_control) C.cpu_uncond_io_exiting);
+  check Alcotest.bool "EPT on" true
+    (has (rd F.secondary_vm_exec_control) C.sec_enable_ept);
+  check Alcotest.bool "no preemption timer on test VM" false
+    (has (rd F.pin_based_vm_exec_control) C.pin_preemption_timer);
+  check Alcotest.bool "link pointer -1" true (rd F.vmcs_link_pointer = -1L)
+
+let test_construct_dummy_timer () =
+  let ctx = make_ctx ~dummy:true () in
+  let rd f = Hv.Access.vmread_raw ctx f in
+  check Alcotest.bool "preemption timer armed" true
+    (Int64.logand (rd F.pin_based_vm_exec_control) C.pin_preemption_timer
+    <> 0L);
+  check Alcotest.int64 "timer value zero" 0L (rd F.guest_preemption_timer);
+  check Alcotest.bool "dummy flagged" true ctx.Ctx.dom.Hv.Domain.dummy
+
+let test_construct_entry_succeeds () =
+  let ctx = make_ctx () in
+  match Hv.Xen.enter ctx with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("initial VMLAUNCH failed: " ^ msg)
+
+(* --- Access wrappers --- *)
+
+let test_access_hooks_fire () =
+  let ctx = make_ctx () in
+  let reads = ref [] and writes = ref [] in
+  ctx.Ctx.hooks.Hv.Hooks.on_vmread <-
+    Some (fun f v -> reads := (f, v) :: !reads);
+  ctx.Ctx.hooks.Hv.Hooks.on_vmwrite <-
+    Some (fun f v -> writes := (f, v) :: !writes);
+  ignore (Hv.Access.vmread ctx F.guest_cr0);
+  Hv.Access.vmwrite ctx F.guest_rip 0x42L;
+  check Alcotest.int "one read observed" 1 (List.length !reads);
+  check Alcotest.int "one write observed" 1 (List.length !writes);
+  check Alcotest.bool "write carries value" true
+    (List.mem (F.guest_rip, 0x42L) !writes)
+
+let test_access_filter_replaces () =
+  let ctx = make_ctx () in
+  ctx.Ctx.hooks.Hv.Hooks.vmread_filter <-
+    Some (fun f raw -> if f = F.exit_qualification then 0x77L else raw);
+  check Alcotest.int64 "filtered value" 0x77L
+    (Hv.Access.vmread ctx F.exit_qualification);
+  check Alcotest.bool "other fields untouched" true
+    (Hv.Access.vmread ctx F.guest_cr0
+    = Hv.Access.vmread_raw ctx F.guest_cr0)
+
+let test_access_raw_write_readonly_rejected () =
+  let ctx = make_ctx () in
+  Alcotest.check_raises "read-only raw write"
+    (Invalid_argument
+       "Access.vmwrite_raw: read-only field VM_EXIT_REASON")
+    (fun () -> Hv.Access.vmwrite_raw ctx F.vm_exit_reason 1L)
+
+let test_access_costs_charged () =
+  let ctx = make_ctx () in
+  let before = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  ignore (Hv.Access.vmread ctx F.guest_cr0);
+  check Alcotest.bool "vmread costs cycles" true
+    (Iris_vtx.Clock.now (Ctx.clock ctx) > before)
+
+(* --- CR-access handler (Fig. 2) --- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  nn = 0 || scan 0
+
+let stage_cr0_write ctx value =
+  Gpr.set (Ctx.regs ctx) Gpr.Rax value;
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 0; access = Q.Mov_to_cr; gpr = Gpr.Rax });
+  Hv.H_cr.handle ctx
+
+let test_cr0_protected_mode_switch () =
+  let ctx = make_ctx () in
+  stage_cr0_write ctx 0x60000011L;
+  let rd f = Hv.Access.vmread_raw ctx f in
+  check Alcotest.bool "PE visible in shadow" true
+    (Cr0.test (rd F.cr0_read_shadow) Cr0.PE);
+  check Alcotest.bool "real CR0 has PE and NE" true
+    (Cr0.test (rd F.guest_cr0) Cr0.PE && Cr0.test (rd F.guest_cr0) Cr0.NE);
+  check Alcotest.bool "hv mode abstraction updated" true
+    (ctx.Ctx.dom.Hv.Domain.guest_mode = Cpu_mode.Mode2);
+  check Alcotest.bool "mode switch logged" true
+    (List.exists (fun l -> contains l "protected") (Ctx.log_lines ctx))
+
+let test_cr0_invalid_injects_gp () =
+  let ctx = make_ctx () in
+  (* PG without PE: #GP(0), shadow unchanged, RIP not advanced. *)
+  let rip_before = Hv.Access.vmread_raw ctx F.guest_rip in
+  stage_cr0_write ctx 0x80000000L;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.bool "injection pending" true (C.intr_info_is_valid info);
+  check Alcotest.int "#GP vector" (Exn.vector Exn.GP)
+    (C.intr_info_vector info);
+  check Alcotest.int64 "rip not advanced" rip_before
+    (Hv.Access.vmread_raw ctx F.guest_rip);
+  check Alcotest.bool "shadow unchanged" true
+    (Hv.Access.vmread_raw ctx F.cr0_read_shadow = Cr0.reset_value)
+
+let test_cr0_rip_advanced_on_success () =
+  let ctx = make_ctx () in
+  let rip_before = Hv.Access.vmread_raw ctx F.guest_rip in
+  stage_cr0_write ctx 0x60000011L;
+  check Alcotest.int64 "rip advanced by len" (Int64.add rip_before 2L)
+    (Hv.Access.vmread_raw ctx F.guest_rip)
+
+let test_cr4_vmxe_hidden () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rbx (Cr4.set 0L Cr4.VMXE);
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 4; access = Q.Mov_to_cr; gpr = Gpr.Rbx });
+  Hv.H_cr.handle ctx;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.bool "#GP for VMXE attempt" true (C.intr_info_is_valid info)
+
+let test_cr_bad_register_crashes_domain () =
+  let ctx = make_ctx () in
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 5; access = Q.Mov_to_cr; gpr = Gpr.Rax });
+  Hv.H_cr.handle ctx;
+  check Alcotest.bool "domain crashed" true (Hv.Domain.crashed ctx.Ctx.dom)
+
+let test_clts_clears_ts () =
+  let ctx = make_ctx () in
+  (* Put TS into both real CR0 and the shadow first. *)
+  Hv.Access.vmwrite_raw ctx F.guest_cr0
+    (Cr0.set (Hv.Access.vmread_raw ctx F.guest_cr0) Cr0.TS);
+  Hv.Access.vmwrite_raw ctx F.cr0_read_shadow
+    (Cr0.set (Hv.Access.vmread_raw ctx F.cr0_read_shadow) Cr0.TS);
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 0; access = Q.Clts_op; gpr = Gpr.Rax });
+  Hv.H_cr.handle ctx;
+  check Alcotest.bool "TS cleared in shadow" false
+    (Cr0.test (Hv.Access.vmread_raw ctx F.cr0_read_shadow) Cr0.TS)
+
+(* --- I/O handler --- *)
+
+let test_io_out_reaches_device () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rax 0x41L (* 'A' *);
+  fake_exit ctx R.Io_instruction
+    ~qual:
+      (Q.encode_io
+         { Q.size = 1; direction = Q.Io_out; string_op = false; rep = false;
+           port = 0x3F8 });
+  Hv.H_io.handle ctx;
+  check Alcotest.string "uart got the byte" "A"
+    (Iris_devices.Uart.transmitted ctx.Ctx.dom.Hv.Domain.uart)
+
+let test_io_in_merges_low_bits () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rax 0xAABBCCDDL;
+  fake_exit ctx R.Io_instruction
+    ~qual:
+      (Q.encode_io
+         { Q.size = 1; direction = Q.Io_in; string_op = false; rep = false;
+           port = 0x71 });
+  Hv.H_io.handle ctx;
+  let rax = Gpr.get (Ctx.regs ctx) Gpr.Rax in
+  check Alcotest.int64 "upper bytes preserved" 0xAABBCCL
+    (Int64.shift_right_logical rax 8)
+
+let test_io_pit_programming_arms_vpt () =
+  let ctx = make_ctx () in
+  let send port value =
+    Gpr.set (Ctx.regs ctx) Gpr.Rax value;
+    fake_exit ctx R.Io_instruction
+      ~qual:
+        (Q.encode_io
+           { Q.size = 1; direction = Q.Io_out; string_op = false;
+             rep = false; port });
+    Hv.H_io.handle ctx
+  in
+  check Alcotest.bool "vpt not armed" false
+    (Hv.Vpt.armed ctx.Ctx.dom.Hv.Domain.vpt Hv.Vpt.Pt_pit);
+  send 0x43 0x34L;
+  send 0x40 0x9CL;
+  send 0x40 0x2EL;
+  check Alcotest.bool "vpt armed by rate generator" true
+    (Hv.Vpt.armed ctx.Ctx.dom.Hv.Domain.vpt Hv.Vpt.Pt_pit);
+  (* Reprogramming to one-shot mode disarms. *)
+  send 0x43 0x30L;
+  send 0x40 0x00L;
+  send 0x40 0x00L;
+  check Alcotest.bool "vpt disarmed by one-shot" false
+    (Hv.Vpt.armed ctx.Ctx.dom.Hv.Domain.vpt Hv.Vpt.Pt_pit)
+
+(* --- MSR handlers --- *)
+
+let stage_rdmsr ctx idx =
+  Gpr.set (Ctx.regs ctx) Gpr.Rcx idx;
+  fake_exit ctx R.Rdmsr ~qual:0L;
+  Hv.H_msr.handle_rdmsr ctx
+
+let stage_wrmsr ctx idx value =
+  Gpr.set (Ctx.regs ctx) Gpr.Rcx idx;
+  Gpr.set (Ctx.regs ctx) Gpr.Rax (Int64.logand value 0xFFFFFFFFL);
+  Gpr.set (Ctx.regs ctx) Gpr.Rdx (Int64.shift_right_logical value 32);
+  fake_exit ctx R.Wrmsr ~qual:0L;
+  Hv.H_msr.handle_wrmsr ctx
+
+let test_msr_unknown_injects_gp () =
+  let ctx = make_ctx () in
+  stage_rdmsr ctx 0x12345L;
+  check Alcotest.bool "#GP pending" true
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info))
+
+let test_msr_apic_base () =
+  let ctx = make_ctx () in
+  stage_rdmsr ctx 0x1BL;
+  check Alcotest.int64 "APIC base value" 0xFEE00900L
+    (Gpr.get (Ctx.regs ctx) Gpr.Rax)
+
+let test_msr_tsc_write_adjusts_offset () =
+  let ctx = make_ctx () in
+  stage_wrmsr ctx 0x10L 1_000_000L;
+  let offset = Hv.Access.vmread_raw ctx F.tsc_offset in
+  check Alcotest.bool "offset set" true (offset <> 0L)
+
+let test_msr_readonly_write_injects_gp () =
+  let ctx = make_ctx () in
+  stage_wrmsr ctx 0xFEL 0L (* MTRR cap *);
+  check Alcotest.bool "#GP pending" true
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info))
+
+let test_msr_efer_validation () =
+  let ctx = make_ctx () in
+  stage_wrmsr ctx 0xC0000080L 0x2L (* reserved bit *);
+  check Alcotest.bool "#GP pending" true
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info));
+  let ctx2 = make_ctx () in
+  stage_wrmsr ctx2 0xC0000080L Msr.efer_sce;
+  check Alcotest.int64 "EFER stored" Msr.efer_sce
+    (Hv.Access.vmread_raw ctx2 F.guest_ia32_efer)
+
+(* --- CPUID handler --- *)
+
+let stage_cpuid ctx leaf subleaf =
+  Gpr.set (Ctx.regs ctx) Gpr.Rax leaf;
+  Gpr.set (Ctx.regs ctx) Gpr.Rcx subleaf;
+  fake_exit ctx R.Cpuid ~qual:0L;
+  Hv.H_cpuid.handle ctx
+
+let test_cpuid_hides_vmx () =
+  let ctx = make_ctx () in
+  stage_cpuid ctx 1L 0L;
+  let ecx = Gpr.get (Ctx.regs ctx) Gpr.Rcx in
+  check Alcotest.bool "VMX hidden" true
+    (Int64.logand ecx Cpuid_db.feature_ecx_vmx = 0L);
+  check Alcotest.bool "hypervisor bit set" true
+    (Int64.logand ecx 0x80000000L <> 0L)
+
+let test_cpuid_xen_leaves () =
+  let ctx = make_ctx () in
+  stage_cpuid ctx Hv.H_cpuid.xen_signature_leaf 0L;
+  let unpack v =
+    String.init 4 (fun i ->
+        Char.chr
+          (Int64.to_int
+             (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  in
+  let sig_str =
+    unpack (Gpr.get (Ctx.regs ctx) Gpr.Rbx)
+    ^ unpack (Gpr.get (Ctx.regs ctx) Gpr.Rcx)
+    ^ unpack (Gpr.get (Ctx.regs ctx) Gpr.Rdx)
+  in
+  check Alcotest.string "Xen signature" "XenVMMXenVMM" sig_str;
+  stage_cpuid ctx 0x40000001L 0L;
+  check Alcotest.int64 "Xen version 4.16" 0x00040010L
+    (Gpr.get (Ctx.regs ctx) Gpr.Rax)
+
+(* --- HLT / VMCALL / XSETBV --- *)
+
+let test_hlt_blocks_when_interruptible () =
+  let ctx = make_ctx () in
+  let vcpu = Ctx.vcpu ctx in
+  vcpu.Vcpu.rflags <- Rflags.set Rflags.reset_value Rflags.IF;
+  fake_exit ctx R.Hlt ~qual:0L;
+  Hv.H_simple.handle_hlt ctx;
+  check Alcotest.bool "vcpu blocked" true ctx.Ctx.dom.Hv.Domain.blocked;
+  check Alcotest.bool "not crashed" false (Hv.Domain.crashed ctx.Ctx.dom)
+
+let test_hlt_with_if_clear_crashes () =
+  let ctx = make_ctx () in
+  fake_exit ctx R.Hlt ~qual:0L;
+  Hv.H_simple.handle_hlt ctx;
+  check Alcotest.bool "domain crashed" true (Hv.Domain.crashed ctx.Ctx.dom)
+
+let test_vmcall_xen_version () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rax Hv.H_simple.hypercall_xen_version;
+  fake_exit ctx R.Vmcall ~qual:0L;
+  Hv.H_simple.handle_vmcall ctx;
+  check Alcotest.int64 "version returned" 0x00040010L
+    (Gpr.get (Ctx.regs ctx) Gpr.Rax)
+
+let test_vmcall_unknown_enosys () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rax 0x999L;
+  fake_exit ctx R.Vmcall ~qual:0L;
+  Hv.H_simple.handle_vmcall ctx;
+  check Alcotest.int64 "-ENOSYS" Hv.H_simple.enosys
+    (Gpr.get (Ctx.regs ctx) Gpr.Rax)
+
+let test_xsetbv_validation () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rcx 0L;
+  Gpr.set (Ctx.regs ctx) Gpr.Rax 0x2L (* x87 bit clear *);
+  Gpr.set (Ctx.regs ctx) Gpr.Rdx 0L;
+  fake_exit ctx R.Xsetbv ~qual:0L;
+  Hv.H_simple.handle_xsetbv ctx;
+  check Alcotest.bool "#GP pending" true
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info))
+
+(* --- EPT handler --- *)
+
+let test_ept_vlapic_mmio () =
+  let ctx = make_ctx () in
+  ctx.Ctx.dom.Hv.Domain.pending_insn <-
+    Some (Insn.Write_mem { gpa = 0xFEE00080L; width = 4; value = 0x55L });
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Ept_violation);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.guest_physical_address
+    0xFEE00080L;
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.exit_qualification 0x82L;
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_instruction_len 4L;
+  Hv.H_ept.handle ctx;
+  check Alcotest.int64 "TPR written through MMIO" 0x55L
+    (Hv.Vlapic.tpr ctx.Ctx.dom.Hv.Domain.vlapic)
+
+let test_ept_ram_populates () =
+  let ctx = make_ctx () in
+  (* Punch a hole in RAM, then fault it back in. *)
+  Iris_memory.Ept.unmap ctx.Ctx.dom.Hv.Domain.ept ~gpa:0x5000L ~len:0x1000L;
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Ept_violation);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.guest_physical_address 0x5000L;
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.exit_qualification 0x81L;
+  Hv.H_ept.handle ctx;
+  check Alcotest.bool "page mapped back" true
+    (Iris_memory.Ept.lookup ctx.Ctx.dom.Hv.Domain.ept 0x5000L <> None)
+
+(* --- interrupt paths --- *)
+
+let test_assist_injects_when_interruptible () =
+  let ctx = make_ctx () in
+  let vcpu = Ctx.vcpu ctx in
+  vcpu.Vcpu.rflags <- Rflags.set Rflags.reset_value Rflags.IF;
+  Iris_vtx.Vcpu.save_to_vmcs vcpu;
+  Hv.Vlapic.accept_irq ctx.Ctx.dom.Hv.Domain.vlapic ~vector:0xEC;
+  (* Software-enable the APIC (SVR bit 8). *)
+  Hv.Vlapic.mmio_write ctx.Ctx.dom.Hv.Domain.vlapic
+    ~offset:Hv.Vlapic.reg_svr 0x1FFL;
+  Hv.H_intr.assist ctx;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.bool "injected" true (C.intr_info_is_valid info);
+  check Alcotest.int "vector" 0xEC (C.intr_info_vector info)
+
+let test_assist_opens_window_when_masked () =
+  let ctx = make_ctx () in
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  Hv.Vlapic.mmio_write ctx.Ctx.dom.Hv.Domain.vlapic
+    ~offset:Hv.Vlapic.reg_svr 0x1FFL;
+  Hv.Vlapic.accept_irq ctx.Ctx.dom.Hv.Domain.vlapic ~vector:0xEC;
+  Hv.H_intr.assist ctx;
+  let cpu_ctl = Hv.Access.vmread_raw ctx F.cpu_based_vm_exec_control in
+  check Alcotest.bool "window requested" true
+    (Int64.logand cpu_ctl C.cpu_intr_window_exiting <> 0L);
+  check Alcotest.bool "nothing injected" false
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info))
+
+let test_window_handler_closes_window () =
+  let ctx = make_ctx () in
+  let cpu_ctl = Hv.Access.vmread_raw ctx F.cpu_based_vm_exec_control in
+  Hv.Access.vmwrite_raw ctx F.cpu_based_vm_exec_control
+    (Int64.logor cpu_ctl C.cpu_intr_window_exiting);
+  fake_exit ctx R.Interrupt_window ~qual:0L;
+  Hv.H_intr.handle_interrupt_window ctx;
+  check Alcotest.bool "window closed" true
+    (Int64.logand
+       (Hv.Access.vmread_raw ctx F.cpu_based_vm_exec_control)
+       C.cpu_intr_window_exiting
+    = 0L)
+
+let test_double_fault_escalation () =
+  let ctx = make_ctx () in
+  Hv.Common.inject_exception ctx ~error_code:0L Exn.GP;
+  Hv.Common.inject_exception ctx ~error_code:0L Exn.GP;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.int "#DF injected" (Exn.vector Exn.DF)
+    (C.intr_info_vector info);
+  (* A third contributory fault kills the domain (triple fault). *)
+  Hv.Common.inject_exception ctx ~error_code:0L Exn.GP;
+  check Alcotest.bool "triple fault crashes" true
+    (Hv.Domain.crashed ctx.Ctx.dom)
+
+(* --- dispatcher --- *)
+
+let test_dispatch_unknown_reason_crashes () =
+  let ctx = make_ctx () in
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_reason 0x63L;
+  Hv.Exitpath.handle ctx;
+  check Alcotest.bool "domain crashed" true (Hv.Domain.crashed ctx.Ctx.dom)
+
+let test_dispatch_triple_fault () =
+  let ctx = make_ctx () in
+  fake_exit ctx R.Triple_fault ~qual:0L;
+  Hv.Exitpath.handle ctx;
+  check Alcotest.bool "triple fault crashes domain" true
+    (Hv.Domain.crashed ctx.Ctx.dom)
+
+let test_dispatch_guest_vmx_insn_ud () =
+  let ctx = make_ctx () in
+  fake_exit ctx R.Vmlaunch ~qual:0L;
+  Hv.Exitpath.handle ctx;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.int "#UD injected" (Exn.vector Exn.UD)
+    (C.intr_info_vector info)
+
+let test_bogus_insn_len_panics () =
+  let ctx = make_ctx () in
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Cpuid);
+  V.write_exit_info (Ctx.vcpu ctx).Vcpu.vmcs F.vm_exit_instruction_len 0x80L;
+  match Hv.Exitpath.handle ctx with
+  | () -> Alcotest.fail "expected hypervisor panic"
+  | exception Ctx.Hypervisor_panic _ -> ()
+
+let test_coverage_attribution () =
+  let ctx = make_ctx () in
+  fake_exit ctx R.Cpuid ~qual:0L;
+  Gpr.set (Ctx.regs ctx) Gpr.Rax 1L;
+  Hv.Exitpath.handle ctx;
+  let cov = ctx.Ctx.cov in
+  check Alcotest.bool "cpuid.c covered" true
+    (Iris_coverage.Cov.lines_of cov Comp.Cpuid_c <> []);
+  check Alcotest.bool "vmx.c covered" true
+    (Iris_coverage.Cov.lines_of cov Comp.Vmx_c <> [])
+
+(* --- emulator / string I/O --- *)
+
+let test_string_io_copies_guest_memory () =
+  let ctx = make_ctx () in
+  (* Stage an OUTS: bytes live in guest memory at the source. *)
+  Iris_memory.Gmem.write_bytes ctx.Ctx.dom.Hv.Domain.mem 0x3000L
+    (Bytes.of_string "hi");
+  ctx.Ctx.dom.Hv.Domain.pending_insn <-
+    Some (Insn.Outs { port = 0x3F8; width = Insn.Io8; src = 0x3000L; count = 2 });
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  Gpr.set (Ctx.regs ctx) Gpr.Rcx 2L;
+  let vcpu = Ctx.vcpu ctx in
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Io_instruction);
+  V.write_exit_info vcpu.Vcpu.vmcs F.exit_qualification
+    (Q.encode_io
+       { Q.size = 1; direction = Q.Io_out; string_op = true; rep = true;
+         port = 0x3F8 });
+  V.write_exit_info vcpu.Vcpu.vmcs F.guest_linear_address 0x3000L;
+  V.write_exit_info vcpu.Vcpu.vmcs F.io_rcx 2L;
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_instruction_len 2L;
+  Hv.H_io.handle ctx;
+  check Alcotest.string "bytes landed on the console" "hi"
+    (Iris_devices.Uart.transmitted ctx.Ctx.dom.Hv.Domain.uart);
+  check Alcotest.int64 "REP count consumed" 0L (Gpr.get (Ctx.regs ctx) Gpr.Rcx)
+
+let test_string_io_without_insn_drops () =
+  (* The replay situation: no instruction context, empty memory — the
+     emulator logs the fetch failure and drops the access. *)
+  let ctx = make_ctx ~dummy:true () in
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  let vcpu = Ctx.vcpu ctx in
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Io_instruction);
+  V.write_exit_info vcpu.Vcpu.vmcs F.exit_qualification
+    (Q.encode_io
+       { Q.size = 1; direction = Q.Io_out; string_op = true; rep = false;
+         port = 0x3F8 });
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_instruction_len 2L;
+  Hv.H_io.handle ctx;
+  check Alcotest.string "nothing transmitted" ""
+    (Iris_devices.Uart.transmitted ctx.Ctx.dom.Hv.Domain.uart);
+  check Alcotest.bool "fetch failure logged" true
+    (List.exists (fun l -> contains l "emulation fetch failed")
+       (Ctx.log_lines ctx))
+
+let test_marker_bytes_enable_refetch () =
+  (* The engine materialises instruction bytes at CS:RIP; the
+     emulator can re-fetch them when memory is available. *)
+  let ctx = make_ctx () in
+  let vcpu = Ctx.vcpu ctx in
+  let engine = ctx.Ctx.dom.Hv.Domain.engine in
+  (* Run a real MMIO write through the engine so the marker lands. *)
+  let fetch =
+    let sent = ref false in
+    fun () ->
+      if !sent then None
+      else begin
+        sent := true;
+        Some (Insn.Write_mem { gpa = 0xFEE00080L; width = 4; value = 0x2AL })
+      end
+  in
+  (match Iris_vtx.Engine.run_until_exit engine ~fetch with
+  | Iris_vtx.Engine.Exit ev ->
+      check Alcotest.bool "ept violation" true
+        (ev.Iris_vtx.Engine.reason = R.Ept_violation)
+  | Iris_vtx.Engine.Program_done -> Alcotest.fail "no exit");
+  (* Now clear the pending instruction (as replay would) and let the
+     emulator fetch from memory. *)
+  ctx.Ctx.dom.Hv.Domain.pending_insn <- None;
+  (match Hv.Emulate.fetch_current_insn ctx with
+  | Some (Insn.Write_mem { value; _ }) ->
+      check Alcotest.int64 "payload recovered" 0x2AL value
+  | Some _ -> Alcotest.fail "decoded to the wrong instruction"
+  | None -> Alcotest.fail "fetch failed despite marker bytes");
+  ignore vcpu
+
+(* --- more CR / misc edges --- *)
+
+let test_lmsw_preserves_pe () =
+  let ctx = make_ctx () in
+  (* Enter protected mode first. *)
+  stage_cr0_write ctx 0x60000011L;
+  (* LMSW attempting to clear PE must not (architectural rule). *)
+  Gpr.set (Ctx.regs ctx) Gpr.Rbx 0x0L;
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 0; access = Q.Lmsw_op; gpr = Gpr.Rbx });
+  Hv.H_cr.handle ctx;
+  check Alcotest.bool "PE still set" true
+    (Cr0.test (Hv.Access.vmread_raw ctx F.cr0_read_shadow) Cr0.PE)
+
+let test_cr8_write_sets_tpr () =
+  let ctx = make_ctx () in
+  Gpr.set (Ctx.regs ctx) Gpr.Rdx 0x5L;
+  fake_exit ctx R.Cr_access
+    ~qual:(Q.encode_cr { Q.cr = 8; access = Q.Mov_to_cr; gpr = Gpr.Rdx });
+  Hv.H_cr.handle ctx;
+  check Alcotest.int64 "TPR = CR8 << 4" 0x50L
+    (Hv.Vlapic.tpr ctx.Ctx.dom.Hv.Domain.vlapic)
+
+let test_cr0_long_mode_activation () =
+  let ctx = make_ctx () in
+  (* EFER.LME staged in the live vCPU (the hardware state save copies
+     it into the VMCS at each exit), then PG set: LMA + IA-32e entry
+     control. *)
+  (Ctx.vcpu ctx).Vcpu.efer <- Msr.efer_lme;
+  stage_cr0_write ctx 0x60000011L (* PE *);
+  stage_cr0_write ctx 0xE0000011L (* +PG *);
+  let efer = Hv.Access.vmread_raw ctx F.guest_ia32_efer in
+  check Alcotest.bool "LMA set" true (Int64.logand efer Msr.efer_lma <> 0L);
+  check Alcotest.bool "IA-32e entry control set" true
+    (Int64.logand
+       (Hv.Access.vmread_raw ctx F.vm_entry_controls)
+       C.entry_ia32e_mode_guest
+    <> 0L);
+  (* Clearing PG deactivates long mode again. *)
+  stage_cr0_write ctx 0x60000011L;
+  check Alcotest.bool "LMA cleared" true
+    (Int64.logand (Hv.Access.vmread_raw ctx F.guest_ia32_efer) Msr.efer_lma
+    = 0L)
+
+let test_ept_outside_ram_injects_gp () =
+  let ctx = make_ctx () in
+  Iris_vtx.Vcpu.save_to_vmcs (Ctx.vcpu ctx);
+  let vcpu = Ctx.vcpu ctx in
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_reason
+    (R.reason_field_value R.Ept_violation);
+  V.write_exit_info vcpu.Vcpu.vmcs F.guest_physical_address
+    0xDEAD00000000L;
+  V.write_exit_info vcpu.Vcpu.vmcs F.exit_qualification 0x81L;
+  V.write_exit_info vcpu.Vcpu.vmcs F.vm_exit_instruction_len 3L;
+  Hv.H_ept.handle ctx;
+  check Alcotest.bool "#GP injected" true
+    (C.intr_info_is_valid (Hv.Access.vmread_raw ctx F.vm_entry_intr_info))
+
+let test_dispatch_vectoring_reinjets () =
+  (* An exit taken during event delivery re-injects the interrupted
+     event (IDT-vectoring info). *)
+  let ctx = make_ctx () in
+  fake_exit ctx R.Rdtsc ~qual:0L;
+  let vcpu = Ctx.vcpu ctx in
+  V.write_exit_info vcpu.Vcpu.vmcs F.idt_vectoring_info
+    (C.make_intr_info ~typ:C.External_interrupt ~vector:0x20 ());
+  Hv.Exitpath.handle ctx;
+  let info = Hv.Access.vmread_raw ctx F.vm_entry_intr_info in
+  check Alcotest.bool "re-injected" true (C.intr_info_is_valid info);
+  check Alcotest.int "same vector" 0x20 (C.intr_info_vector info)
+
+(* --- vlapic / vpt --- *)
+
+let test_vlapic_pending_respects_tpr () =
+  let cov = Iris_coverage.Cov.create () in
+  let v = Hv.Vlapic.create ~cov in
+  Hv.Vlapic.mmio_write v ~offset:Hv.Vlapic.reg_svr 0x1FFL;
+  Hv.Vlapic.accept_irq v ~vector:0x31;
+  check Alcotest.bool "pending" true (Hv.Vlapic.highest_pending v = Some 0x31);
+  Hv.Vlapic.set_tpr v 0x40L;
+  check Alcotest.bool "masked by TPR" true (Hv.Vlapic.highest_pending v = None);
+  Hv.Vlapic.set_tpr v 0x20L;
+  check Alcotest.bool "visible above TPR" true
+    (Hv.Vlapic.highest_pending v = Some 0x31)
+
+let test_vlapic_disabled_blocks () =
+  let cov = Iris_coverage.Cov.create () in
+  let v = Hv.Vlapic.create ~cov in
+  Hv.Vlapic.accept_irq v ~vector:0x31;
+  check Alcotest.bool "software-disabled APIC delivers nothing" true
+    (Hv.Vlapic.highest_pending v = None)
+
+let test_vpt_process_and_coalescing () =
+  let cov = Iris_coverage.Cov.create () in
+  let t = Hv.Vpt.create ~cov in
+  Hv.Vpt.arm t ~source:Hv.Vpt.Pt_lapic ~vector:0xEC ~period_cycles:100 ~now:0L;
+  check Alcotest.bool "deadline set" true (Hv.Vpt.next_deadline t = Some 100L);
+  check Alcotest.bool "nothing before deadline" true
+    (Hv.Vpt.process t ~now:50L = []);
+  (* Sleeping through 5 periods coalesces into one interrupt. *)
+  let fired = Hv.Vpt.process t ~now:520L in
+  check Alcotest.int "one coalesced tick" 1 (List.length fired);
+  check Alcotest.bool "deadline advanced past now" true
+    (match Hv.Vpt.next_deadline t with Some d -> d > 520L | None -> false)
+
+let () =
+  Alcotest.run "iris_hv"
+    [ ( "construct",
+        [ Alcotest.test_case "controls" `Quick test_construct_controls;
+          Alcotest.test_case "dummy timer" `Quick test_construct_dummy_timer;
+          Alcotest.test_case "initial entry" `Quick
+            test_construct_entry_succeeds ] );
+      ( "access",
+        [ Alcotest.test_case "hooks fire" `Quick test_access_hooks_fire;
+          Alcotest.test_case "filter replaces" `Quick
+            test_access_filter_replaces;
+          Alcotest.test_case "raw write read-only" `Quick
+            test_access_raw_write_readonly_rejected;
+          Alcotest.test_case "costs charged" `Quick test_access_costs_charged ]
+      );
+      ( "cr-access",
+        [ Alcotest.test_case "protected-mode switch" `Quick
+            test_cr0_protected_mode_switch;
+          Alcotest.test_case "invalid injects #GP" `Quick
+            test_cr0_invalid_injects_gp;
+          Alcotest.test_case "rip advance" `Quick
+            test_cr0_rip_advanced_on_success;
+          Alcotest.test_case "cr4 VMXE hidden" `Quick test_cr4_vmxe_hidden;
+          Alcotest.test_case "bad CR number" `Quick
+            test_cr_bad_register_crashes_domain;
+          Alcotest.test_case "clts" `Quick test_clts_clears_ts ] );
+      ( "io",
+        [ Alcotest.test_case "out to uart" `Quick test_io_out_reaches_device;
+          Alcotest.test_case "in merges bits" `Quick
+            test_io_in_merges_low_bits;
+          Alcotest.test_case "pit programming arms vpt" `Quick
+            test_io_pit_programming_arms_vpt ] );
+      ( "msr",
+        [ Alcotest.test_case "unknown #GP" `Quick test_msr_unknown_injects_gp;
+          Alcotest.test_case "apic base" `Quick test_msr_apic_base;
+          Alcotest.test_case "tsc write" `Quick
+            test_msr_tsc_write_adjusts_offset;
+          Alcotest.test_case "read-only #GP" `Quick
+            test_msr_readonly_write_injects_gp;
+          Alcotest.test_case "efer validation" `Quick
+            test_msr_efer_validation ] );
+      ( "cpuid",
+        [ Alcotest.test_case "hides VMX" `Quick test_cpuid_hides_vmx;
+          Alcotest.test_case "xen leaves" `Quick test_cpuid_xen_leaves ] );
+      ( "simple",
+        [ Alcotest.test_case "hlt blocks" `Quick
+            test_hlt_blocks_when_interruptible;
+          Alcotest.test_case "hlt IF=0 crashes" `Quick
+            test_hlt_with_if_clear_crashes;
+          Alcotest.test_case "vmcall version" `Quick test_vmcall_xen_version;
+          Alcotest.test_case "vmcall ENOSYS" `Quick test_vmcall_unknown_enosys;
+          Alcotest.test_case "xsetbv validation" `Quick
+            test_xsetbv_validation ] );
+      ( "ept",
+        [ Alcotest.test_case "vlapic mmio" `Quick test_ept_vlapic_mmio;
+          Alcotest.test_case "ram populate" `Quick test_ept_ram_populates ] );
+      ( "interrupts",
+        [ Alcotest.test_case "assist injects" `Quick
+            test_assist_injects_when_interruptible;
+          Alcotest.test_case "assist opens window" `Quick
+            test_assist_opens_window_when_masked;
+          Alcotest.test_case "window handler" `Quick
+            test_window_handler_closes_window;
+          Alcotest.test_case "double-fault escalation" `Quick
+            test_double_fault_escalation ] );
+      ( "dispatch",
+        [ Alcotest.test_case "unknown reason" `Quick
+            test_dispatch_unknown_reason_crashes;
+          Alcotest.test_case "triple fault" `Quick test_dispatch_triple_fault;
+          Alcotest.test_case "guest vmx insn" `Quick
+            test_dispatch_guest_vmx_insn_ud;
+          Alcotest.test_case "bogus insn len panics" `Quick
+            test_bogus_insn_len_panics;
+          Alcotest.test_case "coverage attribution" `Quick
+            test_coverage_attribution ] );
+      ( "emulator",
+        [ Alcotest.test_case "string io copies memory" `Quick
+            test_string_io_copies_guest_memory;
+          Alcotest.test_case "string io without insn" `Quick
+            test_string_io_without_insn_drops;
+          Alcotest.test_case "marker-byte refetch" `Quick
+            test_marker_bytes_enable_refetch ] );
+      ( "cr-edges",
+        [ Alcotest.test_case "lmsw keeps PE" `Quick test_lmsw_preserves_pe;
+          Alcotest.test_case "cr8 sets TPR" `Quick test_cr8_write_sets_tpr;
+          Alcotest.test_case "long-mode activation" `Quick
+            test_cr0_long_mode_activation;
+          Alcotest.test_case "ept outside RAM" `Quick
+            test_ept_outside_ram_injects_gp;
+          Alcotest.test_case "vectoring re-inject" `Quick
+            test_dispatch_vectoring_reinjets ] );
+      ( "vlapic-vpt",
+        [ Alcotest.test_case "tpr gating" `Quick
+            test_vlapic_pending_respects_tpr;
+          Alcotest.test_case "disabled apic" `Quick
+            test_vlapic_disabled_blocks;
+          Alcotest.test_case "vpt coalescing" `Quick
+            test_vpt_process_and_coalescing ] ) ]

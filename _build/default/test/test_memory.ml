@@ -1,0 +1,191 @@
+(* Tests for guest-physical memory and the EPT model. *)
+
+module Gmem = Iris_memory.Gmem
+module Ept = Iris_memory.Ept
+
+let check = Alcotest.check
+
+(* --- Gmem --- *)
+
+let test_gmem_zero_initialised () =
+  let m = Gmem.create ~size_mib:4 in
+  check Alcotest.int64 "fresh read is zero" 0L (Gmem.read m 0x1234L ~width:8);
+  check Alcotest.int "no pages allocated by reads... " 1
+    (max 1 (Gmem.allocated_pages m))
+
+let test_gmem_rw_widths () =
+  let m = Gmem.create ~size_mib:4 in
+  Gmem.write m 0x100L ~width:8 0x1122334455667788L;
+  check Alcotest.int64 "u8" 0x88L (Gmem.read m 0x100L ~width:1);
+  check Alcotest.int64 "u16" 0x7788L (Gmem.read m 0x100L ~width:2);
+  check Alcotest.int64 "u32" 0x55667788L (Gmem.read m 0x100L ~width:4);
+  check Alcotest.int64 "u64" 0x1122334455667788L (Gmem.read m 0x100L ~width:8);
+  check Alcotest.int64 "offset byte" 0x11L (Gmem.read m 0x107L ~width:1)
+
+let test_gmem_cross_page () =
+  let m = Gmem.create ~size_mib:4 in
+  (* A write straddling a 4 KiB boundary. *)
+  Gmem.write m 0xFFEL ~width:4 0xAABBCCDDL;
+  check Alcotest.int64 "cross-page read" 0xAABBCCDDL
+    (Gmem.read m 0xFFEL ~width:4);
+  check Alcotest.int64 "second page byte" 0xAAL (Gmem.read m 0x1001L ~width:1)
+
+let test_gmem_bounds () =
+  let m = Gmem.create ~size_mib:1 in
+  check Alcotest.int64 "size" 0x100000L (Gmem.size_bytes m);
+  Alcotest.check_raises "oob read raises" (Gmem.Bad_address 0x100000L)
+    (fun () -> ignore (Gmem.read_u8 m 0x100000L));
+  check Alcotest.bool "in_range" true (Gmem.in_range m 0xFFFFFL);
+  check Alcotest.bool "not in range" false (Gmem.in_range m (-1L))
+
+let test_gmem_bytes_roundtrip () =
+  let m = Gmem.create ~size_mib:1 in
+  Gmem.write_bytes m 0x200L (Bytes.of_string "hello world");
+  check Alcotest.string "bytes roundtrip" "hello world"
+    (Bytes.to_string (Gmem.read_bytes m 0x200L 11))
+
+let test_gmem_copy_and_transplant () =
+  let a = Gmem.create ~size_mib:1 in
+  Gmem.write a 0x10L ~width:4 0x42L;
+  let b = Gmem.copy a in
+  Gmem.write a 0x10L ~width:4 0x43L;
+  check Alcotest.int64 "copy is deep" 0x42L (Gmem.read b 0x10L ~width:4);
+  Gmem.transplant ~into:a ~from:b;
+  check Alcotest.int64 "transplant restores" 0x42L (Gmem.read a 0x10L ~width:4)
+
+let test_gmem_clear () =
+  let m = Gmem.create ~size_mib:1 in
+  Gmem.write m 0x10L ~width:4 0x42L;
+  Gmem.clear m;
+  check Alcotest.int64 "cleared" 0L (Gmem.read m 0x10L ~width:4);
+  check Alcotest.int "no pages after clear (until realloc)" 1
+    (max 1 (Gmem.allocated_pages m))
+
+(* --- Ept --- *)
+
+let test_ept_unmapped_by_default () =
+  let e = Ept.create () in
+  check Alcotest.bool "fresh lookup none" true (Ept.lookup e 0x1000L = None);
+  match Ept.check e ~gpa:0x1000L Ept.Read with
+  | Error v ->
+      check Alcotest.bool "violation carries gpa" true (v.Ept.gpa = 0x1000L);
+      check Alcotest.bool "unmapped" true (v.Ept.present = None)
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_ept_large_map () =
+  let e = Ept.create () in
+  Ept.map e ~gpa:0L ~len:0x40000000L Ept.perm_rwx;
+  check Alcotest.bool "low page mapped" true
+    (Ept.check e ~gpa:0x0L Ept.Read = Ok ());
+  check Alcotest.bool "high page mapped" true
+    (Ept.check e ~gpa:0x3FFFFFFFL Ept.Write = Ok ());
+  check Alcotest.bool "beyond end unmapped" true
+    (Ept.lookup e 0x40000000L = None);
+  check Alcotest.int "page count" 0x40000 (Ept.mapped_pages e)
+
+let test_ept_hole_in_range () =
+  let e = Ept.create () in
+  Ept.map e ~gpa:0L ~len:0x40000000L Ept.perm_rwx;
+  (* Punch an MMIO hole inside the RAM identity map: the override
+     shadows the covering range. *)
+  Ept.unmap e ~gpa:0xB800000L ~len:0x1000L;
+  check Alcotest.bool "hole unmapped" true (Ept.lookup e 0xB800500L = None);
+  check Alcotest.bool "neighbour still mapped" true
+    (Ept.lookup e 0xB801000L <> None);
+  (* Re-mapping the hole page restores access. *)
+  Ept.map e ~gpa:0xB800000L ~len:0x1000L Ept.perm_rw;
+  check Alcotest.bool "remapped" true
+    (Ept.check e ~gpa:0xB800000L Ept.Write = Ok ())
+
+let test_ept_permissions () =
+  let e = Ept.create () in
+  Ept.map e ~gpa:0x1000L ~len:0x1000L Ept.perm_ro;
+  check Alcotest.bool "read ok" true (Ept.check e ~gpa:0x1000L Ept.Read = Ok ());
+  (match Ept.check e ~gpa:0x1000L Ept.Write with
+  | Error v ->
+      check Alcotest.bool "present perm reported" true
+        (v.Ept.present = Some Ept.perm_ro)
+  | Ok () -> Alcotest.fail "write allowed on ro page");
+  match Ept.check e ~gpa:0x1000L Ept.Exec with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "exec allowed on ro page"
+
+let test_ept_qualification_bits () =
+  let e = Ept.create () in
+  Ept.map e ~gpa:0x1000L ~len:0x1000L Ept.perm_ro;
+  (match Ept.check e ~gpa:0x1000L Ept.Write with
+  | Error v ->
+      let q = Ept.qualification v in
+      check Alcotest.bool "write access bit" true (Iris_util.Bits.test q 1);
+      check Alcotest.bool "page-was-readable bit" true
+        (Iris_util.Bits.test q 3);
+      check Alcotest.bool "page-not-writable" false (Iris_util.Bits.test q 4);
+      check Alcotest.bool "gla valid" true (Iris_util.Bits.test q 7)
+  | Ok () -> Alcotest.fail "expected violation");
+  match Ept.check e ~gpa:0x9000000L Ept.Read with
+  | Error v ->
+      let q = Ept.qualification v in
+      check Alcotest.bool "read access bit" true (Iris_util.Bits.test q 0);
+      check Alcotest.bool "no permission bits for hole" true
+        (Iris_util.Bits.extract q ~lo:3 ~width:3 = 0L)
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_ept_copy_transplant () =
+  let a = Ept.create () in
+  Ept.map a ~gpa:0L ~len:0x1000000L Ept.perm_rwx;
+  Ept.unmap a ~gpa:0x5000L ~len:0x1000L;
+  let b = Ept.copy a in
+  Ept.map a ~gpa:0x5000L ~len:0x1000L Ept.perm_rwx;
+  check Alcotest.bool "copy keeps hole" true (Ept.lookup b 0x5000L = None);
+  Ept.transplant ~into:a ~from:b;
+  check Alcotest.bool "transplant restores hole" true
+    (Ept.lookup a 0x5000L = None)
+
+(* --- properties --- *)
+
+let prop_gmem_rw_roundtrip =
+  QCheck.Test.make ~name:"gmem write/read roundtrip" ~count:300
+    QCheck.(pair (int_range 0 1_000_000) int64)
+    (fun (addr, v) ->
+      let m = Gmem.create ~size_mib:2 in
+      let addr = Int64.of_int addr in
+      Gmem.write m addr ~width:8 v;
+      Gmem.read m addr ~width:8 = v)
+
+let prop_ept_check_lookup_agree =
+  QCheck.Test.make ~name:"ept check agrees with lookup" ~count:300
+    QCheck.(int_range 0 0x4000)
+    (fun page ->
+      let e = Ept.create () in
+      Ept.map e ~gpa:0L ~len:0x2000000L Ept.perm_rw;
+      let gpa = Int64.of_int (page * 4096) in
+      let ok = Ept.check e ~gpa Ept.Read = Ok () in
+      ok = (Ept.lookup e gpa <> None))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iris_memory"
+    [ ( "gmem",
+        [ Alcotest.test_case "zero initialised" `Quick
+            test_gmem_zero_initialised;
+          Alcotest.test_case "rw widths" `Quick test_gmem_rw_widths;
+          Alcotest.test_case "cross page" `Quick test_gmem_cross_page;
+          Alcotest.test_case "bounds" `Quick test_gmem_bounds;
+          Alcotest.test_case "bytes roundtrip" `Quick
+            test_gmem_bytes_roundtrip;
+          Alcotest.test_case "copy/transplant" `Quick
+            test_gmem_copy_and_transplant;
+          Alcotest.test_case "clear" `Quick test_gmem_clear ] );
+      ( "ept",
+        [ Alcotest.test_case "unmapped default" `Quick
+            test_ept_unmapped_by_default;
+          Alcotest.test_case "large map" `Quick test_ept_large_map;
+          Alcotest.test_case "hole in range" `Quick test_ept_hole_in_range;
+          Alcotest.test_case "permissions" `Quick test_ept_permissions;
+          Alcotest.test_case "qualification bits" `Quick
+            test_ept_qualification_bits;
+          Alcotest.test_case "copy/transplant" `Quick
+            test_ept_copy_transplant ] );
+      ( "properties",
+        qcheck [ prop_gmem_rw_roundtrip; prop_ept_check_lookup_agree ] ) ]

@@ -1,0 +1,225 @@
+(* Tests for the SVM portability layer (paper §IX): the VMCB model,
+   exit-code mapping, and VT-x seed translation. *)
+
+module Vmcb = Iris_svm.Vmcb
+module Exitcode = Iris_svm.Exitcode
+module Port = Iris_svm.Port
+module F = Iris_vmcs.Field
+module R = Iris_vtx.Exit_reason
+module W = Iris_guest.Workload
+open Iris_x86
+
+let check = Alcotest.check
+
+(* --- Vmcb --- *)
+
+let test_vmcb_offsets_unique () =
+  let tbl = Hashtbl.create 128 in
+  Array.iter
+    (fun f ->
+      let o = Vmcb.offset f in
+      check Alcotest.bool "no duplicate offset" false (Hashtbl.mem tbl o);
+      Hashtbl.replace tbl o ())
+    Vmcb.all
+
+let test_vmcb_layout () =
+  (* Spot-check APM Appendix B offsets. *)
+  check Alcotest.int "EXITCODE" 0x070 (Vmcb.offset Vmcb.exitcode);
+  check Alcotest.int "EXITINFO1" 0x078 (Vmcb.offset Vmcb.exitinfo1);
+  check Alcotest.int "RIP" 0x578 (Vmcb.offset Vmcb.save_rip);
+  check Alcotest.int "RAX" 0x5F8 (Vmcb.offset Vmcb.save_rax);
+  check Alcotest.int "CR0" 0x558 (Vmcb.offset Vmcb.save_cr0);
+  (* Save area starts at 0x400. *)
+  Array.iter
+    (fun f ->
+      match Vmcb.area f with
+      | Vmcb.Control ->
+          check Alcotest.bool "control below 0x400" true (Vmcb.offset f < 0x400)
+      | Vmcb.Save ->
+          check Alcotest.bool "save at/after 0x400" true
+            (Vmcb.offset f >= 0x400))
+    Vmcb.all
+
+let test_vmcb_plain_stores () =
+  let v = Vmcb.create () in
+  (* Unlike the VMCS, even exit information is writable memory. *)
+  Vmcb.write v Vmcb.exitcode 0x72L;
+  check Alcotest.int64 "exitcode stored" 0x72L (Vmcb.read v Vmcb.exitcode);
+  Vmcb.write v Vmcb.save_rax 0xABCL;
+  let w = Vmcb.copy v in
+  Vmcb.write v Vmcb.save_rax 0L;
+  check Alcotest.int64 "copy is deep" 0xABCL (Vmcb.read w Vmcb.save_rax);
+  check Alcotest.bool "of_offset roundtrip" true
+    (Vmcb.of_offset 0x070 = Some Vmcb.exitcode)
+
+let valid_vmcb () =
+  let v = Vmcb.create () in
+  Vmcb.write v Vmcb.save_cr0 Cr0.reset_value;
+  Vmcb.write v Vmcb.save_rflags Rflags.reset_value;
+  Vmcb.write v Vmcb.guest_asid 1L;
+  Vmcb.write v Vmcb.intercept_misc2 1L (* VMRUN intercepted *);
+  v
+
+let test_vmrun_checks () =
+  (match Vmcb.vmrun_valid (valid_vmcb ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let bad_asid = valid_vmcb () in
+  Vmcb.write bad_asid Vmcb.guest_asid 0L;
+  check Alcotest.bool "ASID 0 rejected" true
+    (Vmcb.vmrun_valid bad_asid = Error "ASID 0 is reserved for the host");
+  let bad_cr0 = valid_vmcb () in
+  Vmcb.write bad_cr0 Vmcb.save_cr0 (Cr0.set 0L Cr0.PG);
+  check Alcotest.bool "CR0 PG without PE rejected" true
+    (Vmcb.vmrun_valid bad_cr0 <> Ok ());
+  let no_vmrun = valid_vmcb () in
+  Vmcb.write no_vmrun Vmcb.intercept_misc2 0L;
+  check Alcotest.bool "VMRUN intercept required" true
+    (Vmcb.vmrun_valid no_vmrun <> Ok ());
+  let bad_lma = valid_vmcb () in
+  Vmcb.write bad_lma Vmcb.save_efer Msr.efer_lma;
+  check Alcotest.bool "LMA without PG/PAE rejected" true
+    (Vmcb.vmrun_valid bad_lma <> Ok ())
+
+(* --- Exitcode --- *)
+
+let test_exitcode_roundtrip () =
+  List.iter
+    (fun t ->
+      check Alcotest.bool (Exitcode.name t) true
+        (Exitcode.of_code (Exitcode.code t) = Some t))
+    [ Exitcode.Vmexit_cr_read 0; Exitcode.Vmexit_cr_write 4;
+      Exitcode.Vmexit_excp 14; Exitcode.Vmexit_intr; Exitcode.Vmexit_cpuid;
+      Exitcode.Vmexit_hlt; Exitcode.Vmexit_ioio; Exitcode.Vmexit_msr;
+      Exitcode.Vmexit_npf; Exitcode.Vmexit_vmmcall; Exitcode.Vmexit_rdtsc;
+      Exitcode.Vmexit_shutdown; Exitcode.Vmexit_invalid ]
+
+let test_exitcode_known_values () =
+  check Alcotest.int64 "CPUID is 0x72" 0x72L
+    (Exitcode.code Exitcode.Vmexit_cpuid);
+  check Alcotest.int64 "NPF is 0x400" 0x400L
+    (Exitcode.code Exitcode.Vmexit_npf);
+  check Alcotest.int64 "INVALID is -1" (-1L)
+    (Exitcode.code Exitcode.Vmexit_invalid)
+
+let test_vtx_mapping_core_reasons () =
+  (* Every exit reason the model's workloads produce must port. *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool (R.name r) true (Exitcode.of_vtx r <> None))
+    [ R.Cpuid; R.Hlt; R.Rdtsc; R.Rdtscp; R.Vmcall; R.Cr_access;
+      R.Io_instruction; R.Rdmsr; R.Wrmsr; R.Ept_violation;
+      R.External_interrupt; R.Interrupt_window; R.Triple_fault;
+      R.Exception_or_nmi; R.Xsetbv; R.Wbinvd ]
+
+let test_vtx_mapping_vtx_only () =
+  (* The preemption timer — the IRIS replay trigger — is VT-x-only:
+     the part a port must re-engineer. *)
+  check Alcotest.bool "preemption timer has no SVM counterpart" true
+    (Exitcode.of_vtx R.Preemption_timer = None)
+
+let test_mapping_round_trips_loosely () =
+  (* to_vtx (of_vtx r) returns a reason of the same handler family. *)
+  List.iter
+    (fun r ->
+      match Exitcode.of_vtx r with
+      | None -> ()
+      | Some code -> (
+          match Exitcode.to_vtx code with
+          | None -> Alcotest.fail (R.name r ^ ": not mapped back")
+          | Some r' ->
+              let family x =
+                match x with
+                | R.Rdmsr | R.Wrmsr -> "msr"
+                | R.Ept_violation | R.Ept_misconfiguration -> "npf"
+                | x -> R.name x
+              in
+              check Alcotest.string (R.name r) (family r) (family r')))
+    [ R.Cpuid; R.Hlt; R.Rdtsc; R.Vmcall; R.Io_instruction; R.Rdmsr;
+      R.Wrmsr; R.Ept_violation; R.External_interrupt; R.Triple_fault ]
+
+(* --- Port --- *)
+
+let sample_seed () =
+  { Iris_core.Seed.index = 0;
+    reason = R.Cr_access;
+    gprs =
+      Array.to_list
+        (Array.map (fun r -> (r, Int64.of_int (Gpr.encode r + 100))) Gpr.all);
+    reads =
+      [ (F.vm_exit_reason, 28L); (F.exit_qualification, 0x10L);
+        (F.guest_cr0, 0x11L); (F.cr0_read_shadow, 0x10L);
+        (F.guest_rip, 0x1000L) ];
+    writes = [] }
+
+let test_translate_moves_rax () =
+  let t = Port.translate (sample_seed ()) in
+  check Alcotest.int64 "rax extracted" 100L t.Port.rax;
+  check Alcotest.int "14 remaining GPRs" 14 (List.length t.Port.gprs);
+  check Alcotest.bool "rax not in gpr list" false
+    (List.mem_assoc Gpr.Rax t.Port.gprs)
+
+let test_translate_field_mapping () =
+  let t = Port.translate (sample_seed ()) in
+  (* guest_rip -> save.rip; exit info -> exitcode/exitinfo1. *)
+  let has field value =
+    List.exists
+      (fun w -> w.Port.field = field && w.Port.value = value)
+      t.Port.writes
+  in
+  check Alcotest.bool "rip mapped" true (has Vmcb.save_rip 0x1000L);
+  check Alcotest.bool "qualification -> exitinfo1" true
+    (has Vmcb.exitinfo1 0x10L);
+  check Alcotest.bool "reason -> exitcode" true (has Vmcb.exitcode 28L);
+  (* CR0 read shadow is a VT-x mechanism: dropped with a reason. *)
+  check Alcotest.bool "read shadow dropped" true
+    (List.exists
+       (fun d -> d.Port.vmcs_field = F.cr0_read_shadow)
+       t.Port.dropped);
+  check Alcotest.bool "exitcode mapped" true
+    (t.Port.exitcode <> None)
+
+let test_apply_writes_vmcb () =
+  let t = Port.translate (sample_seed ()) in
+  let vmcb = Vmcb.create () in
+  Port.apply vmcb t;
+  check Alcotest.int64 "rip landed" 0x1000L (Vmcb.read vmcb Vmcb.save_rip);
+  check Alcotest.int64 "rax landed in save area" 100L
+    (Vmcb.read vmcb Vmcb.save_rax);
+  (* The translated exit code overrides the raw VT-x reason number. *)
+  check Alcotest.int64 "exitcode is the SVM CR-write code" 0x10L
+    (Vmcb.read vmcb Vmcb.exitcode)
+
+let test_trace_portability_headline () =
+  let mgr = Iris_core.Manager.create ~boot_scale:0.02 ~prng_seed:8 () in
+  let recording = Iris_core.Manager.record mgr W.Cpu_bound ~exits:600 in
+  let pct = Port.coverage_pct recording.Iris_core.Manager.trace in
+  check Alcotest.bool
+    (Printf.sprintf "most records translate (%.1f%%)" pct)
+    true (pct > 80.0)
+
+let () =
+  Alcotest.run "iris_svm"
+    [ ( "vmcb",
+        [ Alcotest.test_case "offsets unique" `Quick
+            test_vmcb_offsets_unique;
+          Alcotest.test_case "layout" `Quick test_vmcb_layout;
+          Alcotest.test_case "plain stores" `Quick test_vmcb_plain_stores;
+          Alcotest.test_case "vmrun checks" `Quick test_vmrun_checks ] );
+      ( "exitcode",
+        [ Alcotest.test_case "roundtrip" `Quick test_exitcode_roundtrip;
+          Alcotest.test_case "known values" `Quick
+            test_exitcode_known_values;
+          Alcotest.test_case "core reasons port" `Quick
+            test_vtx_mapping_core_reasons;
+          Alcotest.test_case "vtx-only reasons" `Quick
+            test_vtx_mapping_vtx_only;
+          Alcotest.test_case "loose roundtrip" `Quick
+            test_mapping_round_trips_loosely ] );
+      ( "port",
+        [ Alcotest.test_case "rax relocation" `Quick test_translate_moves_rax;
+          Alcotest.test_case "field mapping" `Quick
+            test_translate_field_mapping;
+          Alcotest.test_case "apply" `Quick test_apply_writes_vmcb;
+          Alcotest.test_case "trace portability" `Slow
+            test_trace_portability_headline ] ) ]

@@ -1,0 +1,472 @@
+(* Tests for the VT-x layer: exit reasons, exit qualifications, the
+   clock, the vCPU context switch, and the non-root execution
+   engine. *)
+
+module R = Iris_vtx.Exit_reason
+module Q = Iris_vtx.Exit_qual
+module Clock = Iris_vtx.Clock
+module Vcpu = Iris_vtx.Vcpu
+module Engine = Iris_vtx.Engine
+module F = Iris_vmcs.Field
+module V = Iris_vmcs.Vmcs
+module C = Iris_vmcs.Controls
+open Iris_x86
+
+let check = Alcotest.check
+
+(* --- Exit_reason --- *)
+
+let test_reason_count () =
+  (* The paper: "Intel x86 architecture support 69 VM exit reasons";
+     we model the 62 reasons with architecture-defined behaviour
+     (codes 35, 38 and 42 are unused). *)
+  check Alcotest.int "62 coded reasons" 62 (List.length R.all);
+  check Alcotest.int "highest code 64" 64
+    (List.fold_left (fun acc r -> max acc (R.code r)) 0 R.all)
+
+let test_reason_roundtrip () =
+  List.iter
+    (fun r ->
+      check Alcotest.bool (R.name r) true (R.of_code (R.code r) = Some r))
+    R.all;
+  check Alcotest.bool "35 unused" true (R.of_code 35 = None);
+  check Alcotest.bool "42 unused" true (R.of_code 42 = None);
+  check Alcotest.bool "65 out of range" true (R.of_code 65 = None)
+
+let test_reason_codes_unique () =
+  let codes = List.map R.code R.all in
+  check Alcotest.int "codes unique" (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let test_reason_entry_failure_bit () =
+  check Alcotest.int64 "normal reason" 28L
+    (R.reason_field_value R.Cr_access);
+  let v = R.reason_field_value R.Entry_failure_guest_state in
+  check Alcotest.bool "failure bit 31" true (Iris_util.Bits.test v 31);
+  check Alcotest.bool "field decodes back" true
+    (R.of_reason_field v = Some R.Entry_failure_guest_state)
+
+let test_reason_paper_labels () =
+  check Alcotest.string "CR ACC." "CR ACC." (R.short_name R.Cr_access);
+  check Alcotest.string "EXT. INT." "EXT. INT."
+    (R.short_name R.External_interrupt);
+  check Alcotest.string "I/O INST." "I/O INST." (R.short_name R.Io_instruction);
+  check Alcotest.string "EPT VIOL." "EPT VIOL." (R.short_name R.Ept_violation);
+  check Alcotest.string "INT.WI." "INT.WI." (R.short_name R.Interrupt_window)
+
+(* --- Exit_qual --- *)
+
+let test_qual_cr_roundtrip () =
+  let q = { Q.cr = 0; access = Q.Mov_to_cr; gpr = Gpr.Rax } in
+  check Alcotest.bool "cr roundtrip" true (Q.decode_cr (Q.encode_cr q) = Some q);
+  let q2 = { Q.cr = 8; access = Q.Mov_from_cr; gpr = Gpr.R12 } in
+  check Alcotest.bool "cr8 roundtrip" true
+    (Q.decode_cr (Q.encode_cr q2) = Some q2)
+
+let test_qual_cr_layout () =
+  (* SDM Table 27-3: CR number bits 0..3, access type bits 4..5, GPR
+     bits 8..11. *)
+  let v = Q.encode_cr { Q.cr = 4; access = Q.Mov_from_cr; gpr = Gpr.Rbx } in
+  check Alcotest.int64 "cr bits" 4L (Int64.logand v 0xFL);
+  check Alcotest.int64 "access bits" 1L
+    (Iris_util.Bits.extract v ~lo:4 ~width:2);
+  check Alcotest.int64 "gpr bits"
+    (Int64.of_int (Gpr.encode Gpr.Rbx))
+    (Iris_util.Bits.extract v ~lo:8 ~width:4)
+
+let test_qual_io_roundtrip () =
+  let q =
+    { Q.size = 4; direction = Q.Io_in; string_op = false; rep = false;
+      port = 0xCFC }
+  in
+  check Alcotest.bool "io roundtrip" true (Q.decode_io (Q.encode_io q) = Some q)
+
+let test_qual_io_layout () =
+  (* SDM Table 27-5: size-1 in bits 0..2, direction bit 3, string bit
+     4, REP bit 5, port bits 16..31. *)
+  let v =
+    Q.encode_io
+      { Q.size = 2; direction = Q.Io_out; string_op = true; rep = true;
+        port = 0x3F8 }
+  in
+  check Alcotest.int64 "size-1" 1L (Iris_util.Bits.extract v ~lo:0 ~width:3);
+  check Alcotest.bool "out" false (Iris_util.Bits.test v 3);
+  check Alcotest.bool "string" true (Iris_util.Bits.test v 4);
+  check Alcotest.bool "rep" true (Iris_util.Bits.test v 5);
+  check Alcotest.int64 "port" 0x3F8L
+    (Iris_util.Bits.extract v ~lo:16 ~width:16)
+
+let test_qual_ept_access () =
+  let viol =
+    { Iris_memory.Ept.gpa = 0xFEE00000L; access = Iris_memory.Ept.Write;
+      present = None }
+  in
+  let q = Iris_memory.Ept.qualification viol in
+  check Alcotest.bool "write decoded" true
+    (Q.decode_ept_access q = Some Iris_memory.Ept.Write)
+
+(* --- Clock --- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  check Alcotest.int64 "starts at zero" 0L (Clock.now c);
+  Clock.advance c 100;
+  Clock.advance64 c 3_600_000_000L;
+  check Alcotest.int64 "advances" 3_600_000_100L (Clock.now c);
+  check (Alcotest.float 1e-6) "seconds at 3.6 GHz" 1.0
+    (Clock.seconds c -. (100.0 /. Clock.hz));
+  let d = Clock.copy c in
+  Clock.advance c 5;
+  check Alcotest.int64 "copy independent" 3_600_000_100L (Clock.now d)
+
+(* --- Vcpu context switch --- *)
+
+let test_vcpu_reset_state () =
+  let v = Vcpu.create () in
+  check Alcotest.int64 "CR0 reset" Cr0.reset_value v.Vcpu.cr0;
+  check Alcotest.bool "real mode" true (Vcpu.mode v = Cpu_mode.Mode1);
+  check Alcotest.bool "interrupts off" false (Vcpu.if_enabled v)
+
+let test_vcpu_save_load_roundtrip () =
+  let v = Vcpu.create () in
+  v.Vcpu.rip <- 0x1234L;
+  v.Vcpu.rsp <- 0x9000L;
+  v.Vcpu.cr3 <- 0x2000L;
+  v.Vcpu.rflags <- Rflags.set Rflags.reset_value Rflags.IF;
+  Vcpu.set_seg v Segment.Cs Segment.flat_code32;
+  Vcpu.save_to_vmcs v;
+  (* Clobber live state, then reload from the VMCS. *)
+  v.Vcpu.rip <- 0L;
+  v.Vcpu.cr3 <- 0L;
+  Vcpu.set_seg v Segment.Cs Segment.null_unusable;
+  Vcpu.load_from_vmcs v;
+  check Alcotest.int64 "rip restored" 0x1234L v.Vcpu.rip;
+  check Alcotest.int64 "cr3 restored" 0x2000L v.Vcpu.cr3;
+  check Alcotest.bool "IF restored" true (Rflags.test v.Vcpu.rflags Rflags.IF);
+  check Alcotest.int "cs restored" 0x08
+    (Vcpu.get_seg v Segment.Cs).Segment.selector
+
+let test_vcpu_gprs_not_in_vmcs () =
+  (* The asymmetry the IRIS seed format rests on: GPRs do not survive
+     through the VMCS. *)
+  let v = Vcpu.create () in
+  Gpr.set v.Vcpu.regs Gpr.Rax 0xAAAAL;
+  Vcpu.save_to_vmcs v;
+  Gpr.set v.Vcpu.regs Gpr.Rax 0xBBBBL;
+  Vcpu.load_from_vmcs v;
+  check Alcotest.int64 "rax untouched by vmcs reload" 0xBBBBL
+    (Gpr.get v.Vcpu.regs Gpr.Rax)
+
+let test_vcpu_advance_rip_wraps () =
+  let v = Vcpu.create () in
+  v.Vcpu.code_base <- 0x1000L;
+  v.Vcpu.code_size <- 0x10L;
+  v.Vcpu.rip <- 0x100EL;
+  Vcpu.advance_rip v 4;
+  check Alcotest.int64 "wraps inside window" 0x1002L v.Vcpu.rip
+
+let test_vcpu_snapshot_restore () =
+  let v = Vcpu.create () in
+  v.Vcpu.rip <- 0x42L;
+  Gpr.set v.Vcpu.regs Gpr.Rdi 7L;
+  let snap = Vcpu.snapshot v in
+  v.Vcpu.rip <- 0L;
+  Gpr.set v.Vcpu.regs Gpr.Rdi 0L;
+  Vcpu.restore v ~from:snap;
+  check Alcotest.int64 "rip restored" 0x42L v.Vcpu.rip;
+  check Alcotest.int64 "gpr restored" 7L (Gpr.get v.Vcpu.regs Gpr.Rdi)
+
+(* --- Engine --- *)
+
+let make_engine () =
+  let vcpu = Vcpu.create () in
+  let mem = Iris_memory.Gmem.create ~size_mib:16 in
+  let ept = Iris_memory.Ept.create () in
+  Iris_memory.Ept.map ept ~gpa:0L ~len:(Iris_memory.Gmem.size_bytes mem)
+    Iris_memory.Ept.perm_rwx;
+  let t = Engine.create ~vcpu ~mem ~ept in
+  (* Minimal controls: all traps we test for. *)
+  let w f value = V.write_exit_info vcpu.Vcpu.vmcs f value in
+  w F.pin_based_vm_exec_control
+    (Int64.logor C.pin_reserved_one_mask C.pin_ext_intr_exiting);
+  w F.cpu_based_vm_exec_control
+    (List.fold_left Int64.logor C.cpu_reserved_one_mask
+       [ C.cpu_hlt_exiting; C.cpu_rdtsc_exiting; C.cpu_uncond_io_exiting ]);
+  w F.vm_exit_controls
+    (Int64.logor C.exit_reserved_one_mask C.exit_ack_intr_on_exit);
+  t
+
+let fetch_of_list insns =
+  let rest = ref insns in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | i :: tl ->
+        rest := tl;
+        Some i
+
+let expect_exit t fetch reason =
+  match Engine.run_until_exit t ~fetch with
+  | Engine.Exit ev ->
+      check Alcotest.string "exit reason" (R.name reason)
+        (R.name ev.Engine.reason);
+      ev
+  | Engine.Program_done -> Alcotest.fail "program finished without exit"
+
+let test_engine_program_done () =
+  let t = make_engine () in
+  match Engine.run_until_exit t ~fetch:(fetch_of_list [ Insn.Compute 5 ]) with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "unexpected exit"
+
+let test_engine_cpuid_traps () =
+  let t = make_engine () in
+  let ev =
+    expect_exit t
+      (fetch_of_list [ Insn.Compute 5; Insn.Cpuid { leaf = 1L; subleaf = 0L } ])
+      R.Cpuid
+  in
+  (* Operands staged in the saved GPRs. *)
+  check Alcotest.int64 "leaf in rax" 1L (Gpr.get t.Engine.vcpu.Vcpu.regs Gpr.Rax);
+  check Alcotest.bool "insn attached" true (ev.Engine.insn <> None)
+
+let test_engine_rdtsc_control () =
+  (* With RDTSC exiting set it traps... *)
+  let t = make_engine () in
+  ignore (expect_exit t (fetch_of_list [ Insn.Rdtsc ]) R.Rdtsc);
+  (* ...without it, it executes in the guest and sets EDX:EAX. *)
+  let t2 = make_engine () in
+  let v = t2.Engine.vcpu in
+  V.write_exit_info v.Vcpu.vmcs F.cpu_based_vm_exec_control
+    C.cpu_reserved_one_mask;
+  (match
+     Engine.run_until_exit t2 ~fetch:(fetch_of_list [ Insn.Compute 7; Insn.Rdtsc ])
+   with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "rdtsc trapped without control");
+  check Alcotest.bool "tsc in rax" true (Gpr.get v.Vcpu.regs Gpr.Rax > 0L)
+
+let test_engine_io_qualification () =
+  let t = make_engine () in
+  let ev =
+    expect_exit t
+      (fetch_of_list
+         [ Insn.Out { port = 0x3F8; width = Insn.Io8; value = 0x41L } ])
+      R.Io_instruction
+  in
+  match Q.decode_io ev.Engine.qualification with
+  | Some q ->
+      check Alcotest.int "port" 0x3F8 q.Q.port;
+      check Alcotest.bool "direction out" true (q.Q.direction = Q.Io_out);
+      check Alcotest.int "size" 1 q.Q.size
+  | None -> Alcotest.fail "undecodable qualification"
+
+let test_engine_cr0_mask_semantics () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  (* Host owns PE via the guest/host mask; shadow shows reset value. *)
+  V.write_exit_info v.Vcpu.vmcs F.cr0_guest_host_mask 0x1L;
+  V.write_exit_info v.Vcpu.vmcs F.cr0_read_shadow Cr0.reset_value;
+  (* Touching PE traps. *)
+  let ev =
+    expect_exit t
+      (fetch_of_list [ Insn.Mov_to_cr (Insn.Creg0, 0x60000011L) ])
+      R.Cr_access
+  in
+  (match Q.decode_cr ev.Engine.qualification with
+  | Some q -> check Alcotest.int "cr0" 0 q.Q.cr
+  | None -> Alcotest.fail "bad qualification");
+  (* A write not touching masked bits goes straight to CR0. *)
+  let t2 = make_engine () in
+  let v2 = t2.Engine.vcpu in
+  V.write_exit_info v2.Vcpu.vmcs F.cr0_guest_host_mask 0x1L;
+  V.write_exit_info v2.Vcpu.vmcs F.cr0_read_shadow 0x60000010L;
+  (match
+     Engine.run_until_exit t2
+       ~fetch:(fetch_of_list [ Insn.Mov_to_cr (Insn.Creg0, 0x60000012L) ])
+   with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "unmasked CR0 write trapped");
+  check Alcotest.int64 "direct write landed" 0x60000012L v2.Vcpu.cr0
+
+let test_engine_cr0_read_mixes_shadow () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  v.Vcpu.cr0 <- 0xFFL;
+  V.write_exit_info v.Vcpu.vmcs F.cr0_guest_host_mask 0x0FL;
+  V.write_exit_info v.Vcpu.vmcs F.cr0_read_shadow 0x05L;
+  (match
+     Engine.run_until_exit t
+       ~fetch:(fetch_of_list [ Insn.Mov_from_cr (Insn.Creg0, Gpr.Rbx) ])
+   with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "MOV from CR0 must not trap");
+  (* Host-owned bits read from the shadow, the rest from the real
+     register: (0xFF & ~0x0F) | (0x05 & 0x0F). *)
+  check Alcotest.int64 "shadow mix" 0xF5L (Gpr.get v.Vcpu.regs Gpr.Rbx)
+
+let test_engine_ept_violation () =
+  let t = make_engine () in
+  Iris_memory.Ept.unmap t.Engine.ept ~gpa:0xFEE00000L ~len:0x1000L;
+  let ev =
+    expect_exit t
+      (fetch_of_list [ Insn.Write_mem { gpa = 0xFEE000B0L; width = 4; value = 0L } ])
+      R.Ept_violation
+  in
+  check Alcotest.int64 "guest physical recorded" 0xFEE000B0L
+    ev.Engine.guest_physical
+
+let test_engine_preemption_timer () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  V.write_exit_info v.Vcpu.vmcs F.pin_based_vm_exec_control
+    (Int64.logor C.pin_reserved_one_mask C.pin_preemption_timer);
+  v.Vcpu.preemption_timer <- 0L;
+  (* Fires before any instruction — the fetch must never be called. *)
+  let fetch () = Alcotest.fail "fetched an instruction" in
+  ignore (expect_exit t fetch R.Preemption_timer)
+
+let test_engine_preemption_timer_counts_down () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  V.write_exit_info v.Vcpu.vmcs F.pin_based_vm_exec_control
+    (Int64.logor C.pin_reserved_one_mask C.pin_preemption_timer);
+  v.Vcpu.preemption_timer <- 50L;
+  (* A 100-cycle compute exhausts the timer before the next insn. *)
+  ignore
+    (expect_exit t
+       (fetch_of_list [ Insn.Compute 100; Insn.Compute 100; Insn.Compute 100 ])
+       R.Preemption_timer)
+
+let test_engine_external_interrupt () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  Engine.inject_extint v ~vector:0xEF;
+  let ev = expect_exit t (fetch_of_list [ Insn.Compute 5 ]) R.External_interrupt in
+  (* Acknowledge-on-exit: vector visible in the exit interruption
+     info, pending line consumed. *)
+  check Alcotest.int "vector" 0xEF (C.intr_info_vector ev.Engine.intr_info);
+  check Alcotest.bool "consumed" true (v.Vcpu.pending_extint = None)
+
+let test_engine_interrupt_window () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  let cpu_ctl =
+    List.fold_left Int64.logor C.cpu_reserved_one_mask
+      [ C.cpu_intr_window_exiting ]
+  in
+  V.write_exit_info v.Vcpu.vmcs F.cpu_based_vm_exec_control cpu_ctl;
+  (* Window closed while IF=0... *)
+  v.Vcpu.rflags <- Rflags.reset_value;
+  (match Engine.run_until_exit t ~fetch:(fetch_of_list [ Insn.Compute 1 ]) with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "window exit with IF clear");
+  (* ...opens as soon as the guest becomes interruptible. *)
+  v.Vcpu.rflags <- Rflags.set Rflags.reset_value Rflags.IF;
+  ignore (expect_exit t (fetch_of_list []) R.Interrupt_window)
+
+let test_engine_far_jump_changes_window () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  (match
+     Engine.run_until_exit t
+       ~fetch:(fetch_of_list [ Insn.Far_jump { target = 0x100000L; code64 = false } ])
+   with
+  | Engine.Program_done -> ()
+  | Engine.Exit _ -> Alcotest.fail "far jump must not trap");
+  check Alcotest.int64 "rip at target" 0x100000L v.Vcpu.rip;
+  check Alcotest.int "flat CS loaded" 0x08
+    (Vcpu.get_seg v Segment.Cs).Segment.selector
+
+let test_engine_host_timer_fires () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  v.Vcpu.host_timer_period <- 1000L;
+  v.Vcpu.host_timer_deadline <- 1000L;
+  (* Enough compute to pass the deadline, then the pending interrupt
+     exits. *)
+  ignore
+    (expect_exit t
+       (fetch_of_list [ Insn.Compute 2000; Insn.Compute 2000 ])
+       R.External_interrupt);
+  check Alcotest.bool "deadline re-armed beyond now" true
+    (v.Vcpu.host_timer_deadline > 1000L)
+
+let test_engine_exit_writes_exit_info () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  Gpr.set v.Vcpu.regs Gpr.Rcx 0x77L;
+  ignore
+    (expect_exit t
+       (fetch_of_list [ Insn.In { port = 0x40; width = Insn.Io8; dst = Gpr.Rax } ])
+       R.Io_instruction);
+  check Alcotest.int64 "reason field" 30L (V.read v.Vcpu.vmcs F.vm_exit_reason);
+  check Alcotest.int64 "io_rcx snapshot" 0x77L (V.read v.Vcpu.vmcs F.io_rcx);
+  check Alcotest.bool "guest state saved" true
+    (V.read v.Vcpu.vmcs F.guest_cr0 = v.Vcpu.cr0);
+  check Alcotest.int64 "insn length recorded" 2L
+    (V.read v.Vcpu.vmcs F.vm_exit_instruction_len)
+
+let test_engine_entry_delivers_event () =
+  let t = make_engine () in
+  let v = t.Engine.vcpu in
+  Vcpu.save_to_vmcs v;
+  V.write_exit_info v.Vcpu.vmcs F.vm_entry_intr_info
+    (C.make_intr_info ~typ:C.External_interrupt ~vector:0x20 ());
+  Engine.complete_entry t;
+  check Alcotest.int64 "injection consumed" 0L
+    (V.read v.Vcpu.vmcs F.vm_entry_intr_info)
+
+let () =
+  Alcotest.run "iris_vtx"
+    [ ( "exit-reason",
+        [ Alcotest.test_case "count" `Quick test_reason_count;
+          Alcotest.test_case "roundtrip" `Quick test_reason_roundtrip;
+          Alcotest.test_case "codes unique" `Quick test_reason_codes_unique;
+          Alcotest.test_case "entry-failure bit" `Quick
+            test_reason_entry_failure_bit;
+          Alcotest.test_case "paper labels" `Quick test_reason_paper_labels ]
+      );
+      ( "exit-qual",
+        [ Alcotest.test_case "cr roundtrip" `Quick test_qual_cr_roundtrip;
+          Alcotest.test_case "cr layout" `Quick test_qual_cr_layout;
+          Alcotest.test_case "io roundtrip" `Quick test_qual_io_roundtrip;
+          Alcotest.test_case "io layout" `Quick test_qual_io_layout;
+          Alcotest.test_case "ept access" `Quick test_qual_ept_access ] );
+      ("clock", [ Alcotest.test_case "basic" `Quick test_clock ]);
+      ( "vcpu",
+        [ Alcotest.test_case "reset state" `Quick test_vcpu_reset_state;
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_vcpu_save_load_roundtrip;
+          Alcotest.test_case "GPRs not in VMCS" `Quick
+            test_vcpu_gprs_not_in_vmcs;
+          Alcotest.test_case "rip window wrap" `Quick
+            test_vcpu_advance_rip_wraps;
+          Alcotest.test_case "snapshot/restore" `Quick
+            test_vcpu_snapshot_restore ] );
+      ( "engine",
+        [ Alcotest.test_case "program done" `Quick test_engine_program_done;
+          Alcotest.test_case "cpuid traps" `Quick test_engine_cpuid_traps;
+          Alcotest.test_case "rdtsc control" `Quick test_engine_rdtsc_control;
+          Alcotest.test_case "io qualification" `Quick
+            test_engine_io_qualification;
+          Alcotest.test_case "cr0 mask semantics" `Quick
+            test_engine_cr0_mask_semantics;
+          Alcotest.test_case "cr0 read shadow mix" `Quick
+            test_engine_cr0_read_mixes_shadow;
+          Alcotest.test_case "ept violation" `Quick test_engine_ept_violation;
+          Alcotest.test_case "preemption timer at zero" `Quick
+            test_engine_preemption_timer;
+          Alcotest.test_case "preemption countdown" `Quick
+            test_engine_preemption_timer_counts_down;
+          Alcotest.test_case "external interrupt" `Quick
+            test_engine_external_interrupt;
+          Alcotest.test_case "interrupt window" `Quick
+            test_engine_interrupt_window;
+          Alcotest.test_case "far jump" `Quick
+            test_engine_far_jump_changes_window;
+          Alcotest.test_case "host timer" `Quick test_engine_host_timer_fires;
+          Alcotest.test_case "exit info written" `Quick
+            test_engine_exit_writes_exit_info;
+          Alcotest.test_case "entry delivers event" `Quick
+            test_engine_entry_delivers_event ] ) ]
