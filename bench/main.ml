@@ -25,6 +25,40 @@ module Clock = Iris_vtx.Clock
 module Stats = Iris_util.Stats
 module Plot = Iris_util.Textplot
 
+(* Key numbers the experiments also push into BENCH_iris.json, so CI
+   and notebooks can track them without scraping stdout. *)
+module Report = struct
+  module J = Iris_telemetry.Json
+
+  let results : (string * J.t) list ref = ref []
+
+  let put key v = results := (key, v) :: !results
+
+  let put_f key v = put key (J.Float v)
+
+  let put_i key v = put key (J.Int v)
+
+  let write ~path ~experiments =
+    let j =
+      J.Obj
+        [ ("schema", J.String "iris-bench-v1");
+          ( "experiments",
+            J.List
+              (List.map
+                 (fun (name, wall) ->
+                   J.Obj
+                     [ ("name", J.String name);
+                       ("wall_seconds", J.Float wall) ])
+                 experiments) );
+          ("results", J.Obj (List.rev !results)) ]
+    in
+    let oc = open_out path in
+    output_string oc (J.to_string j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nmachine-readable report written to %s\n" path
+end
+
 let prng_seed = 2023
 
 let trace_exits = 5_000 (* the paper's sample trace length *)
@@ -185,7 +219,15 @@ let fig6 () =
              ("replaying", sample acc.Analysis.replay_curve) ]);
       Printf.printf "%-10s fitting: %.1f%%  (paper: %.1f%%)\n" (W.name w)
         acc.Analysis.fitting_pct
-        (List.assoc w paper_fitting))
+        (List.assoc w paper_fitting);
+      let last curve =
+        let n = Array.length curve in
+        if n = 0 then 0 else curve.(n - 1)
+      in
+      let k = "fig6." ^ W.name w in
+      Report.put_f (k ^ ".fitting_pct") acc.Analysis.fitting_pct;
+      Report.put_i (k ^ ".record_lines") (last acc.Analysis.record_curve);
+      Report.put_i (k ^ ".replay_lines") (last acc.Analysis.replay_curve))
     target_workloads
 
 (* ------------------------------------------------------------------ *)
@@ -327,6 +369,11 @@ let fig9 () =
         done;
         let real = Stats.mean reals and rep = Stats.mean replays in
         let p = Stats.sign_test_p reals replays in
+        let k = "fig9." ^ W.name w in
+        Report.put_f (k ^ ".real_seconds") real;
+        Report.put_f (k ^ ".replay_seconds") rep;
+        Report.put_f (k ^ ".decrease_pct") (100.0 *. (real -. rep) /. real);
+        Report.put_f (k ^ ".sign_test_p") p;
         let pr, pi, pd = List.assoc w fig9_paper in
         [ W.name w;
           Printf.sprintf "%.2f" real;
@@ -374,6 +421,7 @@ let throughput () =
     "ideal loop: %d preemption-timer exits in %.3f s -> %.0f exits/s\n\
      (paper: 5000 exits in ~0.1 s / ~350M cycles, ~50K exits/s)\n\n"
     exits ideal_s ideal_tp;
+  Report.put_f "throughput.ideal_exits_per_sec" ideal_tp;
   List.iter
     (fun w ->
       let recording, replay = recorded_run w in
@@ -383,6 +431,7 @@ let throughput () =
           ~submitted:replay.Manager.submitted
       in
       let tp = eff.Analysis.replay_exits_per_sec in
+      Report.put_f ("throughput." ^ W.name w ^ ".exits_per_sec") tp;
       Printf.printf
         "%-10s replay throughput: %6.0f exits/s (%.0f%% below ideal; paper: \
          %s)\n"
@@ -448,6 +497,11 @@ let fig10 () =
       done;
       let a = Array.of_list !on and b = Array.of_list !off in
       let med_on = Stats.median a and med_off = Stats.median b in
+      let k = "fig10." ^ W.name w in
+      Report.put_f (k ^ ".median_us_recording") med_on;
+      Report.put_f (k ^ ".median_us_bare") med_off;
+      Report.put_f (k ^ ".overhead_pct")
+        (100.0 *. (med_on -. med_off) /. med_off);
       Printf.printf
         "%-10s median per-exit handler time: %.3f us (recording) vs %.3f us \
          (bare): +%.2f%%\n"
@@ -555,6 +609,14 @@ let table1 ?(mutations = 10_000) () =
     (Plot.table ~title:"coverage increase over single-seed baseline" ~header
        body);
   let stats = Iris_fuzzer.Table1.crash_stats rows in
+  Report.put_f "table1.vmcs_vm_crash_pct"
+    stats.Iris_fuzzer.Table1.vmcs_vm_crash_pct;
+  Report.put_f "table1.vmcs_hv_crash_pct"
+    stats.Iris_fuzzer.Table1.vmcs_hv_crash_pct;
+  Report.put_f "table1.gpr_vm_crash_pct"
+    stats.Iris_fuzzer.Table1.gpr_vm_crash_pct;
+  Report.put_f "table1.gpr_hv_crash_pct"
+    stats.Iris_fuzzer.Table1.gpr_hv_crash_pct;
   Printf.printf
     "\nfailures while mutating the VMCS area: %.1f%% VM crashes, %.1f%% \
      hypervisor crashes\n  (paper: ~1%% VM, ~15%% hypervisor)\n"
@@ -827,6 +889,9 @@ let batch () =
       in
       let one_by_one = run Replayer.submit_all in
       let batched = run Replayer.submit_batch in
+      let k = "batch." ^ W.name w in
+      Report.put_f (k ^ ".one_by_one_exits_per_sec") one_by_one;
+      Report.put_f (k ^ ".batched_exits_per_sec") batched;
       Printf.printf
         "%-10s one-by-one: %6.0f exits/s   batched: %6.0f exits/s \
          (+%.0f%%, ideal %.0f)\n"
@@ -956,19 +1021,30 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-coverage", ablation_coverage); ("batch", batch);
     ("guided", guided); ("portability", portability); ("micro", micro) ]
 
+let report_path = "BENCH_iris.json"
+
+let timed name f =
+  let t0 = Sys.time () in
+  f ();
+  (name, Sys.time () -. t0)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) targets
   | [] ->
       Printf.printf "IRIS evaluation harness (all targets)\n";
-      List.iter (fun (_, f) -> f ()) targets
+      let experiments = List.map (fun (n, f) -> timed n f) targets in
+      Report.write ~path:report_path ~experiments
   | names ->
-      List.iter
-        (fun n ->
-          match List.assoc_opt n targets with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown target %S; try 'list'\n" n;
-              exit 1)
-        names
+      let experiments =
+        List.map
+          (fun n ->
+            match List.assoc_opt n targets with
+            | Some f -> timed n f
+            | None ->
+                Printf.eprintf "unknown target %S; try 'list'\n" n;
+                exit 1)
+          names
+      in
+      Report.write ~path:report_path ~experiments

@@ -17,6 +17,7 @@ module Analysis = Iris_core.Analysis
 module Replayer = Iris_core.Replayer
 module W = Iris_guest.Workload
 module R = Iris_vtx.Exit_reason
+module T = Iris_telemetry
 
 (* --- shared options --- *)
 
@@ -60,6 +61,46 @@ let boot_scale =
           "Scale of the unrecorded boot used to reach a valid post-boot \
            state (1.0 = full ~500K-exit boot).")
 
+(* --- telemetry options (shared by record/replay/fuzz/stats) --- *)
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event file of the run (spans per VM exit, \
+           phase and campaign; load it in Perfetto or about://tracing).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the telemetry metrics summary when the command finishes.")
+
+(* Telemetry is opt-in: without either flag no hub exists and the
+   hypervisor hot path keeps its single [None] check. *)
+let telemetry_hub ~trace_out ~metrics mgr =
+  if trace_out = None && not metrics then None
+  else begin
+    let hub = T.Hub.create () in
+    Manager.set_hub mgr (Some hub);
+    Some hub
+  end
+
+let telemetry_report ~trace_out ~metrics hub =
+  match hub with
+  | None -> ()
+  | Some hub ->
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          T.Export.write_file ~path
+            (T.Export.chrome_trace_string ~process_name:"iris"
+               hub.T.Hub.tracer);
+          Printf.printf "chrome trace written to %s (load in Perfetto)\n" path);
+      if metrics then print_string (T.Hub.summary ~title:"telemetry" hub)
+
 (* --- record --- *)
 
 let record_cmd =
@@ -75,8 +116,10 @@ let record_cmd =
       & info [ "full-boot" ]
           ~doc:"For os-boot: record the BIOS phase too (Fig. 4 style).")
   in
-  let run workload exits prng_seed boot_scale out full_boot =
+  let run workload exits prng_seed boot_scale out full_boot trace_out metrics
+      =
     let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = telemetry_hub ~trace_out ~metrics mgr in
     Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
       (W.name workload) prng_seed;
     let recording =
@@ -86,17 +129,19 @@ let record_cmd =
     Format.printf "%a@." Trace.pp_summary trace;
     Printf.printf "wall time in guest: %.3f s\n"
       (Iris_vtx.Clock.cycles_to_seconds trace.Trace.wall_cycles);
-    match out with
+    (match out with
     | Some path ->
         Trace.save trace ~path;
         Printf.printf "trace written to %s (%d seed bytes)\n" path
           (Trace.total_seed_bytes trace)
-    | None -> ()
+    | None -> ());
+    telemetry_report ~trace_out ~metrics hub
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a VM behavior as a trace of VM seeds.")
     Term.(
-      const run $ workload $ exits $ prng_seed $ boot_scale $ out $ full_boot)
+      const run $ workload $ exits $ prng_seed $ boot_scale $ out $ full_boot
+      $ trace_out $ metrics_flag)
 
 (* --- replay --- *)
 
@@ -109,8 +154,9 @@ let replay_cmd =
             "Replay onto a never-booted dummy VM (the paper's §VI-B \
              experiment: post-boot seeds crash with 'bad RIP for mode 0').")
   in
-  let run workload exits prng_seed boot_scale fresh =
+  let run workload exits prng_seed boot_scale fresh trace_out metrics =
     let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = telemetry_hub ~trace_out ~metrics mgr in
     Printf.printf "recording %d exits of %s...\n%!" exits (W.name workload);
     let recording = Manager.record mgr workload ~exits in
     Printf.printf "replaying through the dummy VM%s...\n%!"
@@ -144,12 +190,15 @@ let replay_cmd =
       in
       Printf.printf "coverage fitting %.1f%%   VMWRITE fitting %.1f%%\n"
         acc.Analysis.fitting_pct acc.Analysis.vmwrite_fit_pct
-    end
+    end;
+    telemetry_report ~trace_out ~metrics hub
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Record a behavior and replay it through a dummy VM.")
-    Term.(const run $ workload $ exits $ prng_seed $ boot_scale $ fresh)
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ fresh
+      $ trace_out $ metrics_flag)
 
 (* --- fuzz --- *)
 
@@ -199,8 +248,10 @@ let fuzz_cmd =
             "Use the coverage-guided loop (corpus + bitmap novelty) instead \
              of the PoC's naive single bit-flips.")
   in
-  let run workload exits prng_seed boot_scale reason area mutations guided =
+  let run workload exits prng_seed boot_scale reason area mutations guided
+      trace_out metrics =
     let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = telemetry_hub ~trace_out ~metrics mgr in
     Printf.printf "recording %d exits of %s...\n%!" exits (W.name workload);
     let recording = Manager.record mgr workload ~exits in
     Printf.printf "fuzzing: reason=%s area=%s N=%d%s...\n%!"
@@ -262,14 +313,102 @@ let fuzz_cmd =
                 (Iris_fuzzer.Mutation.describe v.Iris_fuzzer.Campaign.mutation)
                 v.Iris_fuzzer.Campaign.detail)
           r.Iris_fuzzer.Campaign.crashing
-    end
+    end;
+    telemetry_report ~trace_out ~metrics hub
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Run one PoC fuzzing test case (replay to S_R, mutate, triage).")
     Term.(
       const run $ workload $ exits $ prng_seed $ boot_scale $ reason $ area
-      $ mutations $ guided)
+      $ mutations $ guided $ trace_out $ metrics_flag)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let top =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Exit reasons to list (default 10).")
+  in
+  (* Pull the per-reason members of a vec family out of a snapshot:
+     ["hv.exits{CPUID}"] becomes [("CPUID", count)]. *)
+  let vec_members snap prefix =
+    let plen = String.length prefix in
+    List.filter_map
+      (fun (name, sample) ->
+        if
+          String.length name > plen + 1
+          && String.sub name 0 plen = prefix
+          && name.[plen] = '{'
+        then
+          match sample with
+          | T.Registry.S_counter v when v > 0L ->
+              Some (String.sub name (plen + 1) (String.length name - plen - 2),
+                    v)
+          | _ -> None
+        else None)
+      snap
+  in
+  let run workload exits prng_seed boot_scale trace_out top =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = T.Hub.create () in
+    Manager.set_hub mgr (Some hub);
+    Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
+      (W.name workload) prng_seed;
+    let recording = Manager.record mgr workload ~exits in
+    let trace = recording.Manager.trace in
+    let snap = T.Hub.snapshot hub in
+    let by_count =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (vec_members snap "hv.exits")
+    in
+    let cycles = vec_members snap "hv.exit_cycles" in
+    Printf.printf "\ntop exit reasons (%d recorded, %d during boot):\n"
+      (Trace.length trace) recording.Manager.boot_exits;
+    Printf.printf "  %-16s %10s %16s\n" "reason" "exits" "handler cycles";
+    List.iteri
+      (fun i (label, n) ->
+        if i < top then
+          let cyc = Option.value ~default:0L (List.assoc_opt label cycles) in
+          Printf.printf "  %-16s %10Ld %16Ld\n" label n cyc)
+      by_count;
+    (* Exact per-exit percentiles from the recorded metrics
+       (Fig. 10's per-exit view)... *)
+    let samples =
+      Array.map
+        (fun m -> Int64.to_float m.Iris_core.Metrics.handler_cycles)
+        trace.Trace.metrics
+    in
+    if Array.length samples > 0 then begin
+      let p q = Iris_util.Stats.percentile samples q in
+      Printf.printf
+        "\nhandler cycles per exit: p50 %.0f   p90 %.0f   p99 %.0f   max %.0f\n"
+        (p 50.) (p 90.) (p 99.) (p 100.)
+    end;
+    (* ...and the registry's O(1) log2-histogram approximation of the
+       same distribution, which is what a live campaign exports. *)
+    let h = T.Registry.histogram hub.T.Hub.registry "hv.handler_cycles" in
+    if T.Registry.hist_count h > 0L then
+      Printf.printf
+        "log2-histogram estimate:  p50 %.0f   p99 %.0f   (n=%Ld)\n"
+        (T.Registry.hist_quantile h 0.5)
+        (T.Registry.hist_quantile h 0.99)
+        (T.Registry.hist_count h);
+    print_newline ();
+    print_string (T.Export.summary ~title:"telemetry" snap);
+    telemetry_report ~trace_out ~metrics:false (Some hub)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Record a short run and print its telemetry: per-exit-reason \
+          counts and cycle totals, handler-cycle percentiles, and the full \
+          metrics table.")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ trace_out $ top)
 
 (* --- info --- *)
 
@@ -348,4 +487,4 @@ let () =
              ~doc:
                "Record and replay of hardware-assisted virtualization \
                 behaviors (IRIS, DSN'23) on a simulated Xen/VT-x substrate.")
-          [ record_cmd; replay_cmd; fuzz_cmd; info_cmd; port_cmd ]))
+          [ record_cmd; replay_cmd; fuzz_cmd; stats_cmd; info_cmd; port_cmd ]))

@@ -9,12 +9,25 @@ module W = Iris_guest.Workload
 type t = {
   seed0 : int;
   boot_scale : float;
+  mutable hub : Iris_telemetry.Hub.t option;
 }
 
 let create ?(boot_scale = 0.05) ~prng_seed () =
-  { seed0 = prng_seed; boot_scale }
+  { seed0 = prng_seed; boot_scale; hub = None }
 
 let prng_seed t = t.seed0
+
+let set_hub t hub = t.hub <- hub
+
+let hub t = t.hub
+
+(* Every context the manager constructs gets the hub's instruments, so
+   the test VM and the dummy VM of one run share counters while keeping
+   separate trace tracks. *)
+let observe t ctx =
+  match t.hub with
+  | None -> ()
+  | Some h -> ignore (Iris_hv.Observe.attach h ctx : Iris_telemetry.Probe.t)
 
 type recording = {
   workload : W.t;
@@ -33,6 +46,7 @@ let prepare_test_vm t workload =
   let ctx =
     Xen.construct ~cov ~hooks ~name:(W.name workload ^ "-testvm") ()
   in
+  observe t ctx;
   let boot_fetch =
     if W.needs_boot workload then
       Some (Iris_guest.Os_boot.program ~scale:t.boot_scale ~seed:t.seed0 ())
@@ -109,10 +123,10 @@ let arm_dummy ctx ~revert_to ~keep_memory =
   dom.Iris_hv.Domain.blocked <- false
 
 let make_dummy t ?revert_to ?(keep_memory = false) () =
-  ignore t;
   let cov = Cov.create () in
   let hooks = Hooks.create () in
   let ctx = Xen.construct ~dummy:true ~cov ~hooks ~name:"dummy-vm" () in
+  observe t ctx;
   arm_dummy ctx ~revert_to ~keep_memory;
   Replayer.create ctx
 
@@ -216,6 +230,7 @@ let xc_vmcs_fuzzing s op =
       let cov = Cov.create () in
       let hooks = Hooks.create () in
       let ctx = Xen.construct ~cov ~hooks ~name:"session-testvm" () in
+      observe s.mgr ctx;
       let recorder = Recorder.start ctx in
       s.state <- S_recording (recorder, ctx);
       R_ok

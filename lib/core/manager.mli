@@ -18,6 +18,14 @@ val create : ?boot_scale:float -> prng_seed:int -> unit -> t
 
 val prng_seed : t -> int
 
+val set_hub : t -> Iris_telemetry.Hub.t option -> unit
+(** Wire a telemetry hub in (or out): every context the manager
+    constructs from then on — test VMs, dummy VMs, session VMs — gets
+    {!Iris_hv.Observe.attach}ed to it, so one hub aggregates metrics
+    across the whole run while each VM traces on its own track. *)
+
+val hub : t -> Iris_telemetry.Hub.t option
+
 type recording = {
   workload : Iris_guest.Workload.t;
   trace : Trace.t;

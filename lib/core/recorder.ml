@@ -108,6 +108,13 @@ let start ?(store_seeds = true) ?(store_metrics = true) ctx =
   hooks.Hooks.on_exit_end <- Some (on_exit_end t);
   hooks.Hooks.on_vmread <- Some (on_vmread t);
   hooks.Hooks.on_vmwrite <- Some (on_vmwrite t);
+  (match Iris_hv.Observe.probe ctx with
+  | None -> ()
+  | Some p ->
+      let hub = Iris_telemetry.Probe.hub p in
+      Iris_telemetry.Tracer.begin_span hub.Iris_telemetry.Hub.tracer
+        ~cat:"phase" ~tid:(Iris_telemetry.Probe.tid p) ~name:"record"
+        ~ts:t.start_wall);
   t
 
 let exits_recorded t = t.count
@@ -118,9 +125,23 @@ let stop t ~workload ~prng_seed =
   hooks.Hooks.on_exit_end <- None;
   hooks.Hooks.on_vmread <- None;
   hooks.Hooks.on_vmwrite <- None;
-  let wall =
-    Int64.sub (Iris_vtx.Clock.now (Ctx.clock t.ctx)) t.start_wall
-  in
+  let now = Iris_vtx.Clock.now (Ctx.clock t.ctx) in
+  let wall = Int64.sub now t.start_wall in
+  (match Iris_hv.Observe.probe t.ctx with
+  | None -> ()
+  | Some p ->
+      (* A handler that panicked mid-recording leaves its exit span
+         open; unwind before closing the phase. *)
+      Iris_telemetry.Probe.unwind p ~now;
+      let hub = Iris_telemetry.Probe.hub p in
+      Iris_telemetry.Registry.add
+        (Iris_telemetry.Registry.counter hub.Iris_telemetry.Hub.registry
+           "record.seeds")
+        (List.length t.seeds);
+      Iris_telemetry.Tracer.end_span hub.Iris_telemetry.Hub.tracer
+        ~name:"record"
+        ~args:[ ("workload", workload); ("exits", string_of_int t.count) ]
+        ~ts:now);
   { Trace.workload;
     prng_seed;
     seeds = Array.of_list (List.rev t.seeds);

@@ -99,7 +99,20 @@ let crashed_reason dom =
   | Some r -> r
   | None -> "unknown"
 
-let submit t seed =
+let probe t = Iris_hv.Observe.probe t.ctx
+
+let now t = Iris_vtx.Clock.now (Ctx.clock t.ctx)
+
+(* Mark dummy-VM crashes on the trace track: a seed that kills the
+   dummy is the signal the fuzzer triages (§IV-B). *)
+let note_outcome t outcome =
+  (match (outcome, probe t) with
+  | Vm_crashed _, Some p ->
+      Iris_telemetry.Probe.instant p ~name:"vm_crash" ~now:(now t)
+  | (Replayed | Vm_crashed _), _ -> ());
+  outcome
+
+let submit_inner t seed =
   let dom = t.ctx.Ctx.dom in
   if Iris_hv.Domain.crashed dom then Vm_crashed (crashed_reason dom)
   else begin
@@ -140,8 +153,18 @@ let submit t seed =
     end
   end
 
+let submit t seed = note_outcome t (submit_inner t seed)
+
 let submit_all t seeds =
   let n = Array.length seeds in
+  (match probe t with
+  | None -> ()
+  | Some p ->
+      let hub = Iris_telemetry.Probe.hub p in
+      Iris_telemetry.Tracer.begin_span hub.Iris_telemetry.Hub.tracer
+        ~cat:"phase" ~tid:(Iris_telemetry.Probe.tid p) ~name:"replay"
+        ~args:[ ("seeds", string_of_int n) ]
+        ~ts:(now t));
   let rec loop i =
     if i >= n then (n, Replayed)
     else
@@ -149,7 +172,30 @@ let submit_all t seeds =
       | Replayed -> loop (i + 1)
       | Vm_crashed _ as out -> (i, out)
   in
-  loop 0
+  let result =
+    match loop 0 with
+    | r -> r
+    | exception e ->
+        (* A hypervisor panic mid-replay must not leave the phase span
+           open. *)
+        (match probe t with
+        | None -> ()
+        | Some p ->
+            Iris_telemetry.Probe.unwind p ~now:(now t);
+            Iris_telemetry.Tracer.end_span
+              (Iris_telemetry.Probe.hub p).Iris_telemetry.Hub.tracer
+              ~name:"replay" ~ts:(now t));
+        raise e
+  in
+  (match probe t with
+  | None -> ()
+  | Some p ->
+      Iris_telemetry.Probe.unwind p ~now:(now t);
+      Iris_telemetry.Tracer.end_span
+        (Iris_telemetry.Probe.hub p).Iris_telemetry.Hub.tracer ~name:"replay"
+        ~args:[ ("submitted", string_of_int (fst result)) ]
+        ~ts:(now t));
+  result
 
 let batch_overhead_cycles = 70_000
 

@@ -49,10 +49,44 @@ let submit_probed replayer seed =
     match Replayer.submit replayer seed with
     | Replayer.Replayed -> (No_failure, "")
     | Replayer.Vm_crashed msg -> (Vm_crash, msg)
-    | exception Ctx.Hypervisor_panic msg -> (Hypervisor_crash, msg)
+    | exception Ctx.Hypervisor_panic msg ->
+        (match Iris_hv.Observe.probe ctx with
+        | None -> ()
+        | Some p ->
+            let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
+            Iris_telemetry.Probe.unwind p ~now;
+            Iris_telemetry.Probe.instant p ~name:"hv_crash" ~now);
+        (Hypervisor_crash, msg)
   in
   let span = Cov.span_end ctx.Ctx.cov in
   (outcome, span)
+
+(* The campaign's instrument pack: per-mutation counters plus the
+   coverage-gain gauge the paper's Table 2 reports per campaign. *)
+type fuzz_instruments = {
+  f_probe : Iris_telemetry.Probe.t;
+  f_mutations : Iris_telemetry.Registry.counter;
+  f_vm_crashes : Iris_telemetry.Registry.counter;
+  f_hv_crashes : Iris_telemetry.Registry.counter;
+  f_new_lines : Iris_telemetry.Registry.counter;
+  f_gain_pct : Iris_telemetry.Registry.gauge;
+}
+
+let fuzz_instruments ctx =
+  match Iris_hv.Observe.probe ctx with
+  | None -> None
+  | Some p ->
+      let reg =
+        (Iris_telemetry.Probe.hub p).Iris_telemetry.Hub.registry
+      in
+      Some
+        { f_probe = p;
+          f_mutations = Iris_telemetry.Registry.counter reg "fuzz.mutations";
+          f_vm_crashes = Iris_telemetry.Registry.counter reg "fuzz.vm_crashes";
+          f_hv_crashes = Iris_telemetry.Registry.counter reg "fuzz.hv_crashes";
+          f_new_lines = Iris_telemetry.Registry.counter reg "fuzz.new_lines";
+          f_gain_pct =
+            Iris_telemetry.Registry.gauge reg "fuzz.coverage_gain_pct" }
 
 let run ~config ~manager ~recording ~reason ~area =
   let trace = recording.Manager.trace in
@@ -75,6 +109,18 @@ let run ~config ~manager ~recording ~reason ~area =
         invalid_arg "Campaign.run: prefix replay crashed";
       let ctx = Replayer.ctx replayer in
       let s_r = Iris_hv.Domain.snapshot ctx.Ctx.dom in
+      let fi = fuzz_instruments ctx in
+      (match fi with
+      | None -> ()
+      | Some f ->
+          let hub = Iris_telemetry.Probe.hub f.f_probe in
+          Iris_telemetry.Tracer.begin_span hub.Iris_telemetry.Hub.tracer
+            ~cat:"phase" ~tid:(Iris_telemetry.Probe.tid f.f_probe)
+            ~name:"campaign"
+            ~args:
+              [ ("reason", Iris_vtx.Exit_reason.name reason);
+                ("seed_index", string_of_int seed_index) ]
+            ~ts:(Iris_vtx.Clock.now (Ctx.clock ctx)));
       (* Baseline: the unmutated seed's own coverage from S_R. *)
       let _, baseline = submit_probed replayer target in
       Iris_hv.Domain.revert ctx.Ctx.dom s_r;
@@ -92,15 +138,26 @@ let run ~config ~manager ~recording ~reason ~area =
             let (failure, detail), span = submit_probed replayer mutated in
             let fresh = Cov.Pset.cardinal (Cov.Pset.diff span !seen) in
             seen := Cov.Pset.union !seen span;
+            (match fi with
+            | None -> ()
+            | Some f ->
+                Iris_telemetry.Registry.incr f.f_mutations;
+                Iris_telemetry.Registry.add f.f_new_lines fresh);
             (match failure with
             | No_failure -> ()
             | Vm_crash ->
                 incr vm_crashes;
+                (match fi with
+                | None -> ()
+                | Some f -> Iris_telemetry.Registry.incr f.f_vm_crashes);
                 crashing :=
                   { mutation; failure; detail; new_lines = fresh }
                   :: !crashing
             | Hypervisor_crash ->
                 incr hv_crashes;
+                (match fi with
+                | None -> ()
+                | Some f -> Iris_telemetry.Registry.incr f.f_hv_crashes);
                 crashing :=
                   { mutation; failure; detail; new_lines = fresh }
                   :: !crashing);
@@ -116,6 +173,21 @@ let run ~config ~manager ~recording ~reason ~area =
           *. float_of_int (fuzz_lines - baseline_lines)
           /. float_of_int baseline_lines
       in
+      (match fi with
+      | None -> ()
+      | Some f ->
+          Iris_telemetry.Registry.set f.f_gain_pct
+            (Int64.of_float coverage_increase_pct);
+          let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
+          Iris_telemetry.Probe.unwind f.f_probe ~now;
+          Iris_telemetry.Tracer.end_span
+            (Iris_telemetry.Probe.hub f.f_probe).Iris_telemetry.Hub.tracer
+            ~name:"campaign"
+            ~args:
+              [ ("executed", string_of_int !executed);
+                ("vm_crashes", string_of_int !vm_crashes);
+                ("hv_crashes", string_of_int !hv_crashes) ]
+            ~ts:now);
       Some
         { reason;
           area;

@@ -3,38 +3,36 @@ module Op = Iris_vmcs.Vmx_op
 
 let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
 
-let hook_cost ctx = ctx.Ctx.hooks.Hooks.callback_cycles
-
 let vmx ctx = (Ctx.vcpu ctx).Iris_vtx.Vcpu.vmx
+
+let probe_vmread ctx =
+  match ctx.Ctx.hooks.Hooks.probe with
+  | None -> ()
+  | Some p -> Iris_telemetry.Probe.on_vmread p
+
+let probe_vmwrite ctx =
+  match ctx.Ctx.hooks.Hooks.probe with
+  | None -> ()
+  | Some p -> Iris_telemetry.Probe.on_vmwrite p
 
 let vmread ctx field =
   charge ctx Iris_vtx.Cost.vmread_cost;
+  probe_vmread ctx;
   match Op.vmread (vmx ctx) field with
   | Error e ->
       Ctx.panic ctx
         (Format.asprintf "vmread(%s) failed: %a" (F.name field) Op.pp_error e)
   | Ok raw ->
-      let value =
-        match ctx.Ctx.hooks.Hooks.vmread_filter with
-        | None -> raw
-        | Some filter ->
-            charge ctx (hook_cost ctx);
-            filter field raw
-      in
-      (match ctx.Ctx.hooks.Hooks.on_vmread with
-      | None -> ()
-      | Some cb ->
-          charge ctx (hook_cost ctx);
-          cb field value);
+      let hooks = ctx.Ctx.hooks in
+      let charge = charge ctx in
+      let value = Hooks.fire_vmread_filter hooks ~charge field raw in
+      Hooks.fire_vmread hooks ~charge field value;
       value
 
 let vmwrite ctx field value =
   charge ctx Iris_vtx.Cost.vmwrite_cost;
-  (match ctx.Ctx.hooks.Hooks.on_vmwrite with
-  | None -> ()
-  | Some cb ->
-      charge ctx (hook_cost ctx);
-      cb field value);
+  probe_vmwrite ctx;
+  Hooks.fire_vmwrite ctx.Ctx.hooks ~charge:(charge ctx) field value;
   match Op.vmwrite (vmx ctx) field value with
   | Ok () -> ()
   | Error e ->

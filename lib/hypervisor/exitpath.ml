@@ -68,11 +68,16 @@ let dispatch_reason ctx reason =
            (R.name reason))
 
 let handle ctx =
-  (match ctx.Ctx.hooks.Hooks.on_exit_start with
-  | Some cb ->
-      charge ctx ctx.Ctx.hooks.Hooks.callback_cycles;
-      cb ()
-  | None -> ());
+  let probe = ctx.Ctx.hooks.Hooks.probe in
+  (match probe with
+  | None -> ()
+  | Some p ->
+      Iris_telemetry.Probe.exit_begin p
+        ~now:(Iris_vtx.Clock.now (Ctx.clock ctx)));
+  (* The per-exit telemetry label: what the reason field resolves to,
+     or the preemption-timer placeholder when it never resolves. *)
+  let probed_reason = ref (R.code R.Preemption_timer) in
+  Hooks.fire_exit_start ctx.Ctx.hooks ~charge:(charge ctx);
   charge ctx Iris_vtx.Cost.dispatch_base;
   hit ctx __LINE__;
   (* Opportunistic platform-timer processing, as Xen does on its exit
@@ -119,10 +124,24 @@ let handle ctx =
            (Printf.sprintf "unknown exit reason field 0x%Lx" reason_field)
      | Some reason ->
          hit ctx __LINE__;
-         dispatch_reason ctx reason);
+         probed_reason := R.code reason;
+         (match probe with
+         | None -> ()
+         | Some p ->
+             Iris_telemetry.Probe.handler_begin p
+               ~now:(Iris_vtx.Clock.now (Ctx.clock ctx)));
+         dispatch_reason ctx reason;
+         (match probe with
+         | None -> ()
+         | Some p ->
+             Iris_telemetry.Probe.handler_end p
+               ~now:(Iris_vtx.Clock.now (Ctx.clock ctx))
+               ~name:(R.name reason)));
   if not (Domain.crashed ctx.Ctx.dom) then H_intr.assist ctx;
-  match ctx.Ctx.hooks.Hooks.on_exit_end with
-  | Some cb ->
-      charge ctx ctx.Ctx.hooks.Hooks.callback_cycles;
-      cb ()
+  Hooks.fire_exit_end ctx.Ctx.hooks ~charge:(charge ctx);
+  match probe with
   | None -> ()
+  | Some p ->
+      Iris_telemetry.Probe.exit_end p
+        ~now:(Iris_vtx.Clock.now (Ctx.clock ctx))
+        ~reason:!probed_reason

@@ -26,13 +26,41 @@ type t = {
   mutable callback_cycles : int;
       (** cycles charged per callback invocation (recording
           overhead) *)
+  mutable probe : Iris_telemetry.Probe.t option;
+      (** telemetry instrument pack consulted by the exit dispatcher
+          and the {!Access} wrappers; [None] (the default) keeps the
+          hot path at a single option check *)
 }
 
 val create : unit -> t
 (** No callbacks installed. *)
 
 val clear : t -> unit
+(** Removes the record/replay callbacks; the telemetry [probe] slot is
+    left alone (observability outlives a recording session). *)
 
 val any_installed : t -> bool
 
 val default_callback_cycles : int
+
+(** {2 Hook invocation}
+
+    All call sites fire hooks through these helpers so the overhead
+    accounting is centralised: [callback_cycles] is charged through
+    [charge] exactly once per installed callback actually invoked, and
+    never for an empty slot. *)
+
+val fire_exit_start : t -> charge:(int -> unit) -> unit
+
+val fire_exit_end : t -> charge:(int -> unit) -> unit
+
+val fire_vmread_filter :
+  t -> charge:(int -> unit) -> Iris_vmcs.Field.t -> int64 -> int64
+(** Returns the (possibly replaced) VMREAD value; the raw value when
+    no filter is installed. *)
+
+val fire_vmread :
+  t -> charge:(int -> unit) -> Iris_vmcs.Field.t -> int64 -> unit
+
+val fire_vmwrite :
+  t -> charge:(int -> unit) -> Iris_vmcs.Field.t -> int64 -> unit

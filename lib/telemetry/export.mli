@@ -1,0 +1,25 @@
+(** Exporters for the registry and the tracer.
+
+    Three formats, per the kAFL/rr practice of always giving both a
+    human and a machine a way in:
+    - [summary]: plain-text table for terminals;
+    - [Registry.to_jsonl] (re-exported here as {!metrics_jsonl}):
+      line-delimited JSON for ingestion;
+    - [chrome_trace]: the Chrome [trace_event] JSON-array format that
+      [about://tracing] and {{:https://ui.perfetto.dev}Perfetto} load
+      directly. *)
+
+val summary : ?title:string -> Registry.snapshot -> string
+
+val metrics_jsonl : Registry.snapshot -> string
+
+val chrome_trace :
+  ?cycles_per_us:float -> ?process_name:string -> Tracer.t -> Json.t
+(** Complete ("ph":"X") events for closed spans, instant ("ph":"i")
+    events for zero-duration ones, plus process/thread-name metadata.
+    Timestamps convert from virtual cycles to microseconds at
+    [cycles_per_us] (default 3600, the model's 3.6 GHz testbed). *)
+
+val chrome_trace_string : ?cycles_per_us:float -> ?process_name:string -> Tracer.t -> string
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,15 @@
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+}
+
+let create ?trace_capacity () =
+  { registry = Registry.create ();
+    tracer = Tracer.create ?capacity:trace_capacity () }
+
+let snapshot t = Registry.snapshot t.registry
+
+let summary ?title t = Export.summary ?title (snapshot t)
+
+let chrome_trace_string ?cycles_per_us ?process_name t =
+  Export.chrome_trace_string ?cycles_per_us ?process_name t.tracer

@@ -1,0 +1,21 @@
+(** One telemetry hub per run: a registry plus a tracer.
+
+    The hub is what gets threaded through the stack (manager, CLI,
+    bench): components intern their instruments against
+    [registry] and emit spans into [tracer].  Creating a hub installs
+    nothing — instrumentation points fire only where a probe or span
+    call site finds a hub wired in, so the uninstrumented hot path
+    stays a single [None] check. *)
+
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+}
+
+val create : ?trace_capacity:int -> unit -> t
+
+val snapshot : t -> Registry.snapshot
+
+val summary : ?title:string -> t -> string
+
+val chrome_trace_string : ?cycles_per_us:float -> ?process_name:string -> t -> string

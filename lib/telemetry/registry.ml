@@ -1,0 +1,334 @@
+type counter = { mutable c : int64 }
+
+type gauge = { mutable g : int64 }
+
+let nbuckets = 64
+
+type histogram = {
+  buckets : int64 array; (* log2 buckets *)
+  mutable count : int64;
+  mutable sum : int64;
+  mutable min : int64;
+  mutable max : int64;
+}
+
+type vec = counter array
+
+type hist_vec = histogram array
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+  | M_vec of vec * string array
+  | M_hist_vec of hist_vec * string array
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 32 }
+
+(* --- registration --- *)
+
+let register t name build extract =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> (
+      match extract m with
+      | Some x -> x
+      | None -> invalid_arg ("Registry: " ^ name ^ " registered with another type"))
+  | None ->
+      let m, x = build () in
+      Hashtbl.replace t.metrics name m;
+      x
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c = 0L } in
+      (M_counter c, c))
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g = 0L } in
+      (M_gauge g, g))
+    (function M_gauge g -> Some g | _ -> None)
+
+let fresh_histogram () =
+  { buckets = Array.make nbuckets 0L;
+    count = 0L;
+    sum = 0L;
+    min = Int64.max_int;
+    max = Int64.min_int }
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h = fresh_histogram () in
+      (M_histogram h, h))
+    (function M_histogram h -> Some h | _ -> None)
+
+let counter_vec t name ~labels =
+  register t name
+    (fun () ->
+      let v = Array.map (fun _ -> { c = 0L }) labels in
+      (M_vec (v, labels), v))
+    (function M_vec (v, _) -> Some v | _ -> None)
+
+let histogram_vec t name ~labels =
+  register t name
+    (fun () ->
+      let v = Array.map (fun _ -> fresh_histogram ()) labels in
+      (M_hist_vec (v, labels), v))
+    (function M_hist_vec (v, _) -> Some v | _ -> None)
+
+(* --- updates --- *)
+
+let incr c = c.c <- Int64.add c.c 1L
+
+let add c n = c.c <- Int64.add c.c (Int64.of_int n)
+
+let add64 c n = c.c <- Int64.add c.c n
+
+let counter_value c = c.c
+
+let set g v = g.g <- v
+
+let gauge_value g = g.g
+
+(* Index of the highest set bit, by binary search: O(1), no loop over
+   64 positions on the hot path. *)
+let log2_bucket x =
+  if Int64.compare x 2L < 0 then 0
+  else begin
+    let x = ref x and b = ref 0 in
+    if Int64.shift_right_logical !x 32 <> 0L then begin
+      b := !b + 32;
+      x := Int64.shift_right_logical !x 32
+    end;
+    let x = ref (Int64.to_int !x) in
+    if !x lsr 16 <> 0 then begin b := !b + 16; x := !x lsr 16 end;
+    if !x lsr 8 <> 0 then begin b := !b + 8; x := !x lsr 8 end;
+    if !x lsr 4 <> 0 then begin b := !b + 4; x := !x lsr 4 end;
+    if !x lsr 2 <> 0 then begin b := !b + 2; x := !x lsr 2 end;
+    if !x lsr 1 <> 0 then b := !b + 1;
+    !b
+  end
+
+let observe h x =
+  let x = if Int64.compare x 0L < 0 then 0L else x in
+  let b = log2_bucket x in
+  h.buckets.(b) <- Int64.add h.buckets.(b) 1L;
+  h.count <- Int64.add h.count 1L;
+  h.sum <- Int64.add h.sum x;
+  if Int64.compare x h.min < 0 then h.min <- x;
+  if Int64.compare x h.max > 0 then h.max <- x
+
+let vec_incr v code = if code >= 0 && code < Array.length v then incr v.(code)
+
+let vec_add64 v code n =
+  if code >= 0 && code < Array.length v then add64 v.(code) n
+
+let hist_observe v code x =
+  if code >= 0 && code < Array.length v then observe v.(code) x
+
+(* --- histogram queries --- *)
+
+let hist_count h = h.count
+
+let hist_sum h = h.sum
+
+let bucket_bounds i =
+  if i = 0 then (0.0, 2.0)
+  else (Int64.to_float (Int64.shift_left 1L i),
+        Int64.to_float (Int64.shift_left 1L (min 62 (i + 1))))
+
+let hist_quantile h q =
+  if h.count = 0L then nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = q *. Int64.to_float h.count in
+    let rec find i acc =
+      if i >= nbuckets then (nbuckets - 1, acc)
+      else
+        let acc' = Int64.add acc h.buckets.(i) in
+        if Int64.to_float acc' >= target && h.buckets.(i) > 0L then (i, acc)
+        else find (i + 1) acc'
+    in
+    let bucket, below = find 0 0L in
+    let inside = Int64.to_float h.buckets.(bucket) in
+    let frac =
+      if inside <= 0.0 then 0.0
+      else (target -. Int64.to_float below) /. inside
+    in
+    let lo, hi = bucket_bounds bucket in
+    (* Clamp the interpolated value to the observed extremes so p0/p100
+       report real samples rather than bucket edges. *)
+    let v = lo +. (frac *. (hi -. lo)) in
+    Float.max (Int64.to_float h.min) (Float.min (Int64.to_float h.max) v)
+  end
+
+(* --- snapshots --- *)
+
+type sample =
+  | S_counter of int64
+  | S_gauge of int64
+  | S_histogram of {
+      count : int64;
+      sum : int64;
+      min : int64;
+      max : int64;
+      buckets : (int * int64) list;
+    }
+
+type snapshot = (string * sample) list
+
+let hist_sample h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0L then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  S_histogram
+    { count = h.count;
+      sum = h.sum;
+      min = (if h.count = 0L then 0L else h.min);
+      max = (if h.count = 0L then 0L else h.max);
+      buckets = !buckets }
+
+let snapshot t =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | M_counter c -> entries := (name, S_counter c.c) :: !entries
+      | M_gauge g -> entries := (name, S_gauge g.g) :: !entries
+      | M_histogram h -> entries := (name, hist_sample h) :: !entries
+      | M_vec (v, labels) ->
+          Array.iteri
+            (fun i c ->
+              entries :=
+                (Printf.sprintf "%s{%s}" name labels.(i), S_counter c.c)
+                :: !entries)
+            v
+      | M_hist_vec (v, labels) ->
+          Array.iteri
+            (fun i h ->
+              entries :=
+                (Printf.sprintf "%s{%s}" name labels.(i), hist_sample h)
+                :: !entries)
+            v)
+    t.metrics;
+  List.sort (fun (a, _) (b, _) -> compare a b) !entries
+
+let diff ~before ~after =
+  let prev = Hashtbl.create 32 in
+  List.iter (fun (name, s) -> Hashtbl.replace prev name s) before;
+  List.map
+    (fun (name, s) ->
+      match (s, Hashtbl.find_opt prev name) with
+      | S_counter a, Some (S_counter b) -> (name, S_counter (Int64.sub a b))
+      | S_gauge _, _ -> (name, s)
+      | ( S_histogram a,
+          Some (S_histogram b) ) ->
+          let bb = Hashtbl.create 8 in
+          List.iter (fun (i, n) -> Hashtbl.replace bb i n) b.buckets;
+          let buckets =
+            List.filter_map
+              (fun (i, n) ->
+                let d =
+                  Int64.sub n
+                    (Option.value ~default:0L (Hashtbl.find_opt bb i))
+                in
+                if d > 0L then Some (i, d) else None)
+              a.buckets
+          in
+          ( name,
+            S_histogram
+              { count = Int64.sub a.count b.count;
+                sum = Int64.sub a.sum b.sum;
+                min = a.min;
+                max = a.max;
+                buckets } )
+      | _, _ -> (name, s))
+    after
+
+(* --- rendering --- *)
+
+(* Quantile over a sparse snapshot bucket list, same interpolation as
+   [hist_quantile]. *)
+let sample_quantile ~count ~buckets ~vmin ~vmax q =
+  if count = 0L then nan
+  else begin
+    let target = q *. Int64.to_float count in
+    let rec find below = function
+      | [] -> (nbuckets - 1, below)
+      | (i, n) :: rest ->
+          let acc = Int64.add below n in
+          if Int64.to_float acc >= target then (i, below) else find acc rest
+    in
+    let bucket, below = find 0L buckets in
+    let inside =
+      match List.assoc_opt bucket buckets with
+      | Some n -> Int64.to_float n
+      | None -> 1.0
+    in
+    let frac =
+      if inside <= 0.0 then 0.0
+      else (target -. Int64.to_float below) /. inside
+    in
+    let lo, hi = bucket_bounds bucket in
+    let v = lo +. (frac *. (hi -. lo)) in
+    Float.max (Int64.to_float vmin) (Float.min (Int64.to_float vmax) v)
+  end
+
+let render snap =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | S_counter v -> Buffer.add_string buf (Printf.sprintf "%-44s %Ld\n" name v)
+      | S_gauge v ->
+          Buffer.add_string buf (Printf.sprintf "%-44s %Ld (gauge)\n" name v)
+      | S_histogram { count; sum; min; max; buckets } ->
+          if count = 0L then
+            Buffer.add_string buf (Printf.sprintf "%-44s (empty histogram)\n" name)
+          else begin
+            let mean = Int64.to_float sum /. Int64.to_float count in
+            let p q = sample_quantile ~count ~buckets ~vmin:min ~vmax:max q in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%-44s n=%Ld mean=%.0f p50=%.0f p99=%.0f max=%Ld\n" name
+                 count mean (p 0.5) (p 0.99) max)
+          end)
+    snap;
+  Buffer.contents buf
+
+let sample_json = function
+  | S_counter v -> [ ("type", Json.String "counter"); ("value", Json.Int (Int64.to_int v)) ]
+  | S_gauge v -> [ ("type", Json.String "gauge"); ("value", Json.Int (Int64.to_int v)) ]
+  | S_histogram { count; sum; min; max; buckets } ->
+      [ ("type", Json.String "histogram");
+        ("count", Json.Int (Int64.to_int count));
+        ("sum", Json.Int (Int64.to_int sum));
+        ("min", Json.Int (Int64.to_int min));
+        ("max", Json.Int (Int64.to_int max));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, n) ->
+                 Json.Obj
+                   [ ("log2", Json.Int i); ("count", Json.Int (Int64.to_int n)) ])
+               buckets) ) ]
+
+let to_json snap =
+  Json.Obj
+    (List.map (fun (name, s) -> (name, Json.Obj (sample_json s))) snap)
+
+let to_jsonl snap =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, s) ->
+      Json.to_buffer buf (Json.Obj (("metric", Json.String name) :: sample_json s));
+      Buffer.add_char buf '\n')
+    snap;
+  Buffer.contents buf

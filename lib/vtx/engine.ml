@@ -7,6 +7,7 @@ type t = {
   vcpu : Vcpu.t;
   mem : Iris_memory.Gmem.t;
   ept : Iris_memory.Ept.t;
+  mutable exit_counters : Iris_telemetry.Registry.vec option;
 }
 
 type event = {
@@ -20,7 +21,9 @@ type event = {
   insn : Insn.t option;
 }
 
-let create ~vcpu ~mem ~ept = { vcpu; mem; ept }
+let create ~vcpu ~mem ~ept = { vcpu; mem; ept; exit_counters = None }
+
+let set_exit_counters t vec = t.exit_counters <- vec
 
 type outcome =
   | Exit of event
@@ -113,6 +116,10 @@ let do_exit t ev =
   w F.io_rdi (Gpr.get v.Vcpu.regs Gpr.Rdi);
   w F.io_rip v.Vcpu.rip;
   v.Vcpu.exits <- v.Vcpu.exits + 1;
+  (match t.exit_counters with
+  | None -> ()
+  | Some vec ->
+      Iris_telemetry.Registry.vec_incr vec (Exit_reason.code ev.reason));
   Exit ev
 
 let ctrl t f = V.read t.vcpu.Vcpu.vmcs f

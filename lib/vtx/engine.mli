@@ -13,6 +13,10 @@ type t = {
   vcpu : Vcpu.t;
   mem : Iris_memory.Gmem.t;
   ept : Iris_memory.Ept.t;
+  mutable exit_counters : Iris_telemetry.Registry.vec option;
+      (** per-exit-reason telemetry counters, bumped at the VM-exit
+          transition (hardware side, before the hypervisor dispatches);
+          [None] keeps the transition uninstrumented *)
 }
 
 type event = {
@@ -31,6 +35,10 @@ type event = {
 
 val create :
   vcpu:Vcpu.t -> mem:Iris_memory.Gmem.t -> ept:Iris_memory.Ept.t -> t
+
+val set_exit_counters : t -> Iris_telemetry.Registry.vec option -> unit
+(** Install (or remove) the per-reason exit counter family, indexed by
+    {!Exit_reason.code}. *)
 
 type outcome =
   | Exit of event

@@ -673,6 +673,35 @@ let test_vpt_process_and_coalescing () =
   check Alcotest.bool "deadline advanced past now" true
     (match Hv.Vpt.next_deadline t with Some d -> d > 520L | None -> false)
 
+(* --- hook cost accounting --- *)
+
+(* Drive one full dispatcher pass and report the cycles it consumed. *)
+let dispatch_cycles ~callback_cycles ~install =
+  let ctx = make_ctx () in
+  ctx.Ctx.hooks.Hv.Hooks.callback_cycles <- callback_cycles;
+  if install then begin
+    ctx.Ctx.hooks.Hv.Hooks.on_exit_start <- Some (fun () -> ());
+    ctx.Ctx.hooks.Hv.Hooks.on_exit_end <- Some (fun () -> ())
+  end;
+  fake_exit ctx R.Cpuid ~qual:0L;
+  let before = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  Hv.Exitpath.handle ctx;
+  Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) before
+
+let test_hooks_no_charge_when_absent () =
+  (* An empty hook slot must cost nothing, no matter how expensive the
+     configured callback surcharge is. *)
+  check Alcotest.int64 "huge surcharge invisible without callbacks"
+    (dispatch_cycles ~callback_cycles:0 ~install:false)
+    (dispatch_cycles ~callback_cycles:1_000_000 ~install:false)
+
+let test_hooks_charge_once_per_callback () =
+  let bare = dispatch_cycles ~callback_cycles:77 ~install:false in
+  let hooked = dispatch_cycles ~callback_cycles:77 ~install:true in
+  (* exit_start and exit_end each installed and fired exactly once *)
+  check Alcotest.int64 "surcharge applied once per fired callback"
+    (Int64.add bare 154L) hooked
+
 let () =
   Alcotest.run "iris_hv"
     [ ( "construct",
@@ -770,4 +799,9 @@ let () =
           Alcotest.test_case "disabled apic" `Quick
             test_vlapic_disabled_blocks;
           Alcotest.test_case "vpt coalescing" `Quick
-            test_vpt_process_and_coalescing ] ) ]
+            test_vpt_process_and_coalescing ] );
+      ( "hook-accounting",
+        [ Alcotest.test_case "no charge when absent" `Quick
+            test_hooks_no_charge_when_absent;
+          Alcotest.test_case "charge once per callback" `Quick
+            test_hooks_charge_once_per_callback ] ) ]
