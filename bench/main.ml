@@ -24,6 +24,7 @@ module R = Iris_vtx.Exit_reason
 module Clock = Iris_vtx.Clock
 module Stats = Iris_util.Stats
 module Plot = Iris_util.Textplot
+module Orch = Iris_orchestrator.Orchestrator
 
 (* Key numbers the experiments also push into BENCH_iris.json, so CI
    and notebooks can track them without scraping stdout. *)
@@ -951,6 +952,95 @@ let guided () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: the parallel orchestrator's jobs sweep                    *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section "Scaling: sharded campaign across worker domains (jobs sweep)";
+  (* One recording, one 10K-mutation campaign, fanned out over 1/2/4/8
+     worker domains.  Wall time is modeled virtual-TSC time — the
+     critical path over workers of (boot-to-S_R setup + executed-case
+     cycles) — because that is the repo's unit for every other
+     efficiency number and is independent of how many host CPUs this
+     machine happens to have.  Host seconds are reported alongside. *)
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:1_200 in
+  let config = { Iris_fuzzer.Campaign.mutations = 10_000; prng_seed } in
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let run jobs =
+    match
+      Orch.fuzz ~jobs ~config ~recording ~reason:R.Rdtsc
+        ~area:Iris_fuzzer.Mutation.Area_vmcs ()
+    with
+    | None -> failwith "scaling: no RDTSC seed in the CPU-bound trace"
+    | Some o -> o
+  in
+  let sweep = List.map (fun jobs -> (jobs, run jobs)) [ 1; 2; 4; 8 ] in
+  let base =
+    match sweep with
+    | (1, o) :: _ -> o
+    | _ -> assert false
+  in
+  let wall o =
+    Orch.cycles_to_seconds o.Orch.fuzz_report.Orch.r_model_wall_cycles
+  in
+  let header =
+    [ "jobs"; "model wall (s)"; "speedup"; "steals"; "host (s)";
+      "report digest" ]
+  in
+  let rows =
+    List.map
+      (fun (jobs, o) ->
+        let rep = o.Orch.fuzz_report in
+        let k = Printf.sprintf "scaling.jobs%d" jobs in
+        Report.put_f (k ^ ".model_wall_seconds") (wall o);
+        Report.put_f (k ^ ".host_seconds") rep.Orch.r_host_seconds;
+        [ string_of_int jobs;
+          Printf.sprintf "%.4f" (wall o);
+          Printf.sprintf "%.2fx" (wall base /. wall o);
+          string_of_int
+            (Array.fold_left
+               (fun a w -> a + w.Orch.w_steals)
+               0 rep.Orch.r_workers);
+          Printf.sprintf "%.2f" rep.Orch.r_host_seconds;
+          String.sub (digest o.Orch.fuzz_result) 0 12 ])
+      sweep
+  in
+  print_string
+    (Plot.table ~title:"10K-mutation RDTSC/vmcs campaign, sharded" ~header
+       rows);
+  print_string (Orch.render_workers (List.assoc 4 sweep).Orch.fuzz_report);
+  (* The determinism contract, checked on the real experiment: merged
+     campaign reports and merged telemetry snapshots are byte-identical
+     for every job count. *)
+  let base_report = digest base.Orch.fuzz_result in
+  let base_snap =
+    digest (Iris_telemetry.Hub.snapshot base.Orch.fuzz_report.Orch.r_hub)
+  in
+  List.iter
+    (fun (jobs, o) ->
+      if digest o.Orch.fuzz_result <> base_report then
+        failwith
+          (Printf.sprintf
+             "DETERMINISM VIOLATION: jobs=%d report differs from jobs=1" jobs);
+      if
+        digest (Iris_telemetry.Hub.snapshot o.Orch.fuzz_report.Orch.r_hub)
+        <> base_snap
+      then
+        failwith
+          (Printf.sprintf
+             "DETERMINISM VIOLATION: jobs=%d merged telemetry differs from \
+              jobs=1"
+             jobs))
+    sweep;
+  let speedup4 = wall base /. wall (List.assoc 4 sweep) in
+  Report.put_f "scaling.speedup_jobs4" speedup4;
+  Report.put_i "scaling.deterministic" 1;
+  Printf.printf
+    "\nmerged reports and telemetry byte-identical across jobs 1/2/4/8: yes\n";
+  Printf.printf "model speedup at jobs=4: %.2fx (target >= 2x)\n" speedup4
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1019,7 +1109,8 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-mem", ablation_mem); ("ablation-entry", ablation_entry);
     ("ablation-shim", ablation_shim); ("ablation-timer", ablation_timer);
     ("ablation-coverage", ablation_coverage); ("batch", batch);
-    ("guided", guided); ("portability", portability); ("micro", micro) ]
+    ("guided", guided); ("portability", portability); ("scaling", scaling);
+    ("micro", micro) ]
 
 let report_path = "BENCH_iris.json"
 

@@ -18,6 +18,7 @@ module Replayer = Iris_core.Replayer
 module W = Iris_guest.Workload
 module R = Iris_vtx.Exit_reason
 module T = Iris_telemetry
+module Orch = Iris_orchestrator.Orchestrator
 
 (* --- shared options --- *)
 
@@ -248,18 +249,51 @@ let fuzz_cmd =
             "Use the coverage-guided loop (corpus + bitmap novelty) instead \
              of the PoC's naive single bit-flips.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the campaign's test cases across N worker domains, each \
+             with an isolated dummy VM; results are merged in case-index \
+             order, so the report is byte-identical for any N.")
+  in
+  let print_campaign r =
+    Printf.printf
+      "VMseed_R = #%d   baseline %d LOC -> %d LOC (%s new coverage)\n"
+      r.Iris_fuzzer.Campaign.seed_index
+      r.Iris_fuzzer.Campaign.baseline_lines r.Iris_fuzzer.Campaign.fuzz_lines
+      (Iris_fuzzer.Campaign.pct_string r);
+    Printf.printf "failures: %d VM crashes, %d hypervisor crashes\n"
+      r.Iris_fuzzer.Campaign.vm_crashes r.Iris_fuzzer.Campaign.hv_crashes;
+    List.iteri
+      (fun i v ->
+        if i < 10 then
+          Printf.printf "  [%s] %s -> %s\n"
+            (Iris_fuzzer.Campaign.failure_name v.Iris_fuzzer.Campaign.failure)
+            (Iris_fuzzer.Mutation.describe v.Iris_fuzzer.Campaign.mutation)
+            v.Iris_fuzzer.Campaign.detail)
+      r.Iris_fuzzer.Campaign.crashing
+  in
   let run workload exits prng_seed boot_scale reason area mutations guided
-      trace_out metrics =
+      jobs trace_out metrics =
     let mgr = Manager.create ~boot_scale ~prng_seed () in
     let hub = telemetry_hub ~trace_out ~metrics mgr in
     Printf.printf "recording %d exits of %s...\n%!" exits (W.name workload);
     let recording = Manager.record mgr workload ~exits in
-    Printf.printf "fuzzing: reason=%s area=%s N=%d%s...\n%!"
+    Printf.printf "fuzzing: reason=%s area=%s N=%d%s%s...\n%!"
       (R.short_name reason)
       (Iris_fuzzer.Mutation.area_name area)
       mutations
-      (if guided then " (coverage-guided)" else "");
+      (if guided then " (coverage-guided)" else "")
+      (if jobs > 1 then Printf.sprintf " jobs=%d" jobs else "");
     if guided then begin
+      if jobs > 1 then
+        Printf.printf
+          "note: the guided loop is inherently sequential (each round \
+           mutates the corpus\nprevious rounds grew); --jobs applies to \
+           plain campaigns, ignoring it here\n";
       let config =
         { Iris_fuzzer.Guided.default_config with
           Iris_fuzzer.Guided.iterations = mutations;
@@ -288,31 +322,33 @@ let fuzz_cmd =
                   detail)
             g.Iris_fuzzer.Guided.crashing
     end
+    else if jobs > 1 then begin
+      (* Sharded campaign: each worker owns an isolated hypervisor +
+         dummy VM; the ordered merge makes the report identical to a
+         sequential run. *)
+      let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
+      match Orch.fuzz ~jobs ~config ~recording ~reason ~area () with
+      | None ->
+          Printf.printf "the trace has no seed with exit reason %s\n"
+            (R.short_name reason)
+      | Some o ->
+          print_campaign o.Orch.fuzz_result;
+          print_newline ();
+          print_string (Orch.render_workers o.Orch.fuzz_report);
+          if metrics then
+            print_string
+              (T.Hub.summary ~title:"telemetry (merged)"
+                 o.Orch.fuzz_report.Orch.r_hub)
+    end
     else begin
-    let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
-    match
-      Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area
-    with
-    | None ->
-        Printf.printf "the trace has no seed with exit reason %s\n"
-          (R.short_name reason)
-    | Some r ->
-        Printf.printf
-          "VMseed_R = #%d   baseline %d LOC -> %d LOC (%s new coverage)\n"
-          r.Iris_fuzzer.Campaign.seed_index
-          r.Iris_fuzzer.Campaign.baseline_lines
-          r.Iris_fuzzer.Campaign.fuzz_lines
-          (Iris_fuzzer.Campaign.pct_string r);
-        Printf.printf "failures: %d VM crashes, %d hypervisor crashes\n"
-          r.Iris_fuzzer.Campaign.vm_crashes r.Iris_fuzzer.Campaign.hv_crashes;
-        List.iteri
-          (fun i v ->
-            if i < 10 then
-              Printf.printf "  [%s] %s -> %s\n"
-                (Iris_fuzzer.Campaign.failure_name v.Iris_fuzzer.Campaign.failure)
-                (Iris_fuzzer.Mutation.describe v.Iris_fuzzer.Campaign.mutation)
-                v.Iris_fuzzer.Campaign.detail)
-          r.Iris_fuzzer.Campaign.crashing
+      let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
+      match
+        Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area
+      with
+      | None ->
+          Printf.printf "the trace has no seed with exit reason %s\n"
+            (R.short_name reason)
+      | Some r -> print_campaign r
     end;
     telemetry_report ~trace_out ~metrics hub
   in
@@ -321,7 +357,7 @@ let fuzz_cmd =
        ~doc:"Run one PoC fuzzing test case (replay to S_R, mutate, triage).")
     Term.(
       const run $ workload $ exits $ prng_seed $ boot_scale $ reason $ area
-      $ mutations $ guided $ trace_out $ metrics_flag)
+      $ mutations $ guided $ jobs $ trace_out $ metrics_flag)
 
 (* --- stats --- *)
 
@@ -351,7 +387,16 @@ let stats_cmd =
         else None)
       snap
   in
-  let run workload exits prng_seed boot_scale trace_out top =
+  let jobs =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Also run a small sharded fuzzing campaign with N worker \
+             domains and print per-worker utilization.")
+  in
+  let run workload exits prng_seed boot_scale trace_out top jobs =
     let mgr = Manager.create ~boot_scale ~prng_seed () in
     let hub = T.Hub.create () in
     Manager.set_hub mgr (Some hub);
@@ -399,6 +444,22 @@ let stats_cmd =
         (T.Registry.hist_count h);
     print_newline ();
     print_string (T.Export.summary ~title:"telemetry" snap);
+    (* Worker utilization of a sharded smoke campaign (the orchestrator's
+       scaling view; model time, see the bench for the full sweep). *)
+    if jobs > 0 then begin
+      let config = { Iris_fuzzer.Campaign.mutations = 500; prng_seed } in
+      match
+        Orch.fuzz ~jobs ~config ~recording ~reason:R.Rdtsc
+          ~area:Iris_fuzzer.Mutation.Area_vmcs ()
+      with
+      | None ->
+          Printf.printf "\nno RDTSC seed in this workload; skipping the \
+                         sharded smoke campaign\n"
+      | Some o ->
+          Printf.printf "\nsharded smoke campaign (RDTSC/vmcs, 500 mutations, \
+                         jobs=%d):\n" jobs;
+          print_string (Orch.render_workers o.Orch.fuzz_report)
+    end;
     telemetry_report ~trace_out ~metrics:false (Some hub)
   in
   Cmd.v
@@ -408,7 +469,8 @@ let stats_cmd =
           counts and cycle totals, handler-cycle percentiles, and the full \
           metrics table.")
     Term.(
-      const run $ workload $ exits $ prng_seed $ boot_scale $ trace_out $ top)
+      const run $ workload $ exits $ prng_seed $ boot_scale $ trace_out $ top
+      $ jobs)
 
 (* --- info --- *)
 

@@ -87,6 +87,16 @@ val make_dummy :
 (** Construct a dummy VM (optionally reverted) and its replayer,
     without submitting anything: on-demand seed submission. *)
 
+val arm_dummy :
+  Iris_hv.Ctx.t -> revert_to:Iris_hv.Domain.snapshot option ->
+  keep_memory:bool -> unit
+(** Turn an already-constructed dummy domain into the snapshot's state
+    while preserving its dummy nature (no guest memory unless
+    [keep_memory], preemption timer armed, no host timer).  Exposed
+    for the orchestrator, whose workers build their own isolated dummy
+    contexts instead of going through [make_dummy] (which would attach
+    the manager's shared hub). *)
+
 (** {2 The [xc_vmcs_fuzzing] hypercall interface}
 
     The user-space CLI controls IRIS through one multiplexed

@@ -35,6 +35,19 @@ let merge_new ~virgin t =
     t.map;
   !fresh
 
+(* Union for the orchestrator's join path: saturating per-slot sum, so
+   merging per-worker maps in any order yields the same bitmap as one
+   sequential run would have. *)
+let merge ~into t =
+  assert (size into = size t);
+  Bytes.iteri
+    (fun i c ->
+      if c <> '\000' then begin
+        let acc = Char.code (Bytes.get into.map i) in
+        Bytes.set into.map i (Char.chr (min 255 (acc + Char.code c)))
+      end)
+    t.map
+
 let reset t = Bytes.fill t.map 0 (Bytes.length t.map) '\000'
 
 let copy t = { map = Bytes.copy t.map; mask = t.mask }

@@ -26,5 +26,11 @@ val merge_new : virgin:t -> t -> int
     and returns how many *new* byte slots [m] touched — the fuzzer's
     novelty count. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into m] unions [m] into [into] (saturating per-slot sum).
+    Commutative and associative up to saturation, so merging
+    per-worker maps in any order matches one sequential run — the
+    orchestrator's join path relies on this. *)
+
 val reset : t -> unit
 val copy : t -> t

@@ -76,6 +76,18 @@ let lines_of t comp =
     t.counts []
   |> List.sort compare
 
+(* Union for the orchestrator's join path: hit counts add, so merging
+   per-worker collectors in any order equals one sequential run. The
+   in-flight span (if any) of [t] is not transferred. *)
+let merge ~into t =
+  Hashtbl.iter
+    (fun p n ->
+      let prev =
+        match Hashtbl.find_opt into.counts p with Some m -> m | None -> 0
+      in
+      Hashtbl.replace into.counts p (prev + n))
+    t.counts
+
 let reset t =
   Hashtbl.reset t.counts;
   t.span <- None

@@ -52,6 +52,10 @@ val unique_lines : t -> int
 val lines_of : t -> Component.t -> int list
 (** Sorted covered lines of one component. *)
 
+val merge : into:t -> t -> unit
+(** Union [t] into [into]: hit counts add. Commutative and
+    associative; the in-flight span (if any) is not transferred. *)
+
 val reset : t -> unit
 
 val with_span : t -> (unit -> 'a) -> 'a * Pset.t

@@ -88,27 +88,144 @@ let fuzz_instruments ctx =
           f_gain_pct =
             Iris_telemetry.Registry.gauge reg "fuzz.coverage_gain_pct" }
 
-let run ~config ~manager ~recording ~reason ~area =
-  let trace = recording.Manager.trace in
-  let candidates = Iris_core.Trace.seeds_with_reason trace reason in
-  match candidates with
+(* --- pure test-case generation ---
+
+   The plan replays [run]'s exact PRNG call sequence (target pick,
+   then [config.mutations] draws of [Mutation.random]) without
+   touching a hypervisor, so test cases can be generated once on the
+   dispatching side and sharded across workers.  Mutations that the
+   PRNG rejects ([Mutation.random] returning [None]) are dropped here,
+   exactly as the sequential loop skips them. *)
+
+type plan = {
+  plan_reason : Iris_vtx.Exit_reason.t;
+  plan_area : Mutation.area;
+  plan_target : Seed.t;
+  plan_mutations : Mutation.t array;
+}
+
+let plan ~config ~trace ~reason ~area =
+  match Iris_core.Trace.seeds_with_reason trace reason with
   | [] -> None
-  | _ ->
+  | candidates ->
       let prng = Prng.of_int config.prng_seed in
       let target =
         List.nth candidates (Prng.int prng (List.length candidates))
       in
-      let seed_index = target.Seed.index in
-      (* Reach the valid state S_R by replaying the recorded prefix. *)
-      let replayer =
-        Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
-      in
-      let prefix = Array.sub trace.Iris_core.Trace.seeds 0 seed_index in
-      let reached, _ = Replayer.submit_all replayer prefix in
-      if reached < Array.length prefix then
-        invalid_arg "Campaign.run: prefix replay crashed";
+      let mutations = ref [] in
+      for _ = 1 to config.mutations do
+        match Mutation.random prng area target with
+        | None -> ()
+        | Some m -> mutations := m :: !mutations
+      done;
+      Some
+        { plan_reason = reason;
+          plan_area = area;
+          plan_target = target;
+          plan_mutations = Array.of_list (List.rev !mutations) }
+
+(* Test case [0] is the unmutated baseline; case [i > 0] is mutation
+   [i - 1] applied to the target.  [Mutation.apply] is pure, so cases
+   can be materialised on any domain. *)
+let case p i =
+  if i = 0 then p.plan_target
+  else Mutation.apply p.plan_mutations.(i - 1) p.plan_target
+
+let case_count p = 1 + Array.length p.plan_mutations
+
+(* --- execution (per test case; shardable) --- *)
+
+type raw = {
+  raw_failure : failure_class;
+  raw_detail : string;
+  raw_span : Cov.Pset.t;
+  raw_cycles : int64;
+}
+
+(* Reach the valid state S_R by replaying the recorded prefix, and
+   snapshot it.  Every subsequent test case reverts here, which also
+   resets the virtual clock — the reason a test case's outcome is
+   independent of what its worker executed before it. *)
+let reach_sr ~replayer ~trace ~seed_index =
+  let prefix = Array.sub trace.Iris_core.Trace.seeds 0 seed_index in
+  let reached, _ = Replayer.submit_all replayer prefix in
+  if reached < Array.length prefix then
+    invalid_arg "Campaign: prefix replay crashed";
+  Iris_hv.Domain.snapshot (Replayer.ctx replayer).Ctx.dom
+
+let execute_case ~replayer ~s_r seed =
+  let ctx = Replayer.ctx replayer in
+  let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let (raw_failure, raw_detail), raw_span = submit_probed replayer seed in
+  let raw_cycles = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
+  (* Every test starts again from the valid state S_R. *)
+  Iris_hv.Domain.revert ctx.Ctx.dom s_r;
+  { raw_failure; raw_detail; raw_span; raw_cycles }
+
+(* --- ordered merge (pure) ---
+
+   [raws] holds one entry per plan case, in case order; per-mutant
+   novelty ("new lines") depends on everything seen before the mutant,
+   so it is recomputed here from the raw spans in index order — never
+   on the workers — making the verdicts identical for any sharding. *)
+
+let finalize ~plan:p ~raws =
+  assert (Array.length raws = case_count p);
+  let baseline = raws.(0).raw_span in
+  let seen = ref baseline in
+  let vm_crashes = ref 0 in
+  let hv_crashes = ref 0 in
+  let crashing = ref [] in
+  for i = 1 to Array.length raws - 1 do
+    let { raw_failure = failure; raw_detail = detail; raw_span = span; _ } =
+      raws.(i)
+    in
+    let fresh = Cov.Pset.cardinal (Cov.Pset.diff span !seen) in
+    seen := Cov.Pset.union !seen span;
+    match failure with
+    | No_failure -> ()
+    | Vm_crash ->
+        incr vm_crashes;
+        crashing :=
+          { mutation = p.plan_mutations.(i - 1); failure; detail;
+            new_lines = fresh }
+          :: !crashing
+    | Hypervisor_crash ->
+        incr hv_crashes;
+        crashing :=
+          { mutation = p.plan_mutations.(i - 1); failure; detail;
+            new_lines = fresh }
+          :: !crashing
+  done;
+  let baseline_lines = Cov.Pset.cardinal baseline in
+  let fuzz_lines = Cov.Pset.cardinal !seen in
+  let coverage_increase_pct =
+    if baseline_lines = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (fuzz_lines - baseline_lines)
+      /. float_of_int baseline_lines
+  in
+  { reason = p.plan_reason;
+    area = p.plan_area;
+    seed_index = p.plan_target.Seed.index;
+    executed = Array.length p.plan_mutations;
+    baseline_lines;
+    fuzz_lines;
+    coverage_increase_pct;
+    vm_crashes = !vm_crashes;
+    hv_crashes = !hv_crashes;
+    crashing = List.rev !crashing }
+
+(* --- sequential driver --- *)
+
+let run_with ~config ~replayer ~trace ~reason ~area =
+  match plan ~config ~trace ~reason ~area with
+  | None -> None
+  | Some p ->
+      let seed_index = p.plan_target.Seed.index in
+      let s_r = reach_sr ~replayer ~trace ~seed_index in
       let ctx = Replayer.ctx replayer in
-      let s_r = Iris_hv.Domain.snapshot ctx.Ctx.dom in
       let fi = fuzz_instruments ctx in
       (match fi with
       | None -> ()
@@ -121,81 +238,38 @@ let run ~config ~manager ~recording ~reason ~area =
               [ ("reason", Iris_vtx.Exit_reason.name reason);
                 ("seed_index", string_of_int seed_index) ]
             ~ts:(Iris_vtx.Clock.now (Ctx.clock ctx)));
-      (* Baseline: the unmutated seed's own coverage from S_R. *)
-      let _, baseline = submit_probed replayer target in
-      Iris_hv.Domain.revert ctx.Ctx.dom s_r;
-      let seen = ref baseline in
-      let vm_crashes = ref 0 in
-      let hv_crashes = ref 0 in
-      let crashing = ref [] in
-      let executed = ref 0 in
-      for _ = 1 to config.mutations do
-        match Mutation.random prng area target with
-        | None -> ()
-        | Some mutation ->
-            incr executed;
-            let mutated = Mutation.apply mutation target in
-            let (failure, detail), span = submit_probed replayer mutated in
-            let fresh = Cov.Pset.cardinal (Cov.Pset.diff span !seen) in
-            seen := Cov.Pset.union !seen span;
-            (match fi with
-            | None -> ()
-            | Some f ->
-                Iris_telemetry.Registry.incr f.f_mutations;
-                Iris_telemetry.Registry.add f.f_new_lines fresh);
-            (match failure with
-            | No_failure -> ()
-            | Vm_crash ->
-                incr vm_crashes;
-                (match fi with
-                | None -> ()
-                | Some f -> Iris_telemetry.Registry.incr f.f_vm_crashes);
-                crashing :=
-                  { mutation; failure; detail; new_lines = fresh }
-                  :: !crashing
-            | Hypervisor_crash ->
-                incr hv_crashes;
-                (match fi with
-                | None -> ()
-                | Some f -> Iris_telemetry.Registry.incr f.f_hv_crashes);
-                crashing :=
-                  { mutation; failure; detail; new_lines = fresh }
-                  :: !crashing);
-            (* Every test starts again from the valid state S_R. *)
-            Iris_hv.Domain.revert ctx.Ctx.dom s_r
-      done;
-      let baseline_lines = Cov.Pset.cardinal baseline in
-      let fuzz_lines = Cov.Pset.cardinal !seen in
-      let coverage_increase_pct =
-        if baseline_lines = 0 then 0.0
-        else
-          100.0
-          *. float_of_int (fuzz_lines - baseline_lines)
-          /. float_of_int baseline_lines
+      let n = case_count p in
+      let raws =
+        Array.init n (fun i -> execute_case ~replayer ~s_r (case p i))
       in
+      let result = finalize ~plan:p ~raws in
       (match fi with
       | None -> ()
       | Some f ->
+          Iris_telemetry.Registry.add f.f_mutations result.executed;
+          Iris_telemetry.Registry.add f.f_new_lines
+            (result.fuzz_lines - result.baseline_lines);
+          Iris_telemetry.Registry.add f.f_vm_crashes result.vm_crashes;
+          Iris_telemetry.Registry.add f.f_hv_crashes result.hv_crashes;
           Iris_telemetry.Registry.set f.f_gain_pct
-            (Int64.of_float coverage_increase_pct);
+            (Int64.of_float result.coverage_increase_pct);
           let now = Iris_vtx.Clock.now (Ctx.clock ctx) in
           Iris_telemetry.Probe.unwind f.f_probe ~now;
           Iris_telemetry.Tracer.end_span
             (Iris_telemetry.Probe.hub f.f_probe).Iris_telemetry.Hub.tracer
             ~name:"campaign"
             ~args:
-              [ ("executed", string_of_int !executed);
-                ("vm_crashes", string_of_int !vm_crashes);
-                ("hv_crashes", string_of_int !hv_crashes) ]
+              [ ("executed", string_of_int result.executed);
+                ("vm_crashes", string_of_int result.vm_crashes);
+                ("hv_crashes", string_of_int result.hv_crashes) ]
             ~ts:now);
-      Some
-        { reason;
-          area;
-          seed_index;
-          executed = !executed;
-          baseline_lines;
-          fuzz_lines;
-          coverage_increase_pct;
-          vm_crashes = !vm_crashes;
-          hv_crashes = !hv_crashes;
-          crashing = List.rev !crashing }
+      Some result
+
+let run ~config ~manager ~recording ~reason ~area =
+  let trace = recording.Manager.trace in
+  if Iris_core.Trace.seeds_with_reason trace reason = [] then None
+  else
+    let replayer =
+      Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
+    in
+    run_with ~config ~replayer ~trace ~reason ~area

@@ -57,3 +57,73 @@ val run :
 (** [None] when the recording contains no seed with [reason] (a "-"
     cell in Table I).  [VMseed_R] is drawn uniformly among that
     reason's seeds. *)
+
+(** {2 Sharded execution}
+
+    [run] decomposes into a pure {!plan} (test-case generation), a
+    per-case {!execute_case} (the only part that needs a hypervisor),
+    and a pure ordered {!finalize} — the seams the orchestrator
+    dispatches across worker domains.  [run] itself is
+    [plan → execute each case in order → finalize]. *)
+
+type plan = {
+  plan_reason : Iris_vtx.Exit_reason.t;
+  plan_area : Mutation.area;
+  plan_target : Iris_core.Seed.t;
+  plan_mutations : Mutation.t array;
+      (** accepted mutations, in PRNG draw order *)
+}
+
+val plan :
+  config:config -> trace:Iris_core.Trace.t ->
+  reason:Iris_vtx.Exit_reason.t -> area:Mutation.area -> plan option
+(** Pure: replays [run]'s exact PRNG call sequence without touching a
+    hypervisor.  [None] when the trace has no seed with [reason]. *)
+
+val case : plan -> int -> Iris_core.Seed.t
+(** Materialise test case [i]: case 0 is the unmutated baseline, case
+    [i > 0] is mutation [i-1] applied to the target.  Pure. *)
+
+val case_count : plan -> int
+(** [1 + Array.length plan_mutations]. *)
+
+type raw = {
+  raw_failure : failure_class;
+  raw_detail : string;
+  raw_span : Iris_coverage.Cov.Pset.t;
+  raw_cycles : int64;
+      (** virtual cycles the submission consumed (revert excluded) —
+          the orchestrator's model-time accounting unit *)
+}
+(** What executing one case observes, before any cross-case
+    accounting — safe to compute on any worker in any order.
+    Reverting resets the virtual clock to [S_R]'s, so every field is
+    a function of (S_R, seed) alone. *)
+
+val reach_sr :
+  replayer:Iris_core.Replayer.t -> trace:Iris_core.Trace.t ->
+  seed_index:int -> Iris_hv.Domain.snapshot
+(** Replay the recorded prefix up to (excluding) [seed_index] and
+    snapshot the valid state [S_R].  Raises [Invalid_argument] if the
+    prefix itself crashes. *)
+
+val execute_case :
+  replayer:Iris_core.Replayer.t -> s_r:Iris_hv.Domain.snapshot ->
+  Iris_core.Seed.t -> raw
+(** Submit one case from [S_R] and revert back to it.  Reverting also
+    resets the virtual clock, so the outcome is independent of what
+    the worker executed before. *)
+
+val finalize : plan:plan -> raws:raw array -> result
+(** Pure ordered merge: [raws] must hold one entry per case in case
+    order.  Per-verdict [new_lines] is recomputed here in index order,
+    which is what makes the merged report independent of how cases
+    were sharded. *)
+
+val run_with :
+  config:config -> replayer:Iris_core.Replayer.t ->
+  trace:Iris_core.Trace.t ->
+  reason:Iris_vtx.Exit_reason.t -> area:Mutation.area ->
+  result option
+(** [run] against a caller-owned replayer (the worker-side entry
+    point): plan, execute every case sequentially, finalize. *)

@@ -34,6 +34,8 @@ type result = {
   hv_crashes : int;
   curve : progress list;
   crashing : (Seed.t * Campaign.failure_class * string) list;
+  corpus : Seed.t array;
+  total_cycles : int64;
 }
 
 (* Stack 1..max_stack random single-bit mutations over both areas. *)
@@ -63,17 +65,24 @@ let submit_probed replayer seed =
   in
   (outcome, Cov.span_end ctx.Ctx.cov)
 
-let run_loop ~config ~manager ~recording ~reason ~guided =
-  let trace = recording.Manager.trace in
+(* Same, plus the virtual cycles the submission consumed — measured
+   before the caller reverts (reverting resets the clock). *)
+let submit_timed replayer cycles seed =
+  let ctx = Replayer.ctx replayer in
+  let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let r = submit_probed replayer seed in
+  cycles :=
+    Int64.add !cycles
+      (Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0);
+  r
+
+let run_with ~config ~replayer ~trace ~reason ~guided =
   match Iris_core.Trace.seeds_with_reason trace reason with
   | [] -> None
   | candidates ->
       let prng = Prng.of_int config.prng_seed in
       let target =
         List.nth candidates (Prng.int prng (List.length candidates))
-      in
-      let replayer =
-        Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
       in
       let prefix =
         Array.sub trace.Iris_core.Trace.seeds 0 target.Seed.index
@@ -85,8 +94,9 @@ let run_loop ~config ~manager ~recording ~reason ~guided =
       let s_r = Iris_hv.Domain.snapshot ctx.Ctx.dom in
       let virgin = Bitmap.create ~size:config.bitmap_size () in
       let scratch = Bitmap.create ~size:config.bitmap_size () in
+      let exec_cycles = ref 0L in
       (* Baseline: the unmutated target. *)
-      let _, base_span = submit_probed replayer target in
+      let _, base_span = submit_timed replayer exec_cycles target in
       Iris_hv.Domain.revert ctx.Ctx.dom s_r;
       Bitmap.record_set scratch base_span;
       ignore (Bitmap.merge_new ~virgin scratch);
@@ -123,7 +133,7 @@ let run_loop ~config ~manager ~recording ~reason ~guided =
             | None -> parent
           end
         in
-        let (failure, detail), span = submit_probed replayer mutant in
+        let (failure, detail), span = submit_timed replayer exec_cycles mutant in
         union := Cov.Pset.union !union span;
         Bitmap.reset scratch;
         Bitmap.record_set scratch span;
@@ -155,7 +165,18 @@ let run_loop ~config ~manager ~recording ~reason ~guided =
           vm_crashes = !vm_crashes;
           hv_crashes = !hv_crashes;
           curve = List.rev !curve;
-          crashing = List.rev !crashing }
+          crashing = List.rev !crashing;
+          corpus = !corpus;
+          total_cycles = !exec_cycles }
+
+let run_loop ~config ~manager ~recording ~reason ~guided =
+  let trace = recording.Manager.trace in
+  if Iris_core.Trace.seeds_with_reason trace reason = [] then None
+  else
+    let replayer =
+      Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
+    in
+    run_with ~config ~replayer ~trace ~reason ~guided
 
 let run ~config ~manager ~recording ~reason =
   run_loop ~config ~manager ~recording ~reason ~guided:true

@@ -38,6 +38,13 @@ type result = {
       (** sampled progress, oldest first (coverage-over-time) *)
   crashing : (Iris_core.Seed.t * Campaign.failure_class * string) list;
       (** saved crashing inputs for later analysis *)
+  corpus : Iris_core.Seed.t array;
+      (** final corpus, admission order — the determinism suite
+          compares it byte-for-byte across job counts *)
+  total_cycles : int64;
+      (** virtual cycles spent submitting test cases (reverts and
+          prefix replay excluded) — the orchestrator's model-time
+          accounting unit *)
 }
 
 val run :
@@ -53,3 +60,13 @@ val naive_baseline :
 (** The PoC's strategy at the same budget: always mutate the original
     seed with a single bit-flip and never grow a corpus — for the
     guided-vs-naive comparison. *)
+
+val run_with :
+  config:config -> replayer:Iris_core.Replayer.t ->
+  trace:Iris_core.Trace.t ->
+  reason:Iris_vtx.Exit_reason.t -> guided:bool -> result option
+(** [run] / [naive_baseline] against a caller-owned replayer — the
+    orchestrator's worker-side entry point.  The guided loop is
+    inherently sequential (each round mutates the corpus the previous
+    rounds grew), so the orchestrator shards whole guided runs, not
+    iterations. *)

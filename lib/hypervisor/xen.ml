@@ -4,14 +4,19 @@ module C = Iris_vmcs.Controls
 module V = Iris_vmcs.Vmcs
 module Op = Iris_vmcs.Vmx_op
 
-let next_domid = ref 0
+(* Domain ids are allocated atomically: orchestrator workers construct
+   their hypervisor instances concurrently from separate domains. *)
+let next_domid = Atomic.make 0
 
-let construct ?(dummy = false) ?mem_mib ~cov ~hooks ~name () =
+let construct ?(dummy = false) ?id ?mem_mib ~cov ~hooks ~name () =
   (* Both the test VM and the dummy VM are 1 GiB DomUs in the paper's
      setup; the backing store is sparse, so this costs nothing. *)
   let mem_mib = match mem_mib with Some m -> m | None -> 1024 in
-  let id = !next_domid in
-  incr next_domid;
+  let id =
+    match id with
+    | Some id -> id
+    | None -> Atomic.fetch_and_add next_domid 1
+  in
   let dom = Domain.create ~dummy ~cov ~id ~name ~mem_mib () in
   let ctx = Ctx.create ~dom ~cov ~hooks in
   let vcpu = dom.Domain.vcpu in

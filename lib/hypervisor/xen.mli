@@ -12,10 +12,13 @@
     the domain crashes, or the hypervisor panics. *)
 
 val construct :
-  ?dummy:bool -> ?mem_mib:int -> cov:Iris_coverage.Cov.t ->
+  ?dummy:bool -> ?id:int -> ?mem_mib:int -> cov:Iris_coverage.Cov.t ->
   hooks:Hooks.t -> name:string -> unit -> Ctx.t
 (** Build a domain ready to launch.  [mem_mib] defaults to 1024 (the
-    paper's DomU size); the dummy VM is a 1 GiB DomU too. *)
+    paper's DomU size); the dummy VM is a 1 GiB DomU too.  [id]
+    defaults to the next unused domain id, drawn from an atomic
+    counter so concurrent construction from orchestrator worker
+    domains is safe. *)
 
 type stop_reason =
   | Completed      (** instruction stream exhausted *)

@@ -1,0 +1,256 @@
+(* Parallel fuzzing orchestrator (paper §VII, scaled out).
+
+   Shards campaign/guided test cases across N worker domains, each
+   owning a fully isolated hypervisor + dummy-VM instance: booted
+   once (constructed, reverted to the recording snapshot, prefix
+   replayed to the valid state S_R), then snapshot/reverted per test
+   case exactly as the sequential fuzzer does.
+
+   Determinism is the subsystem's contract.  It rests on three facts:
+
+   - reverting to S_R also resets the virtual clock, so a test case's
+     outcome (verdict, coverage span, modeled cycles) is a pure
+     function of (S_R, seed), independent of worker history;
+   - results carry their test-case index and the merge folds them in
+     index order ([Campaign.finalize]), recomputing every
+     order-sensitive statistic (per-verdict novelty) on the merged
+     sequence, never on the workers;
+   - per-worker telemetry registries are merged with a commutative
+     operation (counters/histograms add, gauges max), and each case
+     is executed exactly once globally, so the merged snapshot is
+     independent of the partition.  Worker *setup* (prefix replay) is
+     kept out of the registries by attaching the probe only after S_R
+     is reached — otherwise N workers would count the prefix N times.
+
+   Model time: the substrate measures everything in virtual TSC
+   cycles (3.6 GHz), so the scaling experiment does too.  A parallel
+   campaign's modeled wall time is its critical path — the maximum
+   over workers of (setup + executed-case cycles) — which is how wall
+   time composes on real hardware, while host wall seconds on this
+   machine measure only scheduler overhead. *)
+
+module Ctx = Iris_hv.Ctx
+module Cov = Iris_coverage.Cov
+module Seed = Iris_core.Seed
+module Manager = Iris_core.Manager
+module Replayer = Iris_core.Replayer
+module Campaign = Iris_fuzzer.Campaign
+module Guided = Iris_fuzzer.Guided
+module Hub = Iris_telemetry.Hub
+
+let cycles_per_second = 3_600_000_000.0
+
+let cycles_to_seconds c = Int64.to_float c /. cycles_per_second
+
+(* --- worker lifecycle: boot → loop → drain → report --- *)
+
+type worker = {
+  wk_replayer : Replayer.t;
+  wk_s_r : Iris_hv.Domain.snapshot;
+}
+
+(* Boot one worker universe: construct an isolated dummy domain, arm
+   it on the recording snapshot, replay the prefix to S_R.  The probe
+   is attached to the worker's private hub only after S_R so that
+   per-worker setup never reaches the merged counters. *)
+let boot_worker ~recording ~seed_index ~hub ~setups wid =
+  let trace = recording.Manager.trace in
+  let cov = Cov.create () in
+  let hooks = Iris_hv.Hooks.create () in
+  let ctx =
+    Iris_hv.Xen.construct ~dummy:true ~cov ~hooks
+      ~name:(Printf.sprintf "worker%d-dummy" wid) ()
+  in
+  Manager.arm_dummy ctx ~revert_to:(Some recording.Manager.snapshot)
+    ~keep_memory:false;
+  let replayer = Replayer.create ctx in
+  let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
+  let s_r = Campaign.reach_sr ~replayer ~trace ~seed_index in
+  let setup = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
+  setups.(wid) <- Int64.add setups.(wid) setup;
+  ignore (Iris_hv.Observe.attach hub ctx : Iris_telemetry.Probe.t);
+  { wk_replayer = replayer; wk_s_r = s_r }
+
+(* --- reports --- *)
+
+type worker_report = {
+  w_id : int;
+  w_executed : int;
+  w_steals : int;
+  w_respawns : int;
+  w_setup_cycles : int64;   (* boot + prefix replay (all respawns) *)
+  w_busy_cycles : int64;    (* modeled cycles executing test cases *)
+  w_host_seconds : float;   (* host wall time inside tasks *)
+}
+
+type report = {
+  r_jobs : int;
+  r_workers : worker_report array;
+  r_hub : Hub.t;  (* merged, in worker-id order *)
+  r_model_wall_cycles : int64;
+      (* critical path: max over workers of setup + busy *)
+  r_model_busy_cycles : int64;  (* sum of executed-case cycles *)
+  r_host_seconds : float;       (* host wall clock of the whole run *)
+}
+
+let utilization rep w =
+  if rep.r_model_wall_cycles = 0L then 0.0
+  else
+    Int64.to_float (Int64.add w.w_setup_cycles w.w_busy_cycles)
+    /. Int64.to_float rep.r_model_wall_cycles
+
+let render_workers rep =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "  worker   cases  steals  respawns  busy(model s)  util\n";
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %6d  %6d  %6d  %8d  %13.3f  %4.0f%%\n" w.w_id
+           w.w_executed w.w_steals w.w_respawns
+           (cycles_to_seconds w.w_busy_cycles)
+           (100.0 *. utilization rep w)))
+    rep.r_workers;
+  Buffer.add_string buf
+    (Printf.sprintf "  model wall %.3fs  (ideal 1-worker %.3fs)\n"
+       (cycles_to_seconds rep.r_model_wall_cycles)
+       (cycles_to_seconds rep.r_model_busy_cycles));
+  Buffer.contents buf
+
+let build_report ~jobs ~hubs ~setups ~stats ~busy ~host_seconds =
+  let merged = Hub.create () in
+  Array.iter (fun h -> Hub.merge_into ~into:merged h) hubs;
+  let workers =
+    Array.init jobs (fun w ->
+        { w_id = w;
+          w_executed = stats.(w).Pool.executed;
+          w_steals = stats.(w).Pool.steals;
+          w_respawns = stats.(w).Pool.respawns;
+          w_setup_cycles = setups.(w);
+          w_busy_cycles = busy.(w);
+          w_host_seconds = stats.(w).Pool.busy_seconds })
+  in
+  let wall =
+    Array.fold_left
+      (fun acc w -> Int64.(max acc (add w.w_setup_cycles w.w_busy_cycles)))
+      0L workers
+  in
+  let total_busy =
+    Array.fold_left (fun acc w -> Int64.add acc w.w_busy_cycles) 0L workers
+  in
+  { r_jobs = jobs;
+    r_workers = workers;
+    r_hub = merged;
+    r_model_wall_cycles = wall;
+    r_model_busy_cycles = total_busy;
+    r_host_seconds = host_seconds }
+
+(* --- mutant-level sharding: one campaign, cases fanned out --- *)
+
+type fuzz_outcome = {
+  fuzz_result : Campaign.result;
+  fuzz_report : report;
+}
+
+let fuzz ?(jobs = 1) ~config ~recording ~reason ~area () =
+  let trace = recording.Manager.trace in
+  match Campaign.plan ~config ~trace ~reason ~area with
+  | None -> None
+  | Some plan ->
+      let jobs = max 1 jobs in
+      let seed_index = plan.Campaign.plan_target.Seed.index in
+      let total = Campaign.case_count plan in
+      let hubs = Array.init jobs (fun _ -> Hub.create ()) in
+      let setups = Array.make jobs 0L in
+      let init wid =
+        boot_worker ~recording ~seed_index ~hub:hubs.(wid) ~setups wid
+      in
+      let task wk i =
+        Campaign.execute_case ~replayer:wk.wk_replayer ~s_r:wk.wk_s_r
+          (Campaign.case plan i)
+      in
+      (* Panic containment: a worker whose hypervisor context dies in
+         a way the replayer could not triage still reports the crash
+         verdict for its case; the pool respawns the worker. *)
+      let on_crash exn _i =
+        { Campaign.raw_failure = Campaign.Hypervisor_crash;
+          raw_detail = "worker context died: " ^ Printexc.to_string exn;
+          raw_span = Cov.Pset.empty;
+          raw_cycles = 0L }
+      in
+      let host_t0 = Unix.gettimeofday () in
+      let raws, stats, who = Pool.run ~jobs ~total ~init ~task ~on_crash in
+      let host_seconds = Unix.gettimeofday () -. host_t0 in
+      (* Ordered merge: verdicts, coverage and novelty recomputed in
+         case-index order — byte-identical for any [jobs]. *)
+      let result = Campaign.finalize ~plan ~raws in
+      let busy = Array.make jobs 0L in
+      Array.iteri
+        (fun i raw ->
+          let w = who.(i) in
+          if w >= 0 && w < jobs then
+            busy.(w) <- Int64.add busy.(w) raw.Campaign.raw_cycles)
+        raws;
+      let report =
+        build_report ~jobs ~hubs ~setups ~stats ~busy ~host_seconds
+      in
+      (* Campaign-level aggregates on the merged hub: the same totals
+         the sequential runner's instrument pack ends up with. *)
+      let reg = report.r_hub.Hub.registry in
+      let open Iris_telemetry.Registry in
+      add (counter reg "fuzz.mutations") result.Campaign.executed;
+      add (counter reg "fuzz.new_lines")
+        (result.Campaign.fuzz_lines - result.Campaign.baseline_lines);
+      add (counter reg "fuzz.vm_crashes") result.Campaign.vm_crashes;
+      add (counter reg "fuzz.hv_crashes") result.Campaign.hv_crashes;
+      set
+        (gauge reg "fuzz.coverage_gain_pct")
+        (Int64.of_float result.Campaign.coverage_increase_pct);
+      Some { fuzz_result = result; fuzz_report = report }
+
+(* --- case-level sharding: whole guided/naive runs fanned out --- *)
+
+type sweep_outcome = {
+  sweep_results : (Iris_vtx.Exit_reason.t * Guided.result option) array;
+      (* one per requested reason, in request order *)
+  sweep_report : report;
+}
+
+(* A guided run is inherently sequential (each round mutates the
+   corpus previous rounds grew), so the unit of sharding is a whole
+   run.  Each task builds a fresh dummy VM exactly like the
+   sequential [Guided.run] does, with the probe attached from
+   construction: every run (prefix replay included) executes exactly
+   once globally, so merged counters stay partition-independent. *)
+let guided_sweep ?(jobs = 1) ?(guided = true) ~config ~recording ~reasons () =
+  let trace = recording.Manager.trace in
+  let jobs = max 1 jobs in
+  let total = Array.length reasons in
+  let hubs = Array.init jobs (fun _ -> Hub.create ()) in
+  let setups = Array.make jobs 0L in
+  let busy = Array.make jobs 0L in
+  let init wid = (wid, hubs.(wid)) in
+  let task (wid, hub) i =
+    let cov = Cov.create () in
+    let hooks = Iris_hv.Hooks.create () in
+    let ctx =
+      Iris_hv.Xen.construct ~dummy:true ~cov ~hooks
+        ~name:(Printf.sprintf "worker%d-dummy" wid) ()
+    in
+    ignore (Iris_hv.Observe.attach hub ctx : Iris_telemetry.Probe.t);
+    Manager.arm_dummy ctx ~revert_to:(Some recording.Manager.snapshot)
+      ~keep_memory:false;
+    let replayer = Replayer.create ctx in
+    let r = Guided.run_with ~config ~replayer ~trace ~reason:reasons.(i) ~guided in
+    (match r with
+    | Some g -> busy.(wid) <- Int64.add busy.(wid) g.Guided.total_cycles
+    | None -> ());
+    r
+  in
+  let on_crash _exn _i = None in
+  let host_t0 = Unix.gettimeofday () in
+  let results, stats, _who = Pool.run ~jobs ~total ~init ~task ~on_crash in
+  let host_seconds = Unix.gettimeofday () -. host_t0 in
+  let report = build_report ~jobs ~hubs ~setups ~stats ~busy ~host_seconds in
+  { sweep_results = Array.mapi (fun i r -> (reasons.(i), r)) results;
+    sweep_report = report }

@@ -1,0 +1,83 @@
+(** Parallel fuzzing orchestrator: sharded multi-domain campaigns
+    with a deterministic merge (DESIGN.md §8; scales out the paper's
+    §VII campaign loop).
+
+    Test cases are sharded across N worker domains, each owning a
+    fully isolated hypervisor + dummy-VM universe: booted once
+    (constructed, reverted to the recording snapshot, prefix replayed
+    to the valid state S_R), then snapshot/reverted per case exactly
+    like the sequential fuzzer.  Results carry their test-case index
+    and are merged in index order; per-worker telemetry registries
+    merge commutatively.  The merged campaign report, crash list and
+    telemetry snapshot are byte-identical for any [jobs] — the test
+    suite and the [scaling] bench enforce this by digest. *)
+
+val cycles_per_second : float
+(** The substrate's 3.6 GHz virtual TSC. *)
+
+val cycles_to_seconds : int64 -> float
+
+type worker_report = {
+  w_id : int;
+  w_executed : int;
+  w_steals : int;
+  w_respawns : int;
+  w_setup_cycles : int64;   (** boot + prefix replay (all respawns) *)
+  w_busy_cycles : int64;    (** modeled cycles executing test cases *)
+  w_host_seconds : float;   (** host wall time inside tasks *)
+}
+
+type report = {
+  r_jobs : int;
+  r_workers : worker_report array;
+  r_hub : Iris_telemetry.Hub.t;  (** merged, in worker-id order *)
+  r_model_wall_cycles : int64;
+      (** critical path: max over workers of setup + busy — how wall
+          time composes on real hardware, independent of this host's
+          CPU count *)
+  r_model_busy_cycles : int64;  (** sum of executed-case cycles *)
+  r_host_seconds : float;       (** host wall clock of the whole run *)
+}
+
+val utilization : report -> worker_report -> float
+(** (setup + busy) / model wall, in [0, 1]. *)
+
+val render_workers : report -> string
+(** Per-worker utilization table plus the model-wall summary line. *)
+
+(** {2 Mutant-level sharding: one campaign, cases fanned out} *)
+
+type fuzz_outcome = {
+  fuzz_result : Iris_fuzzer.Campaign.result;
+      (** byte-identical to the sequential [Campaign.run] result *)
+  fuzz_report : report;
+}
+
+val fuzz :
+  ?jobs:int -> config:Iris_fuzzer.Campaign.config ->
+  recording:Iris_core.Manager.recording ->
+  reason:Iris_vtx.Exit_reason.t -> area:Iris_fuzzer.Mutation.area ->
+  unit -> fuzz_outcome option
+(** Shard one campaign's [1 + mutations] test cases across [jobs]
+    worker domains.  [None] if the trace has no seed with [reason].
+    A worker whose hypervisor context dies beyond triage reports a
+    [Hypervisor_crash] verdict for the offending case and is
+    respawned. *)
+
+(** {2 Run-level sharding: whole guided/naive runs fanned out} *)
+
+type sweep_outcome = {
+  sweep_results :
+    (Iris_vtx.Exit_reason.t * Iris_fuzzer.Guided.result option) array;
+      (** one per requested reason, in request order *)
+  sweep_report : report;
+}
+
+val guided_sweep :
+  ?jobs:int -> ?guided:bool -> config:Iris_fuzzer.Guided.config ->
+  recording:Iris_core.Manager.recording ->
+  reasons:Iris_vtx.Exit_reason.t array -> unit -> sweep_outcome
+(** A guided run is inherently sequential (each round mutates the
+    corpus previous rounds grew), so the unit of sharding is a whole
+    run: one per exit reason.  [~guided:false] runs the naive
+    baseline at the same budget. *)

@@ -1,0 +1,104 @@
+(* Sharded index scheduler with chunked stealing.
+
+   The task space is the dense range [0, total): test-case indices.
+   Each worker owns a contiguous sub-range held as a two-pointer deque;
+   the owner pops single indices from the low end, and a worker that
+   runs dry steals the *upper half* of some victim's remaining range in
+   one locked operation (chunked stealing), installing it as its new
+   deque.  Contiguous chunks keep each worker's execution order mostly
+   sequential in index space, which is irrelevant for correctness (the
+   merge is index-ordered) but keeps per-worker behavior easy to read
+   in traces.
+
+   A plain mutex per deque is plenty here: a "task" is a full test-case
+   replay (thousands of modeled cycles), so scheduler contention is
+   noise.  What matters is that every index is dispensed exactly once,
+   which the lock makes trivially auditable. *)
+
+type deque = {
+  lock : Mutex.t;
+  mutable lo : int;  (* next index the owner pops *)
+  mutable hi : int;  (* one past the last index of the range *)
+}
+
+type t = { deques : deque array }
+
+let create ~total ~workers =
+  let workers = max 1 workers in
+  { deques =
+      Array.init workers (fun w ->
+          { lock = Mutex.create ();
+            lo = total * w / workers;
+            hi = total * (w + 1) / workers }) }
+
+let workers t = Array.length t.deques
+
+(* How many indices remain unclaimed (racy snapshot; for tests and
+   progress display only). *)
+let remaining t =
+  Array.fold_left
+    (fun acc d ->
+      Mutex.lock d.lock;
+      let n = max 0 (d.hi - d.lo) in
+      Mutex.unlock d.lock;
+      acc + n)
+    0 t.deques
+
+type take =
+  | Own of int     (* popped from the worker's own deque *)
+  | Stolen of int  (* first index of a freshly stolen chunk *)
+  | Empty          (* every deque was empty at scan time *)
+
+let pop_own d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then begin
+      let i = d.lo in
+      d.lo <- i + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* Detach the upper half (at least one index) of the victim's range. *)
+let steal_from d =
+  Mutex.lock d.lock;
+  let r =
+    let n = d.hi - d.lo in
+    if n <= 0 then None
+    else begin
+      let k = (n + 1) / 2 in
+      let mid = d.hi - k in
+      d.hi <- mid;
+      Some (mid, mid + k)
+    end
+  in
+  Mutex.unlock d.lock;
+  r
+
+let take t w =
+  let n = Array.length t.deques in
+  let own = t.deques.(w) in
+  match pop_own own with
+  | Some i -> Own i
+  | None ->
+      (* Scan the other deques round-robin from our right neighbour.
+         A chunk in transit always belongs to exactly one worker, so
+         a worker that sees everything empty can retire: the work it
+         missed is owned (and will be finished) by its thief. *)
+      let rec scan k =
+        if k >= n - 1 then Empty
+        else
+          let v = (w + 1 + k) mod n in
+          match steal_from t.deques.(v) with
+          | Some (lo, hi) ->
+              Mutex.lock own.lock;
+              own.lo <- lo + 1;
+              own.hi <- hi;
+              Mutex.unlock own.lock;
+              Stolen lo
+          | None -> scan (k + 1)
+      in
+      scan 0

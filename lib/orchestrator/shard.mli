@@ -1,0 +1,31 @@
+(** Sharded index scheduler with chunked work-stealing.
+
+    The task space is the dense range [0, total): test-case indices.
+    Each worker owns a contiguous sub-range held as a two-pointer
+    deque; the owner pops single indices from the low end, and a
+    worker that runs dry steals the upper half of some victim's
+    remaining range in one locked operation, installing it as its new
+    deque.  Every index is dispensed exactly once. *)
+
+type t
+
+val create : total:int -> workers:int -> t
+(** Splits [0, total) into [workers] contiguous ranges (sizes differ
+    by at most one). *)
+
+val workers : t -> int
+
+val remaining : t -> int
+(** Unclaimed indices across all deques — a racy snapshot, for tests
+    and progress display only. *)
+
+type take =
+  | Own of int     (** popped from the worker's own deque *)
+  | Stolen of int  (** first index of a freshly stolen chunk *)
+  | Empty          (** every deque was empty at scan time *)
+
+val take : t -> int -> take
+(** [take t w] claims the next index for worker [w]: its own deque
+    first, then a chunked steal from the other deques round-robin.
+    [Empty] means worker [w] can retire — any work it did not see is
+    owned (and will be finished) by its thief. *)

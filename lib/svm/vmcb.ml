@@ -8,7 +8,14 @@ let registry : info list ref = ref []
 
 let counter = ref 0
 
+(* Same freeze discipline as [Iris_vmcs.Field]: the table is shared
+   read-only across orchestrator worker domains and the dense indices
+   are a wire format, so registration after startup must raise. *)
+let frozen = ref false
+
 let def f_name f_offset f_area =
+  if !frozen then
+    invalid_arg ("Vmcb.def: registry frozen (late registration of " ^ f_name ^ ")");
   registry := { f_name; f_offset; f_area } :: !registry;
   let idx = !counter in
   incr counter;
@@ -85,6 +92,10 @@ let save_g_pat = def "G_PAT" 0x668 Save
 let save_dbgctl = def "DBGCTL" 0x670 Save
 
 let table = Array.of_list (List.rev !registry)
+
+let () = frozen := true
+
+let is_frozen () = !frozen
 
 let count = Array.length table
 

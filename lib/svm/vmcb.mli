@@ -24,6 +24,14 @@ type field = private int
 
 type area = Control | Save
 
+val def : string -> int -> area -> field
+(** Register a field. Only usable during module initialisation: the
+    table is frozen once built and any later call raises
+    [Invalid_argument]. *)
+
+val is_frozen : unit -> bool
+(** True once the table is built; [def] raises from then on. *)
+
 val create : unit -> t
 val copy : t -> t
 

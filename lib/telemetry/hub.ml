@@ -7,6 +7,8 @@ let create ?trace_capacity () =
   { registry = Registry.create ();
     tracer = Tracer.create ?capacity:trace_capacity () }
 
+let merge_into ~into t = Registry.merge_into ~into:into.registry t.registry
+
 let snapshot t = Registry.snapshot t.registry
 
 let summary ?title t = Export.summary ?title (snapshot t)

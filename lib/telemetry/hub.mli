@@ -14,6 +14,10 @@ type t = {
 
 val create : ?trace_capacity:int -> unit -> t
 
+val merge_into : into:t -> t -> unit
+(** Merge this hub's registry into [into]'s (see
+    {!Registry.merge_into}).  Traces are per-hub and not merged. *)
+
 val snapshot : t -> Registry.snapshot
 
 val summary : ?title:string -> t -> string

@@ -168,6 +168,51 @@ let hist_quantile h q =
     Float.max (Int64.to_float h.min) (Float.min (Int64.to_float h.max) v)
   end
 
+(* --- merge --- *)
+
+let merge_counter (dst : counter) (src : counter) = dst.c <- Int64.add dst.c src.c
+
+(* Gauges record "last set value"; across workers the only
+   order-independent combination is the max, which is also what the
+   fuzzer's gauges (coverage %, corpus size) mean globally. *)
+let merge_gauge (dst : gauge) (src : gauge) =
+  if Int64.compare src.g dst.g > 0 then dst.g <- src.g
+
+let merge_histogram (dst : histogram) (src : histogram) =
+  for i = 0 to nbuckets - 1 do
+    dst.buckets.(i) <- Int64.add dst.buckets.(i) src.buckets.(i)
+  done;
+  dst.count <- Int64.add dst.count src.count;
+  dst.sum <- Int64.add dst.sum src.sum;
+  if Int64.compare src.min dst.min < 0 then dst.min <- src.min;
+  if Int64.compare src.max dst.max > 0 then dst.max <- src.max
+
+(* Commutative, associative merge used at orchestrator join time:
+   counters and histograms add, gauges take the max.  Merging N
+   per-worker registries in any order therefore yields the same
+   snapshot, which is what makes the merged report partition-
+   independent. *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | M_counter s -> merge_counter (counter into name) s
+      | M_gauge s -> merge_gauge (gauge into name) s
+      | M_histogram s -> merge_histogram (histogram into name) s
+      | M_vec (s, labels) ->
+          let d = counter_vec into name ~labels in
+          let n = min (Array.length d) (Array.length s) in
+          for i = 0 to n - 1 do
+            merge_counter d.(i) s.(i)
+          done
+      | M_hist_vec (s, labels) ->
+          let d = histogram_vec into name ~labels in
+          let n = min (Array.length d) (Array.length s) in
+          for i = 0 to n - 1 do
+            merge_histogram d.(i) s.(i)
+          done)
+    src.metrics
+
 (* --- snapshots --- *)
 
 type sample =

@@ -88,6 +88,14 @@ type snapshot = (string * sample) list
 (** Sorted by metric name.  Vec members appear as
     ["name{label}"] entries. *)
 
+val merge_into : into:t -> t -> unit
+(** Fold [t]'s metrics into [into], creating any that are missing:
+    counters and histograms add, gauges take the max.  Commutative and
+    associative, so merging per-worker registries in any order yields
+    the same snapshot — the orchestrator's join path relies on this.
+    Raises [Invalid_argument] if a name is registered with different
+    types in the two registries. *)
+
 val snapshot : t -> snapshot
 
 val diff : before:snapshot -> after:snapshot -> snapshot

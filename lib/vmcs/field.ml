@@ -18,7 +18,14 @@ let registry : info list ref = ref []
 
 let registry_count = ref 0
 
+(* Once the table below is built the registry is frozen: the dense
+   indices are a wire format and the table is shared read-only across
+   orchestrator worker domains, so late registration is a bug. *)
+let frozen = ref false
+
 let def f_name f_enc f_width f_area =
+  if !frozen then
+    invalid_arg ("Field.def: registry frozen (late registration of " ^ f_name ^ ")");
   registry := { f_name; f_enc; f_width; f_area } :: !registry;
   let idx = !registry_count in
   incr registry_count;
@@ -217,6 +224,10 @@ let host_rip = def "HOST_RIP" 0x6C16 Wnat Host
 
 (* Registration is over; freeze the table. *)
 let table = Array.of_list (List.rev !registry)
+
+let () = frozen := true
+
+let is_frozen () = !frozen
 
 let count = Array.length table
 

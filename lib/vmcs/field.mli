@@ -25,6 +25,15 @@ type area =
   | Guest      (** guest-state area *)
   | Host       (** host-state area *)
 
+val def : string -> int -> width -> area -> t
+(** Register a field. Only usable during module initialisation: the
+    table is frozen once built (the dense indices are a wire format
+    and the table is shared read-only across worker domains), and any
+    later call raises [Invalid_argument]. *)
+
+val is_frozen : unit -> bool
+(** True once the table is built; [def] raises from then on. *)
+
 val compact : t -> int
 val of_compact : int -> t option
 val count : int

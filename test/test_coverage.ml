@@ -201,6 +201,65 @@ let test_bitmap_reset_copy () =
   check Alcotest.int "reset clears" 0 (Bitmap.set_bytes b);
   check Alcotest.bool "copy kept" true (Bitmap.set_bytes c > 0)
 
+(* Merging per-worker maps in any order must equal one map that saw
+   every span — the orchestrator's join-path contract. *)
+let test_bitmap_merge_union () =
+  let spans =
+    [ span_of [ (Comp.Vmx_c, 1); (Comp.Irq_c, 2) ];
+      span_of [ (Comp.Ept_c, 9) ];
+      span_of [ (Comp.Vmx_c, 1); (Comp.Vlapic_c, 3) ] ]
+  in
+  let sequential = Bitmap.create ~size:4096 () in
+  List.iter (Bitmap.record_set sequential) spans;
+  let parts =
+    List.map
+      (fun s ->
+        let b = Bitmap.create ~size:4096 () in
+        Bitmap.record_set b s;
+        b)
+      spans
+  in
+  let forward = Bitmap.create ~size:4096 () in
+  List.iter (fun p -> Bitmap.merge ~into:forward p) parts;
+  let backward = Bitmap.create ~size:4096 () in
+  List.iter (fun p -> Bitmap.merge ~into:backward p) (List.rev parts);
+  check Alcotest.int "merge = sequential density" (Bitmap.set_bytes sequential)
+    (Bitmap.set_bytes forward);
+  check Alcotest.int "merge order irrelevant" (Bitmap.set_bytes forward)
+    (Bitmap.set_bytes backward);
+  (* Nothing new left: the merged map already contains every part. *)
+  let virgin = Bitmap.copy forward in
+  List.iter
+    (fun p -> check Alcotest.int "no novelty" 0 (Bitmap.merge_new ~virgin p))
+    parts
+
+let test_bitmap_merge_saturates () =
+  let a = Bitmap.create ~size:4096 () in
+  let b = Bitmap.create ~size:4096 () in
+  let s = span_of [ (Comp.Vmx_c, 7) ] in
+  for _ = 1 to 200 do
+    Bitmap.record_set a s;
+    Bitmap.record_set b s
+  done;
+  Bitmap.merge ~into:a b;
+  (* 200 + 200 hits per slot clamp at 255 instead of wrapping. *)
+  check Alcotest.bool "slots survive saturation" true (Bitmap.set_bytes a > 0)
+
+let test_cov_merge_counts () =
+  let mk probes =
+    let c = Cov.create () in
+    List.iter (fun (comp, line) -> Cov.hit c comp line) probes;
+    c
+  in
+  let a = mk [ (Comp.Vmx_c, 1); (Comp.Irq_c, 2) ] in
+  let b = mk [ (Comp.Vmx_c, 1); (Comp.Ept_c, 5) ] in
+  let seq = mk [ (Comp.Vmx_c, 1); (Comp.Irq_c, 2); (Comp.Vmx_c, 1); (Comp.Ept_c, 5) ] in
+  Cov.merge ~into:a b;
+  check Alcotest.bool "union of points" true
+    (Cov.Pset.equal (Cov.covered a) (Cov.covered seq));
+  check Alcotest.int "hit counts add" (Cov.hits seq (Cov.point Comp.Vmx_c (1 * 16)))
+    (Cov.hits a (Cov.point Comp.Vmx_c (1 * 16)))
+
 (* --- Ipt (processor-trace backend) --- *)
 
 module Ipt = Iris_coverage.Ipt
@@ -312,7 +371,11 @@ let () =
       ( "bitmap",
         [ Alcotest.test_case "basics" `Quick test_bitmap_basics;
           Alcotest.test_case "novelty" `Quick test_bitmap_novelty;
-          Alcotest.test_case "reset/copy" `Quick test_bitmap_reset_copy ] );
+          Alcotest.test_case "reset/copy" `Quick test_bitmap_reset_copy;
+          Alcotest.test_case "merge union" `Quick test_bitmap_merge_union;
+          Alcotest.test_case "merge saturates" `Quick
+            test_bitmap_merge_saturates;
+          Alcotest.test_case "cov merge" `Quick test_cov_merge_counts ] );
       ( "ipt",
         [ Alcotest.test_case "decode matches gcov" `Quick
             test_ipt_decode_matches_gcov;

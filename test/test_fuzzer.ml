@@ -187,6 +187,44 @@ let test_campaign_deterministic () =
   in
   check Alcotest.bool "same seed, same campaign" true (run () = run ())
 
+let test_campaign_plan_finalize_equals_run () =
+  (* The orchestrator's decomposition — plan (pure), execute each case,
+     finalize (pure ordered fold) — must reproduce [Campaign.run]
+     byte for byte: this is what makes the parallel merge exact. *)
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  let trace = recording.Manager.trace in
+  let whole =
+    Campaign.run ~config:(config 60) ~manager:m ~recording ~reason:R.Rdtsc
+      ~area:Mutation.Area_vmcs
+  in
+  let pieces =
+    match
+      Campaign.plan ~config:(config 60) ~trace ~reason:R.Rdtsc
+        ~area:Mutation.Area_vmcs
+    with
+    | None -> None
+    | Some plan ->
+        let replayer =
+          Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+        in
+        let s_r =
+          Campaign.reach_sr ~replayer ~trace
+            ~seed_index:plan.Campaign.plan_target.Iris_core.Seed.index
+        in
+        let raws =
+          Array.init (Campaign.case_count plan) (fun i ->
+              Campaign.execute_case ~replayer ~s_r (Campaign.case plan i))
+        in
+        Some (Campaign.finalize ~plan ~raws)
+  in
+  match (whole, pieces) with
+  | Some whole, Some pieces ->
+      check Alcotest.string "plan/execute/finalize = run" (digest whole)
+        (digest pieces)
+  | _ -> Alcotest.fail "rdtsc seeds exist"
+
 (* --- Guided fuzzing (§IX extension) --- *)
 
 let guided_config n =
@@ -301,7 +339,9 @@ let () =
           Alcotest.test_case "gpr mostly harmless" `Slow
             test_campaign_gpr_mostly_harmless;
           Alcotest.test_case "deterministic" `Slow
-            test_campaign_deterministic ] );
+            test_campaign_deterministic;
+          Alcotest.test_case "plan/finalize = run" `Slow
+            test_campaign_plan_finalize_equals_run ] );
       ( "guided",
         [ Alcotest.test_case "beats naive" `Slow test_guided_beats_naive;
           Alcotest.test_case "absent reason" `Slow test_guided_absent_reason;
