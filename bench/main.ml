@@ -1041,6 +1041,125 @@ let scaling () =
   Printf.printf "model speedup at jobs=4: %.2fx (target >= 2x)\n" speedup4
 
 (* ------------------------------------------------------------------ *)
+(* Revert: copy-on-write rewind vs full snapshot restore              *)
+(* ------------------------------------------------------------------ *)
+
+let revert_bench () =
+  section "Revert: copy-on-write rewind vs full snapshot restore";
+  (* The same campaign on the same memory-oracle dummy (guest RAM
+     kept, so restores have a realistic footprint), once with the
+     deep-copy full-restore path and once with the journal rewind.
+     The gate has two parts: the reports must be byte-identical, and
+     the modeled restore footprint — deterministic bytes-touched, the
+     same unit for both paths — must shrink at least 5x.  Host wall
+     seconds are reported alongside but not gated (they measure this
+     machine, not the engine). *)
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:1_200 in
+  let trace = recording.Manager.trace in
+  let config = { Iris_fuzzer.Campaign.mutations = 2_000; prng_seed } in
+  let module Campaign = Iris_fuzzer.Campaign in
+  let module Domain = Iris_hv.Domain in
+  let plan =
+    match
+      Campaign.plan ~config ~trace ~reason:R.Rdtsc
+        ~area:Iris_fuzzer.Mutation.Area_vmcs
+    with
+    | Some p -> p
+    | None -> failwith "revert: no RDTSC seed in the CPU-bound trace"
+  in
+  let seed_index = plan.Campaign.plan_target.Seed.index in
+  let cases = Campaign.case_count plan in
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let run mode =
+    let replayer =
+      Manager.make_dummy m ~revert_to:recording.Manager.snapshot
+        ~keep_memory:true ()
+    in
+    let anchor = Campaign.anchor ~mode ~replayer ~trace ~seed_index () in
+    let dom = (Replayer.ctx replayer).Iris_hv.Ctx.dom in
+    let t0 = Sys.time () in
+    let raws =
+      Array.init cases (fun i ->
+          Campaign.execute_case ~replayer ~anchor (Campaign.case plan i))
+    in
+    let host = Sys.time () -. t0 in
+    (Campaign.finalize ~plan ~raws, host, anchor, dom)
+  in
+  let res_full, host_full, anch_full, _ = run Campaign.Full_restore in
+  let res_cow, host_cow, _, dom_cow = run Campaign.Cow in
+  let equivalent = digest res_full = digest res_cow in
+  if not equivalent then
+    failwith
+      "EQUIVALENCE VIOLATION: COW campaign report differs from full restore";
+  (* Modeled restore footprint, bytes per case. *)
+  let full_bytes =
+    match anch_full with
+    | Campaign.Anchor_full s -> Domain.snapshot_bytes s
+    | Campaign.Anchor_cow _ -> assert false
+  in
+  let st = Domain.snapshot_stats dom_cow in
+  let fixed =
+    Domain.rewind_bytes
+      { Domain.rs_pages = 0; rs_ept_entries = 0; rs_vmcs_fields = 0 }
+  in
+  let cow_bytes =
+    fixed
+    + (Domain.rewind_bytes
+         { Domain.rs_pages = st.Domain.pages_restored;
+           rs_ept_entries = st.Domain.ept_restored;
+           rs_vmcs_fields = st.Domain.vmcs_fields_restored }
+      - fixed)
+      / max 1 st.Domain.cow_reverts
+  in
+  let modeled_speedup = float_of_int full_bytes /. float_of_int cow_bytes in
+  let host_speedup = host_full /. host_cow in
+  Printf.printf
+    "%d cases; restore footprint: %d B/case (full restore) vs %d B/case \
+     (COW rewind)\n"
+    cases full_bytes cow_bytes;
+  Printf.printf
+    "modeled revert speedup: %.1fx (gate: >= 5x)   host: %.2fs vs %.2fs \
+     (%.2fx)\n"
+    modeled_speedup host_full host_cow host_speedup;
+  Printf.printf "reports byte-identical across restore paths: %b\n" equivalent;
+  (* The parallel path rides the same engine: a jobs=4 COW orchestrator
+     run must reproduce the sequential full-restore report (the
+     workers use the standard empty-memory dummy, so the oracle here
+     does too). *)
+  let seq_oracle =
+    let replayer =
+      Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+    in
+    Campaign.run_with ~snapshot_mode:Campaign.Full_restore ~config ~replayer
+      ~trace ~reason:R.Rdtsc ~area:Iris_fuzzer.Mutation.Area_vmcs ()
+  in
+  (match
+     ( seq_oracle,
+       Orch.fuzz ~jobs:4 ~config ~recording ~reason:R.Rdtsc
+         ~area:Iris_fuzzer.Mutation.Area_vmcs () )
+   with
+  | Some seq, Some o4 ->
+      if digest seq <> digest o4.Orch.fuzz_result then
+        failwith
+          "DETERMINISM VIOLATION: jobs=4 COW report differs from sequential \
+           full restore"
+      else Printf.printf "jobs=4 COW = sequential full restore: true\n"
+  | _ -> failwith "revert: campaign unexpectedly empty");
+  Report.put_f "revert.full_case_seconds" (host_full /. float_of_int cases);
+  Report.put_f "revert.cow_case_seconds" (host_cow /. float_of_int cases);
+  Report.put_i "revert.full_case_bytes" full_bytes;
+  Report.put_i "revert.cow_case_bytes" cow_bytes;
+  Report.put_f "revert.modeled_speedup" modeled_speedup;
+  Report.put_f "revert.host_speedup" host_speedup;
+  Report.put_i "revert.equivalent" 1;
+  if modeled_speedup < 5.0 then
+    failwith
+      (Printf.sprintf
+         "REVERT REGRESSION: modeled speedup %.2fx below the 5x gate"
+         modeled_speedup)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1110,7 +1229,7 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-shim", ablation_shim); ("ablation-timer", ablation_timer);
     ("ablation-coverage", ablation_coverage); ("batch", batch);
     ("guided", guided); ("portability", portability); ("scaling", scaling);
-    ("micro", micro) ]
+    ("revert", revert_bench); ("micro", micro) ]
 
 let report_path = "BENCH_iris.json"
 

@@ -343,7 +343,7 @@ let fuzz_cmd =
     else begin
       let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
       match
-        Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area
+        Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area ()
       with
       | None ->
           Printf.printf "the trace has no seed with exit reason %s\n"

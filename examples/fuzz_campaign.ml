@@ -21,7 +21,7 @@ let () =
       Printf.printf "\n== test case: W=CPU-bound, reason=%s, area=%s ==\n"
         (R.short_name reason)
         (Mutation.area_name area);
-      match Campaign.run ~config ~manager ~recording ~reason ~area with
+      match Campaign.run ~config ~manager ~recording ~reason ~area () with
       | None -> Printf.printf "no seed with that exit reason in W\n"
       | Some r ->
           Printf.printf

@@ -142,24 +142,96 @@ type raw = {
   raw_cycles : int64;
 }
 
-(* Reach the valid state S_R by replaying the recorded prefix, and
-   snapshot it.  Every subsequent test case reverts here, which also
-   resets the virtual clock — the reason a test case's outcome is
-   independent of what its worker executed before it. *)
-let reach_sr ~replayer ~trace ~seed_index =
+(* Reach the valid state S_R by replaying the recorded prefix.  Every
+   subsequent test case restores to here, which also resets the
+   virtual clock — the reason a test case's outcome is independent of
+   what its worker executed before it. *)
+let reach_sr_state ~replayer ~trace ~seed_index =
   let prefix = Array.sub trace.Iris_core.Trace.seeds 0 seed_index in
   let reached, _ = Replayer.submit_all replayer prefix in
   if reached < Array.length prefix then
-    invalid_arg "Campaign: prefix replay crashed";
+    invalid_arg "Campaign: prefix replay crashed"
+
+let reach_sr ~replayer ~trace ~seed_index =
+  reach_sr_state ~replayer ~trace ~seed_index;
   Iris_hv.Domain.snapshot (Replayer.ctx replayer).Ctx.dom
 
-let execute_case ~replayer ~s_r seed =
+(* How a worker pins S_R between cases: [Full_restore] deep-copies the
+   whole domain and transplants it back after every case (the original
+   engine, kept as the equivalence oracle); [Cow] opens a journal
+   epoch at S_R and rewinds only what each case dirtied
+   (kAFL/Nyx-style snapshot-reset).  The two are observably
+   identical — [test_snapshot.ml] pins that. *)
+type snapshot_mode = Full_restore | Cow
+
+type anchor =
+  | Anchor_full of Iris_hv.Domain.snapshot
+  | Anchor_cow of Iris_hv.Checkpoint.t * Iris_hv.Checkpoint.mark
+
+let anchor ?(mode = Cow) ~replayer ~trace ~seed_index () =
+  reach_sr_state ~replayer ~trace ~seed_index;
+  let dom = (Replayer.ctx replayer).Ctx.dom in
+  match mode with
+  | Full_restore -> Anchor_full (Iris_hv.Domain.snapshot dom)
+  | Cow ->
+      let cps = Iris_hv.Checkpoint.start dom in
+      let mark = Iris_hv.Checkpoint.push cps in
+      Anchor_cow (cps, mark)
+
+(* Per-exit-reason label array for COW revert telemetry, indexed by
+   the basic exit-reason code (the code space has holes). *)
+let exit_labels =
+  lazy
+    (let n =
+       1
+       + List.fold_left
+           (fun m r -> max m (Iris_vtx.Exit_reason.code r))
+           0 Iris_vtx.Exit_reason.all
+     in
+     let a = Array.make n "unused" in
+     List.iter
+       (fun r ->
+         a.(Iris_vtx.Exit_reason.code r) <- Iris_vtx.Exit_reason.short_name r)
+       Iris_vtx.Exit_reason.all;
+     a)
+
+(* COW-effectiveness telemetry (visible in [stats]): how many reverts
+   took the journal path and how little they had to restore, broken
+   down by the exit reason under test. *)
+let note_cow ctx ~reason rs =
+  match Iris_hv.Observe.probe ctx with
+  | None -> ()
+  | Some p ->
+      let reg =
+        (Iris_telemetry.Probe.hub p).Iris_telemetry.Hub.registry
+      in
+      let module R = Iris_telemetry.Registry in
+      R.incr (R.counter reg "cow.reverts");
+      R.add (R.counter reg "cow.pages_restored")
+        rs.Iris_hv.Domain.rs_pages;
+      R.add (R.counter reg "cow.ept_restored")
+        rs.Iris_hv.Domain.rs_ept_entries;
+      R.add (R.counter reg "cow.vmcs_fields_restored")
+        rs.Iris_hv.Domain.rs_vmcs_fields;
+      let vec =
+        R.counter_vec reg "cow.pages_by_reason"
+          ~labels:(Lazy.force exit_labels)
+      in
+      R.vec_add64 vec
+        (Iris_vtx.Exit_reason.code reason)
+        (Int64.of_int rs.Iris_hv.Domain.rs_pages)
+
+let execute_case ~replayer ~anchor seed =
   let ctx = Replayer.ctx replayer in
   let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
   let (raw_failure, raw_detail), raw_span = submit_probed replayer seed in
   let raw_cycles = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
   (* Every test starts again from the valid state S_R. *)
-  Iris_hv.Domain.revert ctx.Ctx.dom s_r;
+  (match anchor with
+  | Anchor_full s_r -> Iris_hv.Domain.revert ctx.Ctx.dom s_r
+  | Anchor_cow (cps, mark) ->
+      let rs = Iris_hv.Checkpoint.rewind cps mark in
+      note_cow ctx ~reason:seed.Seed.reason rs);
   { raw_failure; raw_detail; raw_span; raw_cycles }
 
 (* --- ordered merge (pure) ---
@@ -219,12 +291,15 @@ let finalize ~plan:p ~raws =
 
 (* --- sequential driver --- *)
 
-let run_with ~config ~replayer ~trace ~reason ~area =
+let run_with ?(snapshot_mode = Cow) ~config ~replayer ~trace ~reason ~area
+    () =
   match plan ~config ~trace ~reason ~area with
   | None -> None
   | Some p ->
       let seed_index = p.plan_target.Seed.index in
-      let s_r = reach_sr ~replayer ~trace ~seed_index in
+      let anch =
+        anchor ~mode:snapshot_mode ~replayer ~trace ~seed_index ()
+      in
       let ctx = Replayer.ctx replayer in
       let fi = fuzz_instruments ctx in
       (match fi with
@@ -240,8 +315,11 @@ let run_with ~config ~replayer ~trace ~reason ~area =
             ~ts:(Iris_vtx.Clock.now (Ctx.clock ctx)));
       let n = case_count p in
       let raws =
-        Array.init n (fun i -> execute_case ~replayer ~s_r (case p i))
+        Array.init n (fun i -> execute_case ~replayer ~anchor:anch (case p i))
       in
+      (match anch with
+      | Anchor_full _ -> ()
+      | Anchor_cow (cps, mark) -> Iris_hv.Checkpoint.pop cps mark);
       let result = finalize ~plan:p ~raws in
       (match fi with
       | None -> ()
@@ -265,11 +343,12 @@ let run_with ~config ~replayer ~trace ~reason ~area =
             ~ts:now);
       Some result
 
-let run ~config ~manager ~recording ~reason ~area =
+let run ?(snapshot_mode = Cow) ~config ~manager ~recording ~reason ~area
+    () =
   let trace = recording.Manager.trace in
   if Iris_core.Trace.seeds_with_reason trace reason = [] then None
   else
     let replayer =
       Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
     in
-    run_with ~config ~replayer ~trace ~reason ~area
+    run_with ~snapshot_mode ~config ~replayer ~trace ~reason ~area ()

@@ -49,14 +49,25 @@ type config = {
 
 val default_config : config
 
+type snapshot_mode =
+  | Full_restore
+      (** deep-copy S_R once, transplant the whole domain back after
+          every case — the original engine, kept as the equivalence
+          oracle *)
+  | Cow
+      (** open a journal epoch at S_R and rewind only what each case
+          dirtied (kAFL/Nyx-style snapshot-reset); observably
+          identical to [Full_restore], ~the dirtied footprint cheaper *)
+
 val run :
+  ?snapshot_mode:snapshot_mode ->
   config:config -> manager:Iris_core.Manager.t ->
   recording:Iris_core.Manager.recording ->
   reason:Iris_vtx.Exit_reason.t -> area:Mutation.area ->
-  result option
+  unit -> result option
 (** [None] when the recording contains no seed with [reason] (a "-"
     cell in Table I).  [VMseed_R] is drawn uniformly among that
-    reason's seeds. *)
+    reason's seeds.  [snapshot_mode] defaults to [Cow]. *)
 
 (** {2 Sharded execution}
 
@@ -107,12 +118,28 @@ val reach_sr :
     snapshot the valid state [S_R].  Raises [Invalid_argument] if the
     prefix itself crashes. *)
 
+type anchor =
+  | Anchor_full of Iris_hv.Domain.snapshot
+  | Anchor_cow of Iris_hv.Checkpoint.t * Iris_hv.Checkpoint.mark
+(** How a worker holds on to S_R between cases — a deep snapshot to
+    transplant back, or a live journal mark to rewind to. *)
+
+val anchor :
+  ?mode:snapshot_mode ->
+  replayer:Iris_core.Replayer.t -> trace:Iris_core.Trace.t ->
+  seed_index:int -> unit -> anchor
+(** Replay the recorded prefix up to (excluding) [seed_index] and pin
+    the valid state [S_R] in [mode] (default [Cow]).  Raises
+    [Invalid_argument] if the prefix itself crashes. *)
+
 val execute_case :
-  replayer:Iris_core.Replayer.t -> s_r:Iris_hv.Domain.snapshot ->
+  replayer:Iris_core.Replayer.t -> anchor:anchor ->
   Iris_core.Seed.t -> raw
-(** Submit one case from [S_R] and revert back to it.  Reverting also
-    resets the virtual clock, so the outcome is independent of what
-    the worker executed before. *)
+(** Submit one case from [S_R] and restore back to it through
+    [anchor].  Restoring also resets the virtual clock, so the outcome
+    is independent of what the worker executed before.  On the COW
+    path, per-revert footprint telemetry is recorded when the
+    replayer's context has a probe. *)
 
 val finalize : plan:plan -> raws:raw array -> result
 (** Pure ordered merge: [raws] must hold one entry per case in case
@@ -121,9 +148,11 @@ val finalize : plan:plan -> raws:raw array -> result
     were sharded. *)
 
 val run_with :
+  ?snapshot_mode:snapshot_mode ->
   config:config -> replayer:Iris_core.Replayer.t ->
   trace:Iris_core.Trace.t ->
   reason:Iris_vtx.Exit_reason.t -> area:Mutation.area ->
-  result option
+  unit -> result option
 (** [run] against a caller-owned replayer (the worker-side entry
-    point): plan, execute every case sequentially, finalize. *)
+    point): plan, pin S_R in [snapshot_mode] (default [Cow]), execute
+    every case sequentially, finalize. *)

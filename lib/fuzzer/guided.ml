@@ -76,7 +76,8 @@ let submit_timed replayer cycles seed =
       (Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0);
   r
 
-let run_with ~config ~replayer ~trace ~reason ~guided =
+let run_with ?(snapshot_mode = Campaign.Cow) ~config ~replayer ~trace
+    ~reason ~guided () =
   match Iris_core.Trace.seeds_with_reason trace reason with
   | [] -> None
   | candidates ->
@@ -84,20 +85,24 @@ let run_with ~config ~replayer ~trace ~reason ~guided =
       let target =
         List.nth candidates (Prng.int prng (List.length candidates))
       in
-      let prefix =
-        Array.sub trace.Iris_core.Trace.seeds 0 target.Seed.index
+      let anchor =
+        Campaign.anchor ~mode:snapshot_mode ~replayer ~trace
+          ~seed_index:target.Seed.index ()
       in
-      let reached, _ = Replayer.submit_all replayer prefix in
-      if reached < Array.length prefix then
-        invalid_arg "Guided.run: prefix replay crashed";
       let ctx = Replayer.ctx replayer in
-      let s_r = Iris_hv.Domain.snapshot ctx.Ctx.dom in
+      let restore_to_sr () =
+        match anchor with
+        | Campaign.Anchor_full s_r -> Iris_hv.Domain.revert ctx.Ctx.dom s_r
+        | Campaign.Anchor_cow (cps, mark) ->
+            ignore (Iris_hv.Checkpoint.rewind cps mark
+                    : Iris_hv.Domain.revert_stats)
+      in
       let virgin = Bitmap.create ~size:config.bitmap_size () in
       let scratch = Bitmap.create ~size:config.bitmap_size () in
       let exec_cycles = ref 0L in
       (* Baseline: the unmutated target. *)
       let _, base_span = submit_timed replayer exec_cycles target in
-      Iris_hv.Domain.revert ctx.Ctx.dom s_r;
+      restore_to_sr ();
       Bitmap.record_set scratch base_span;
       ignore (Bitmap.merge_new ~virgin scratch);
       let union = ref base_span in
@@ -152,10 +157,13 @@ let run_with ~config ~replayer ~trace ~reason ~guided =
             if List.length !crashing < 64 then
               crashing :=
                 (mutant, Campaign.Hypervisor_crash, detail) :: !crashing);
-        Iris_hv.Domain.revert ctx.Ctx.dom s_r;
+        restore_to_sr ();
         if i mod sample_every = 0 then sample i
       done;
       sample config.iterations;
+      (match anchor with
+      | Campaign.Anchor_full _ -> ()
+      | Campaign.Anchor_cow (cps, mark) -> Iris_hv.Checkpoint.pop cps mark);
       Some
         { seed_index = target.Seed.index;
           executed = config.iterations;
@@ -176,7 +184,7 @@ let run_loop ~config ~manager ~recording ~reason ~guided =
     let replayer =
       Manager.make_dummy manager ~revert_to:recording.Manager.snapshot ()
     in
-    run_with ~config ~replayer ~trace ~reason ~guided
+    run_with ~config ~replayer ~trace ~reason ~guided ()
 
 let run ~config ~manager ~recording ~reason =
   run_loop ~config ~manager ~recording ~reason ~guided:true

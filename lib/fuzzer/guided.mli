@@ -62,11 +62,14 @@ val naive_baseline :
     guided-vs-naive comparison. *)
 
 val run_with :
+  ?snapshot_mode:Campaign.snapshot_mode ->
   config:config -> replayer:Iris_core.Replayer.t ->
   trace:Iris_core.Trace.t ->
-  reason:Iris_vtx.Exit_reason.t -> guided:bool -> result option
+  reason:Iris_vtx.Exit_reason.t -> guided:bool -> unit -> result option
 (** [run] / [naive_baseline] against a caller-owned replayer — the
-    orchestrator's worker-side entry point.  The guided loop is
-    inherently sequential (each round mutates the corpus the previous
-    rounds grew), so the orchestrator shards whole guided runs, not
+    orchestrator's worker-side entry point.  [snapshot_mode] (default
+    [Cow]) picks how S_R is restored between iterations; the two modes
+    produce byte-identical results.  The guided loop is inherently
+    sequential (each round mutates the corpus the previous rounds
+    grew), so the orchestrator shards whole guided runs, not
     iterations. *)

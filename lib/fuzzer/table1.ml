@@ -31,7 +31,7 @@ let run ?mutations ~manager ~recordings () =
               (fun area ->
                 let cell =
                   match
-                    Campaign.run ~config ~manager ~recording ~reason ~area
+                    Campaign.run ~config ~manager ~recording ~reason ~area ()
                   with
                   | Some result -> Cell result
                   | None -> Absent

@@ -22,6 +22,16 @@ type t = {
   mutable pending_insn : Iris_x86.Insn.t option;
   mutable blocked : bool;
   bar_regs : int64 array;
+  stats : stats;
+}
+
+and stats = {
+  mutable full_reverts : int;
+  mutable cow_reverts : int;
+  mutable checkpoints : int;
+  mutable pages_restored : int;
+  mutable ept_restored : int;
+  mutable vmcs_fields_restored : int;
 }
 
 let mmio_bar_base = 0xFEB00000L
@@ -70,7 +80,17 @@ let create ?(dummy = false) ~cov ~id ~name ~mem_mib () =
     guest_mode = Iris_x86.Cpu_mode.Mode1;
     pending_insn = None;
     blocked = false;
-    bar_regs = Array.make 16 0L }
+    bar_regs = Array.make 16 0L;
+    stats =
+      { full_reverts = 0;
+        cow_reverts = 0;
+        checkpoints = 0;
+        pages_restored = 0;
+        ept_restored = 0;
+        vmcs_fields_restored = 0 } }
+
+let snapshot_stats t =
+  { t.stats with full_reverts = t.stats.full_reverts }
 
 let crash t reason =
   match t.crashed with
@@ -116,6 +136,7 @@ let snapshot t =
    records, so restoring mutates the existing records in place
    (transplant) rather than swapping them. *)
 let revert t s =
+  t.stats.full_reverts <- t.stats.full_reverts + 1;
   Iris_vtx.Vcpu.restore t.vcpu ~from:s.s_vcpu;
   Gmem.transplant ~into:t.mem ~from:s.s_mem;
   Ept.transplant ~into:t.ept ~from:s.s_ept;
@@ -131,3 +152,101 @@ let revert t s =
   t.pending_insn <- None;
   t.blocked <- s.s_blocked;
   Array.blit s.s_bar_regs 0 t.bar_regs 0 (Array.length t.bar_regs)
+
+(* --- incremental (copy-on-write) checkpoints ---
+
+   Guest memory, the EPT and the VMCS — the bulk of a snapshot — are
+   checkpointed through their write journals, so a rewind touches only
+   what the epoch dirtied.  The platform devices and vCPU scalars are
+   a few hundred fixed bytes and are captured eagerly, exactly as the
+   full snapshot does. *)
+
+type checkpoint = {
+  k_vcpu : Iris_vtx.Vcpu.checkpoint;
+  k_mem : Gmem.checkpoint;
+  k_ept : Ept.checkpoint;
+  k_pic : Iris_devices.Pic.t;
+  k_pit : Iris_devices.Pit.t;
+  k_uart : Iris_devices.Uart.t;
+  k_rtc : Iris_devices.Rtc.t;
+  k_pci : Iris_devices.Pci.t;
+  k_vlapic : Vlapic.t;
+  k_vpt : Vpt.t;
+  k_crashed : string option;
+  k_guest_mode : Iris_x86.Cpu_mode.t;
+  k_blocked : bool;
+  k_bar_regs : int64 array;
+}
+
+let checkpoint t =
+  t.stats.checkpoints <- t.stats.checkpoints + 1;
+  { k_vcpu = Iris_vtx.Vcpu.checkpoint t.vcpu;
+    k_mem = Gmem.checkpoint t.mem;
+    k_ept = Ept.checkpoint t.ept;
+    k_pic = Iris_devices.Pic.copy t.pic;
+    k_pit = Iris_devices.Pit.copy t.pit;
+    k_uart = Iris_devices.Uart.copy t.uart;
+    k_rtc = Iris_devices.Rtc.copy t.rtc;
+    k_pci = Iris_devices.Pci.copy t.pci;
+    k_vlapic = Vlapic.copy t.vlapic;
+    k_vpt = Vpt.copy t.vpt;
+    k_crashed = t.crashed;
+    k_guest_mode = t.guest_mode;
+    k_blocked = t.blocked;
+    k_bar_regs = Array.copy t.bar_regs }
+
+type revert_stats = {
+  rs_pages : int;
+  rs_ept_entries : int;
+  rs_vmcs_fields : int;
+}
+
+let rewind t k =
+  let rs_vmcs_fields = Iris_vtx.Vcpu.rewind t.vcpu k.k_vcpu in
+  let rs_pages = Gmem.rewind t.mem k.k_mem in
+  let rs_ept_entries = Ept.rewind t.ept k.k_ept in
+  Iris_devices.Pic.transplant ~into:t.pic ~from:k.k_pic;
+  Iris_devices.Pit.transplant ~into:t.pit ~from:k.k_pit;
+  Iris_devices.Uart.transplant ~into:t.uart ~from:k.k_uart;
+  Iris_devices.Rtc.transplant ~into:t.rtc ~from:k.k_rtc;
+  Iris_devices.Pci.transplant ~into:t.pci ~from:k.k_pci;
+  Vlapic.restore t.vlapic ~from:k.k_vlapic;
+  Vpt.restore t.vpt ~from:k.k_vpt;
+  t.crashed <- k.k_crashed;
+  t.guest_mode <- k.k_guest_mode;
+  t.pending_insn <- None;
+  t.blocked <- k.k_blocked;
+  Array.blit k.k_bar_regs 0 t.bar_regs 0 (Array.length t.bar_regs);
+  t.stats.cow_reverts <- t.stats.cow_reverts + 1;
+  t.stats.pages_restored <- t.stats.pages_restored + rs_pages;
+  t.stats.ept_restored <- t.stats.ept_restored + rs_ept_entries;
+  t.stats.vmcs_fields_restored <-
+    t.stats.vmcs_fields_restored + rs_vmcs_fields;
+  { rs_pages; rs_ept_entries; rs_vmcs_fields }
+
+let release t k =
+  Iris_vtx.Vcpu.commit t.vcpu k.k_vcpu;
+  Gmem.commit t.mem k.k_mem;
+  Ept.commit t.ept k.k_ept
+
+(* --- modeled restore footprint ---
+
+   Deterministic cost model for the bench's revert-throughput gate:
+   bytes a restore path must touch.  The fixed part (vCPU scalars,
+   MSRs, segments, devices) is common to both paths; the variable part
+   is the whole snapshot for a full restore versus only the journaled
+   state for a COW rewind. *)
+
+let fixed_restore_bytes = 2048
+
+let snapshot_bytes s =
+  fixed_restore_bytes
+  + (Gmem.allocated_pages s.s_mem * Gmem.page_size)
+  + (Ept.override_count s.s_ept * 16)
+  + (Iris_vmcs.Field.count * 8)
+
+let rewind_bytes rs =
+  fixed_restore_bytes
+  + (rs.rs_pages * Gmem.page_size)
+  + (rs.rs_ept_entries * 16)
+  + (rs.rs_vmcs_fields * 8)

@@ -37,6 +37,16 @@ type t = {
   bar_regs : int64 array;
       (** register file of the synthetic PCI device behind
           {!mmio_bar_base} (16 dwords) *)
+  stats : stats;  (** snapshot/revert accounting (COW effectiveness) *)
+}
+
+and stats = {
+  mutable full_reverts : int;   (** deep-copy [revert] calls *)
+  mutable cow_reverts : int;    (** journal-based [rewind] calls *)
+  mutable checkpoints : int;    (** [checkpoint] captures *)
+  mutable pages_restored : int; (** guest pages undone across rewinds *)
+  mutable ept_restored : int;   (** EPT override entries undone *)
+  mutable vmcs_fields_restored : int;  (** VMCS fields undone *)
 }
 
 val create :
@@ -61,3 +71,46 @@ val snapshot : t -> snapshot
     devices, vlapic, vpt, flags). *)
 
 val revert : t -> snapshot -> unit
+
+val snapshot_stats : t -> stats
+(** A copy of the domain's snapshot/revert counters. *)
+
+(** {2 Incremental (copy-on-write) checkpoints}
+
+    Guest memory, the EPT and the VMCS — the bulk of a snapshot — are
+    checkpointed through their write journals, so {!rewind} restores
+    only what the epoch dirtied.  The platform devices and vCPU
+    scalars are a few hundred fixed bytes and are captured eagerly.
+    Checkpoints nest (see {!Checkpoint} for the mark-based manager);
+    a full {!revert} invalidates any open checkpoints. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+type revert_stats = {
+  rs_pages : int;        (** guest pages restored *)
+  rs_ept_entries : int;  (** EPT override entries restored *)
+  rs_vmcs_fields : int;  (** VMCS fields restored *)
+}
+
+val rewind : t -> checkpoint -> revert_stats
+(** Restore the domain to the state captured at [checkpoint], undoing
+    only journaled writes.  The checkpoint stays live and can be
+    rewound to again.  Observably identical to [revert] with a full
+    snapshot taken at the same point. *)
+
+val release : t -> checkpoint -> unit
+(** Drop the innermost checkpoint without restoring, folding its
+    journals into the parent epoch. *)
+
+(** {2 Modeled restore footprint}
+
+    Deterministic byte-cost model used by the bench's revert gate:
+    how many bytes each restore path must touch. *)
+
+val snapshot_bytes : snapshot -> int
+(** Footprint of a full [revert] from [snapshot]. *)
+
+val rewind_bytes : revert_stats -> int
+(** Footprint of the COW [rewind] that produced [revert_stats]. *)

@@ -15,17 +15,27 @@ let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
    O(guest pages) — the fuzzer reverts between every mutation. *)
 type override = Mapped of perm | Hole
 
+(* One copy-on-write epoch: the prior binding of every override the
+   epoch touched ([None] = absent), plus the range list as it stood
+   when the epoch opened (ranges are immutable lists, so saving the
+   head pointer is enough). *)
+type journal = {
+  e_overrides : (int64, override option) Hashtbl.t;
+  e_ranges : (int64 * int64 * perm) list;
+}
+
 type t = {
   mutable ranges : (int64 * int64 * perm) list;
       (** (first_pfn, last_pfn, perm), newest first *)
   overrides : (int64, override) Hashtbl.t;
+  mutable journals : journal list;  (** innermost epoch first *)
 }
 
 let page_shift = 12
 
 let pfn gpa = Int64.shift_right_logical gpa page_shift
 
-let create () = { ranges = []; overrides = Hashtbl.create 64 }
+let create () = { ranges = []; overrides = Hashtbl.create 64; journals = [] }
 
 (* Ranges bigger than this are kept as ranges; smaller ones become
    per-page overrides. *)
@@ -35,19 +45,31 @@ let span ~gpa ~len =
   assert (len > 0L);
   (pfn gpa, pfn (Int64.add gpa (Int64.sub len 1L)))
 
+let journal_override t p =
+  match t.journals with
+  | [] -> ()
+  | j :: _ ->
+      if not (Hashtbl.mem j.e_overrides p) then
+        Hashtbl.add j.e_overrides p (Hashtbl.find_opt t.overrides p)
+
 let map t ~gpa ~len perm =
   let first, last = span ~gpa ~len in
   let pages = Int64.add (Int64.sub last first) 1L in
   if pages > override_threshold then begin
     (* Wholesale mapping: clear overrides it shadows. *)
     Hashtbl.iter
-      (fun p _ -> if p >= first && p <= last then Hashtbl.remove t.overrides p)
+      (fun p _ ->
+        if p >= first && p <= last then begin
+          journal_override t p;
+          Hashtbl.remove t.overrides p
+        end)
       (Hashtbl.copy t.overrides);
     t.ranges <- (first, last, perm) :: t.ranges
   end
   else begin
     let p = ref first in
     while !p <= last do
+      journal_override t !p;
       Hashtbl.replace t.overrides !p (Mapped perm);
       p := Int64.add !p 1L
     done
@@ -57,6 +79,7 @@ let unmap t ~gpa ~len =
   let first, last = span ~gpa ~len in
   let p = ref first in
   while !p <= last do
+    journal_override t !p;
     Hashtbl.replace t.overrides !p Hole;
     p := Int64.add !p 1L
   done
@@ -101,12 +124,14 @@ let qualification v =
   (* bit 7: guest linear address valid — always set in our model. *)
   Int64.logor 0x80L (Int64.logor acc_bits perm_bits)
 
-let copy t = { ranges = t.ranges; overrides = Hashtbl.copy t.overrides }
+let copy t =
+  { ranges = t.ranges; overrides = Hashtbl.copy t.overrides; journals = [] }
 
 let transplant ~into ~from =
   into.ranges <- from.ranges;
   Hashtbl.reset into.overrides;
-  Hashtbl.iter (fun p e -> Hashtbl.replace into.overrides p e) from.overrides
+  Hashtbl.iter (fun p e -> Hashtbl.replace into.overrides p e) from.overrides;
+  into.journals <- []
 
 let mapped_pages t =
   let range_pages =
@@ -121,3 +146,72 @@ let mapped_pages t =
       t.overrides 0
   in
   range_pages + delta
+
+let override_count t = Hashtbl.length t.overrides
+
+let dump t =
+  let overrides =
+    Hashtbl.fold
+      (fun p e acc ->
+        (p, (match e with Mapped perm -> Some perm | Hole -> None)) :: acc)
+      t.overrides []
+    |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  in
+  (t.ranges, overrides)
+
+(* --- incremental (copy-on-write) checkpoints --- *)
+
+type checkpoint = int
+
+let checkpoint t =
+  t.journals <-
+    { e_overrides = Hashtbl.create 8; e_ranges = t.ranges } :: t.journals;
+  List.length t.journals
+
+let checkpoint_depth t = List.length t.journals
+
+let dirty_entries t =
+  match t.journals with [] -> 0 | j :: _ -> Hashtbl.length j.e_overrides
+
+let apply_journal t j =
+  Hashtbl.iter
+    (fun p old ->
+      match old with
+      | Some e -> Hashtbl.replace t.overrides p e
+      | None -> Hashtbl.remove t.overrides p)
+    j.e_overrides;
+  t.ranges <- j.e_ranges;
+  Hashtbl.length j.e_overrides
+
+let rewind t cp =
+  if cp <= 0 || cp > List.length t.journals then
+    invalid_arg "Ept.rewind: stale checkpoint";
+  let restored = ref 0 in
+  let rec undo = function
+    | [] -> assert false
+    | j :: rest as js ->
+        restored := !restored + apply_journal t j;
+        if List.length js = cp then begin
+          Hashtbl.reset j.e_overrides;
+          t.journals <- js
+        end
+        else undo rest
+  in
+  undo t.journals;
+  !restored
+
+let commit t cp =
+  if cp = 0 || cp <> List.length t.journals then
+    invalid_arg "Ept.commit: not the innermost checkpoint";
+  match t.journals with
+  | [] -> assert false
+  | j :: rest ->
+      (match rest with
+      | [] -> ()
+      | parent :: _ ->
+          Hashtbl.iter
+            (fun p old ->
+              if not (Hashtbl.mem parent.e_overrides p) then
+                Hashtbl.add parent.e_overrides p old)
+            j.e_overrides);
+      t.journals <- rest

@@ -49,6 +49,41 @@ val copy : t -> t
 
 val transplant : into:t -> from:t -> unit
 (** Overwrite [into]'s mappings with a copy of [from]'s, keeping
-    [into]'s identity. *)
+    [into]'s identity.  Discards any outstanding checkpoints on
+    [into]. *)
 
 val mapped_pages : t -> int
+
+val override_count : t -> int
+(** Entries in the per-page override table (the part a snapshot must
+    deep-copy). *)
+
+val dump : t -> (int64 * int64 * perm) list * (int64 * perm option) list
+(** Canonical contents: the range list (newest first) and the override
+    table sorted by pfn ([None] = MMIO hole).  Two EPTs with equal
+    dumps translate identically. *)
+
+(** {2 Incremental (copy-on-write) checkpoints}
+
+    Mirrors {!Gmem}: a checkpoint journals the prior binding of every
+    override that [map]/[unmap] touch (plus the immutable range-list
+    head), so {!rewind} undoes only what changed.  Checkpoints nest;
+    {!transplant} invalidates them. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+val rewind : t -> checkpoint -> int
+(** Restore the state captured at [checkpoint] (which stays live);
+    returns the number of override entries restored.  Raises
+    [Invalid_argument] on a stale checkpoint. *)
+
+val commit : t -> checkpoint -> unit
+(** Drop the innermost checkpoint, folding its journal into the
+    parent. *)
+
+val checkpoint_depth : t -> int
+
+val dirty_entries : t -> int
+(** Override entries dirtied so far in the innermost open epoch. *)

@@ -2,15 +2,28 @@ let page_size = 4096
 
 exception Bad_address of int64
 
+(* One copy-on-write epoch: the prior contents of every page dirtied
+   since the checkpoint that opened the epoch.  [None] records that
+   the page was unallocated (logically zero) when the epoch began. *)
+type journal = (int64, bytes option) Hashtbl.t
+
 type t = {
   size : int64;
   pages : (int64, bytes) Hashtbl.t;
+  mutable journals : journal list;  (** innermost epoch first *)
+  mutable hot_pfn : int64;
+      (** last pfn journaled in the innermost epoch; caches the
+          journal membership test across the byte-wise write loop *)
 }
+
+let no_hot = -1L
 
 let create ~size_mib =
   assert (size_mib > 0);
   { size = Int64.mul (Int64.of_int size_mib) 0x100000L;
-    pages = Hashtbl.create 256 }
+    pages = Hashtbl.create 256;
+    journals = [];
+    hot_pfn = no_hot }
 
 let size_bytes t = t.size
 
@@ -18,8 +31,10 @@ let in_range t addr = addr >= 0L && addr < t.size
 
 let check t addr = if not (in_range t addr) then raise (Bad_address addr)
 
+let pfn_of addr = Int64.div addr (Int64.of_int page_size)
+
 let page_of t addr =
-  let pfn = Int64.div addr (Int64.of_int page_size) in
+  let pfn = pfn_of addr in
   match Hashtbl.find_opt t.pages pfn with
   | Some p -> p
   | None ->
@@ -27,13 +42,31 @@ let page_of t addr =
       Hashtbl.replace t.pages pfn p;
       p
 
+(* Reads never allocate: an absent page is logically zero, and keeping
+   it absent keeps the sparse backing canonical (and the journals
+   small — a read is not a dirtying event). *)
 let read_u8 t addr =
   check t addr;
-  let page = page_of t addr in
-  Char.code (Bytes.get page (Int64.to_int (Int64.rem addr (Int64.of_int page_size))))
+  match Hashtbl.find_opt t.pages (pfn_of addr) with
+  | None -> 0
+  | Some page ->
+      Char.code
+        (Bytes.get page (Int64.to_int (Int64.rem addr (Int64.of_int page_size))))
+
+let journal_page t pfn =
+  match t.journals with
+  | [] -> ()
+  | j :: _ ->
+      if pfn <> t.hot_pfn then begin
+        t.hot_pfn <- pfn;
+        if not (Hashtbl.mem j pfn) then
+          Hashtbl.add j pfn
+            (Option.map Bytes.copy (Hashtbl.find_opt t.pages pfn))
+      end
 
 let write_u8 t addr v =
   check t addr;
+  journal_page t (pfn_of addr);
   let page = page_of t addr in
   Bytes.set page
     (Int64.to_int (Int64.rem addr (Int64.of_int page_size)))
@@ -69,18 +102,109 @@ let write_bytes t addr b =
     (fun i c -> write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code c))
     b
 
-let copy t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun pfn p -> Hashtbl.replace pages pfn (Bytes.copy p)) t.pages;
-  { size = t.size; pages }
+let zero_page = Bytes.make page_size '\000'
 
-let clear t = Hashtbl.reset t.pages
+let is_zero_page p = Bytes.equal p zero_page
+
+(* The single page-clone path shared by [copy] and [transplant]:
+   all-zero pages are dropped instead of cloned, since an absent page
+   already reads as zeros — cheaper, and it keeps the allocated set
+   canonical across snapshot round-trips. *)
+let clone_page_into pages pfn p =
+  if not (is_zero_page p) then Hashtbl.replace pages pfn (Bytes.copy p)
+
+let copy t =
+  let pages = Hashtbl.create (max 16 (Hashtbl.length t.pages)) in
+  Hashtbl.iter (clone_page_into pages) t.pages;
+  { size = t.size; pages; journals = []; hot_pfn = no_hot }
+
+let clear t =
+  Hashtbl.reset t.pages;
+  t.journals <- [];
+  t.hot_pfn <- no_hot
 
 let transplant ~into ~from =
   assert (into.size = from.size);
   Hashtbl.reset into.pages;
-  Hashtbl.iter
-    (fun pfn p -> Hashtbl.replace into.pages pfn (Bytes.copy p))
-    from.pages
+  Hashtbl.iter (clone_page_into into.pages) from.pages;
+  into.journals <- [];
+  into.hot_pfn <- no_hot
 
 let allocated_pages t = Hashtbl.length t.pages
+
+let nonzero_pages t =
+  Hashtbl.fold
+    (fun pfn p acc ->
+      if is_zero_page p then acc else (pfn, Bytes.copy p) :: acc)
+    t.pages []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let equal a b =
+  a.size = b.size
+  && List.equal
+       (fun (pa, ba) (pb, bb) -> pa = pb && Bytes.equal ba bb)
+       (nonzero_pages a) (nonzero_pages b)
+
+(* --- incremental (copy-on-write) checkpoints --- *)
+
+type checkpoint = int
+
+let checkpoint t =
+  t.journals <- Hashtbl.create 16 :: t.journals;
+  t.hot_pfn <- no_hot;
+  List.length t.journals
+
+let checkpoint_depth t = List.length t.journals
+
+let dirty_pages t =
+  match t.journals with [] -> 0 | j :: _ -> Hashtbl.length j
+
+(* Restore every page the journal covers.  Saved buffers are installed
+   directly (ownership transfers out of the journal); all-zero pages
+   go back to being absent, matching the canonical form [transplant]
+   produces. *)
+let apply_journal t j =
+  Hashtbl.iter
+    (fun pfn old ->
+      match old with
+      | Some p when not (is_zero_page p) -> Hashtbl.replace t.pages pfn p
+      | Some _ | None -> Hashtbl.remove t.pages pfn)
+    j;
+  Hashtbl.length j
+
+let rewind t cp =
+  if cp <= 0 || cp > List.length t.journals then
+    invalid_arg "Gmem.rewind: stale checkpoint";
+  let restored = ref 0 in
+  let rec undo = function
+    | [] -> assert false
+    | j :: rest as js ->
+        restored := !restored + apply_journal t j;
+        if List.length js = cp then begin
+          Hashtbl.reset j;
+          t.journals <- js
+        end
+        else undo rest
+  in
+  undo t.journals;
+  t.hot_pfn <- no_hot;
+  !restored
+
+let commit t cp =
+  if cp = 0 || cp <> List.length t.journals then
+    invalid_arg "Gmem.commit: not the innermost checkpoint";
+  match t.journals with
+  | [] -> assert false
+  | j :: rest ->
+      (match rest with
+      | [] -> ()
+      | parent :: _ ->
+          (* A page untouched by the parent epoch had the same contents
+             at both checkpoints, so the child's saved copy is the
+             parent's too. *)
+          Hashtbl.iter
+            (fun pfn old ->
+              if not (Hashtbl.mem parent pfn) then Hashtbl.add parent pfn old)
+            j);
+      t.journals <- rest;
+      t.hot_pfn <- no_hot

@@ -33,14 +33,54 @@ val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit
 
 val copy : t -> t
-(** Deep copy (for snapshots). *)
+(** Deep copy (for snapshots).  All-zero pages are dropped — an
+    absent page reads as zeros — so the copy is canonical. *)
 
 val transplant : into:t -> from:t -> unit
 (** Overwrite [into]'s contents with a deep copy of [from], keeping
     [into]'s identity (closures holding it stay valid).  Sizes must
-    match. *)
+    match.  Discards any outstanding checkpoints on [into]. *)
 
 val clear : t -> unit
+(** Drop every page (and any outstanding checkpoints). *)
 
 val allocated_pages : t -> int
 (** Pages actually touched (sparse backing). *)
+
+val nonzero_pages : t -> (int64 * bytes) list
+(** Canonical logical contents: (pfn, contents) for every page with at
+    least one nonzero byte, sorted by pfn.  Two memories with equal
+    [nonzero_pages] are observationally identical. *)
+
+val equal : t -> t -> bool
+(** Logical equality ([nonzero_pages] plus size). *)
+
+(** {2 Incremental (copy-on-write) checkpoints}
+
+    A checkpoint opens a write journal: the first write to each page
+    saves that page's prior contents, so {!rewind} restores exactly the
+    dirtied pages instead of deep-copying the whole memory.
+    Checkpoints nest (LIFO); {!transplant} and {!clear} — the full
+    restore paths — invalidate all of them. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Open a new epoch on top of the stack. *)
+
+val rewind : t -> checkpoint -> int
+(** Restore the state captured at [checkpoint], discarding any
+    checkpoints nested inside it.  The checkpoint itself stays live,
+    so the caller can rewind to it again.  Returns the number of page
+    restores performed.  Raises [Invalid_argument] on a checkpoint
+    that is no longer on the stack. *)
+
+val commit : t -> checkpoint -> unit
+(** Drop the innermost checkpoint without changing state; its journal
+    folds into the parent epoch so outer rewinds stay exact.  Raises
+    [Invalid_argument] if [checkpoint] is not the innermost. *)
+
+val checkpoint_depth : t -> int
+
+val dirty_pages : t -> int
+(** Pages dirtied so far in the innermost open epoch. *)

@@ -46,7 +46,7 @@ let cycles_to_seconds c = Int64.to_float c /. cycles_per_second
 
 type worker = {
   wk_replayer : Replayer.t;
-  wk_s_r : Iris_hv.Domain.snapshot;
+  wk_anchor : Campaign.anchor;
 }
 
 (* Boot one worker universe: construct an isolated dummy domain, arm
@@ -65,11 +65,11 @@ let boot_worker ~recording ~seed_index ~hub ~setups wid =
     ~keep_memory:false;
   let replayer = Replayer.create ctx in
   let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
-  let s_r = Campaign.reach_sr ~replayer ~trace ~seed_index in
+  let anchor = Campaign.anchor ~replayer ~trace ~seed_index () in
   let setup = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
   setups.(wid) <- Int64.add setups.(wid) setup;
   ignore (Iris_hv.Observe.attach hub ctx : Iris_telemetry.Probe.t);
-  { wk_replayer = replayer; wk_s_r = s_r }
+  { wk_replayer = replayer; wk_anchor = anchor }
 
 (* --- reports --- *)
 
@@ -166,7 +166,7 @@ let fuzz ?(jobs = 1) ~config ~recording ~reason ~area () =
         boot_worker ~recording ~seed_index ~hub:hubs.(wid) ~setups wid
       in
       let task wk i =
-        Campaign.execute_case ~replayer:wk.wk_replayer ~s_r:wk.wk_s_r
+        Campaign.execute_case ~replayer:wk.wk_replayer ~anchor:wk.wk_anchor
           (Campaign.case plan i)
       in
       (* Panic containment: a worker whose hypervisor context dies in
@@ -241,7 +241,9 @@ let guided_sweep ?(jobs = 1) ?(guided = true) ~config ~recording ~reasons () =
     Manager.arm_dummy ctx ~revert_to:(Some recording.Manager.snapshot)
       ~keep_memory:false;
     let replayer = Replayer.create ctx in
-    let r = Guided.run_with ~config ~replayer ~trace ~reason:reasons.(i) ~guided in
+    let r =
+      Guided.run_with ~config ~replayer ~trace ~reason:reasons.(i) ~guided ()
+    in
     (match r with
     | Some g -> busy.(wid) <- Int64.add busy.(wid) g.Guided.total_cycles
     | None -> ());

@@ -114,15 +114,73 @@ let by_offset : (int, field) Hashtbl.t =
 
 let of_offset o = Hashtbl.find_opt by_offset o
 
-type t = { values : int64 array }
+(* One copy-on-write epoch: field index -> value before the epoch's
+   first write.  Same machinery as [Iris_vmcs.Vmcs]. *)
+type journal = (int, int64) Hashtbl.t
 
-let create () = { values = Array.make count 0L }
+type t = {
+  values : int64 array;
+  mutable journals : journal list;  (* innermost epoch first *)
+}
 
-let copy t = { values = Array.copy t.values }
+let create () = { values = Array.make count 0L; journals = [] }
+
+let copy t = { values = Array.copy t.values; journals = [] }
 
 let read t f = t.values.(f)
 
-let write t f v = t.values.(f) <- v
+let write t f v =
+  (match t.journals with
+  | [] -> ()
+  | j :: _ -> if not (Hashtbl.mem j f) then Hashtbl.add j f t.values.(f));
+  t.values.(f) <- v
+
+type checkpoint = int
+
+let checkpoint t =
+  t.journals <- Hashtbl.create 8 :: t.journals;
+  List.length t.journals
+
+let checkpoint_depth t = List.length t.journals
+
+let journaled_fields t =
+  match t.journals with [] -> 0 | j :: _ -> Hashtbl.length j
+
+let apply_journal t j =
+  Hashtbl.iter (fun f old -> t.values.(f) <- old) j;
+  Hashtbl.length j
+
+let rewind t cp =
+  if cp <= 0 || cp > List.length t.journals then
+    invalid_arg "Vmcb.rewind: stale checkpoint";
+  let restored = ref 0 in
+  let rec undo = function
+    | [] -> assert false
+    | j :: rest as js ->
+        restored := !restored + apply_journal t j;
+        if List.length js = cp then begin
+          Hashtbl.reset j;
+          t.journals <- js
+        end
+        else undo rest
+  in
+  undo t.journals;
+  !restored
+
+let commit t cp =
+  if cp = 0 || cp <> List.length t.journals then
+    invalid_arg "Vmcb.commit: not the innermost checkpoint";
+  match t.journals with
+  | [] -> assert false
+  | j :: rest ->
+      (match rest with
+      | [] -> ()
+      | parent :: _ ->
+          Hashtbl.iter
+            (fun f old ->
+              if not (Hashtbl.mem parent f) then Hashtbl.add parent f old)
+            j);
+      t.journals <- rest
 
 let nonzero_fields t =
   Array.to_list all

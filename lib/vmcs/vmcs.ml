@@ -1,13 +1,23 @@
 type launch_state = Clear | Active_current_clear | Active_current_launched
 
+(* One copy-on-write epoch: the prior value of every field written
+   since the checkpoint that opened the epoch, plus the launch state
+   at that instant. *)
+type journal = {
+  j_old : (int, int64) Hashtbl.t;  (* compact index -> old value *)
+  j_launch : launch_state;
+}
+
 type t = {
   values : int64 array; (* indexed by Field.compact *)
   mutable launch : launch_state;
+  mutable journals : journal list;  (* innermost epoch first *)
 }
 
 let revision_id = 0x00DE5E27L
 
-let create () = { values = Array.make Field.count 0L; launch = Clear }
+let create () =
+  { values = Array.make Field.count 0L; launch = Clear; journals = [] }
 
 let state t = t.launch
 
@@ -28,10 +38,19 @@ type access_error =
 
 let read t f = t.values.(Field.compact f)
 
+let journal_write t idx =
+  match t.journals with
+  | [] -> ()
+  | j :: _ ->
+      if not (Hashtbl.mem j.j_old idx) then
+        Hashtbl.add j.j_old idx t.values.(idx)
+
 let write t f v =
   if Field.readonly f then Error (Readonly_field f)
   else begin
-    t.values.(Field.compact f) <- Field.truncate f v;
+    let idx = Field.compact f in
+    journal_write t idx;
+    t.values.(idx) <- Field.truncate f v;
     Ok ()
   end
 
@@ -40,7 +59,9 @@ let write_exit_info t f v =
      area (state save), and entry controls (clearing the event-
      injection valid bit); never the host area. *)
   assert (Field.area f <> Field.Host);
-  t.values.(Field.compact f) <- Field.truncate f v
+  let idx = Field.compact f in
+  journal_write t idx;
+  t.values.(idx) <- Field.truncate f v
 
 let read_by_encoding t enc =
   match Field.of_encoding16 enc with
@@ -52,11 +73,65 @@ let write_by_encoding t enc v =
   | None -> Error (Unsupported_field enc)
   | Some f -> write t f v
 
-let copy t = { values = Array.copy t.values; launch = t.launch }
+let copy t =
+  { values = Array.copy t.values; launch = t.launch; journals = [] }
 
 let restore_from t ~src =
   Array.blit src.values 0 t.values 0 Field.count;
-  t.launch <- src.launch
+  t.launch <- src.launch;
+  (* Full restore: any outstanding checkpoints are meaningless now. *)
+  t.journals <- []
+
+(* --- incremental (copy-on-write) checkpoints --- *)
+
+type checkpoint = int
+
+let checkpoint t =
+  t.journals <- { j_old = Hashtbl.create 8; j_launch = t.launch } :: t.journals;
+  List.length t.journals
+
+let checkpoint_depth t = List.length t.journals
+
+let journaled_fields t =
+  match t.journals with [] -> 0 | j :: _ -> Hashtbl.length j.j_old
+
+let apply_journal t j =
+  Hashtbl.iter (fun idx old -> t.values.(idx) <- old) j.j_old;
+  t.launch <- j.j_launch;
+  Hashtbl.length j.j_old
+
+let rewind t cp =
+  if cp <= 0 || cp > List.length t.journals then
+    invalid_arg "Vmcs.rewind: stale checkpoint";
+  let restored = ref 0 in
+  let rec undo = function
+    | [] -> assert false
+    | j :: rest as js ->
+        restored := !restored + apply_journal t j;
+        if List.length js = cp then begin
+          Hashtbl.reset j.j_old;
+          t.journals <- js
+        end
+        else undo rest
+  in
+  undo t.journals;
+  !restored
+
+let commit t cp =
+  if cp = 0 || cp <> List.length t.journals then
+    invalid_arg "Vmcs.commit: not the innermost checkpoint";
+  match t.journals with
+  | [] -> assert false
+  | j :: rest ->
+      (match rest with
+      | [] -> ()
+      | parent :: _ ->
+          Hashtbl.iter
+            (fun idx old ->
+              if not (Hashtbl.mem parent.j_old idx) then
+                Hashtbl.add parent.j_old idx old)
+            j.j_old);
+      t.journals <- rest
 
 let equal_area a b area =
   List.for_all

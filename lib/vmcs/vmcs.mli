@@ -59,6 +59,34 @@ val restore_from : t -> src:t -> unit
     valid).  Snapshot-revert plumbing, not an architectural
     operation. *)
 
+(** {2 Incremental (copy-on-write) checkpoints}
+
+    A checkpoint opens a VMWRITE journal: the first write to each
+    field saves its prior value, so {!rewind} undoes only the fields
+    the epoch actually touched — the kAFL/Nyx snapshot-reset trick
+    applied to the VMCS.  Checkpoints nest (LIFO); {!restore_from},
+    the full-restore path, invalidates all of them. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Open a new epoch; also captures the launch state. *)
+
+val rewind : t -> checkpoint -> int
+(** Restore the state captured at [checkpoint] (which stays live),
+    discarding checkpoints nested inside it.  Returns the number of
+    field restores performed.  Raises [Invalid_argument] on a stale
+    checkpoint. *)
+
+val commit : t -> checkpoint -> unit
+(** Drop the innermost checkpoint, folding its journal into the
+    parent epoch. *)
+
+val checkpoint_depth : t -> int
+
+val journaled_fields : t -> int
+(** Fields dirtied so far in the innermost open epoch. *)
+
 val equal_area : t -> t -> Field.area -> bool
 (** Field-wise equality over one area. *)
 

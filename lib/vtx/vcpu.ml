@@ -172,7 +172,9 @@ let snapshot t =
     vmx = Iris_vmcs.Vmx_op.copy t.vmx;
     vmcs = V.copy t.vmcs }
 
-let restore t ~from =
+(* Everything [restore] puts back except the VMCS, which [rewind]
+   handles through its write journal instead of a full blit. *)
+let restore_scalars t ~from =
   Gpr.copy_into ~src:from.regs ~dst:t.regs;
   t.rip <- from.rip;
   t.rsp <- from.rsp;
@@ -203,6 +205,37 @@ let restore t ~from =
   t.host_timer_period <- from.host_timer_period;
   t.host_timer_vector <- from.host_timer_vector;
   Clock.set t.clock (Clock.now from.clock);
-  V.restore_from t.vmcs ~src:from.vmcs;
   t.preemption_timer <- from.preemption_timer;
   t.exits <- from.exits
+
+(* --- incremental (copy-on-write) checkpoints ---
+
+   The scalar state (registers, MSRs, segments, clock) is a few
+   hundred bytes and is captured eagerly; the VMCS — the bulk of the
+   restore footprint — is checkpointed through its write journal so a
+   rewind touches only the fields the epoch dirtied.  Like [restore],
+   a rewind leaves the VMX-operation context alone. *)
+
+type checkpoint = {
+  cp_scalars : t;  (* eager copy; its vmcs/vmx fields are unused *)
+  cp_vmcs : V.checkpoint;
+}
+
+let checkpoint t =
+  { cp_scalars =
+      { t with
+        regs = Gpr.copy t.regs;
+        msrs = Msr.copy_file t.msrs;
+        segs = Array.copy t.segs;
+        clock = Clock.copy t.clock };
+    cp_vmcs = V.checkpoint t.vmcs }
+
+let rewind t cp =
+  restore_scalars t ~from:cp.cp_scalars;
+  V.rewind t.vmcs cp.cp_vmcs
+
+let commit t cp = V.commit t.vmcs cp.cp_vmcs
+
+let restore t ~from =
+  restore_scalars t ~from;
+  V.restore_from t.vmcs ~src:from.vmcs

@@ -81,3 +81,25 @@ val snapshot : t -> t
 
 val restore : t -> from:t -> unit
 (** Overwrite [t]'s state from a snapshot taken with {!snapshot}. *)
+
+(** {2 Incremental (copy-on-write) checkpoints}
+
+    The scalar state (registers, MSRs, segments, clock) is a few
+    hundred bytes and is captured eagerly; the VMCS is checkpointed
+    through its write journal, so {!rewind} restores only the fields
+    the epoch dirtied.  Like {!restore}, a rewind does not touch the
+    VMX-operation context.  Checkpoints nest with the VMCS journal
+    stack; {!restore} (the full-restore path) invalidates them. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+val rewind : t -> checkpoint -> int
+(** Restore the state captured at [checkpoint] (which stays live);
+    returns the number of VMCS fields restored.  Raises
+    [Invalid_argument] if the VMCS checkpoint is stale. *)
+
+val commit : t -> checkpoint -> unit
+(** Drop the innermost checkpoint, folding the VMCS journal into the
+    parent epoch. *)

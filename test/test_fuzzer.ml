@@ -113,7 +113,7 @@ let test_campaign_absent_reason () =
   (* CPU-bound never halts. *)
   check Alcotest.bool "HLT absent" true
     (Campaign.run ~config:(config 10) ~manager:m ~recording ~reason:R.Hlt
-       ~area:Mutation.Area_vmcs
+       ~area:Mutation.Area_vmcs ()
     = None)
 
 let test_campaign_discovers_coverage () =
@@ -121,7 +121,7 @@ let test_campaign_discovers_coverage () =
   let recording = Manager.record m W.Cpu_bound ~exits:400 in
   match
     Campaign.run ~config:(config 150) ~manager:m ~recording ~reason:R.Rdtsc
-      ~area:Mutation.Area_vmcs
+      ~area:Mutation.Area_vmcs ()
   with
   | None -> Alcotest.fail "rdtsc seeds exist"
   | Some r ->
@@ -140,7 +140,7 @@ let test_campaign_finds_crashes () =
   let recording = Manager.record m W.Cpu_bound ~exits:400 in
   match
     Campaign.run ~config:(config 250) ~manager:m ~recording ~reason:R.Rdtsc
-      ~area:Mutation.Area_vmcs
+      ~area:Mutation.Area_vmcs ()
   with
   | None -> Alcotest.fail "rdtsc seeds exist"
   | Some r ->
@@ -163,7 +163,7 @@ let test_campaign_gpr_mostly_harmless () =
   let recording = Manager.record m W.Cpu_bound ~exits:400 in
   match
     Campaign.run ~config:(config 200) ~manager:m ~recording ~reason:R.Rdtsc
-      ~area:Mutation.Area_gpr
+      ~area:Mutation.Area_gpr ()
   with
   | None -> Alcotest.fail "rdtsc seeds exist"
   | Some r ->
@@ -179,7 +179,7 @@ let test_campaign_deterministic () =
   let run () =
     match
       Campaign.run ~config:(config 60) ~manager:m ~recording ~reason:R.Rdtsc
-        ~area:Mutation.Area_vmcs
+        ~area:Mutation.Area_vmcs ()
     with
     | Some r ->
         (r.Campaign.fuzz_lines, r.Campaign.vm_crashes, r.Campaign.hv_crashes)
@@ -197,7 +197,7 @@ let test_campaign_plan_finalize_equals_run () =
   let trace = recording.Manager.trace in
   let whole =
     Campaign.run ~config:(config 60) ~manager:m ~recording ~reason:R.Rdtsc
-      ~area:Mutation.Area_vmcs
+      ~area:Mutation.Area_vmcs ()
   in
   let pieces =
     match
@@ -209,13 +209,13 @@ let test_campaign_plan_finalize_equals_run () =
         let replayer =
           Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
         in
-        let s_r =
-          Campaign.reach_sr ~replayer ~trace
-            ~seed_index:plan.Campaign.plan_target.Iris_core.Seed.index
+        let anchor =
+          Campaign.anchor ~mode:Campaign.Full_restore ~replayer ~trace
+            ~seed_index:plan.Campaign.plan_target.Iris_core.Seed.index ()
         in
         let raws =
           Array.init (Campaign.case_count plan) (fun i ->
-              Campaign.execute_case ~replayer ~s_r (Campaign.case plan i))
+              Campaign.execute_case ~replayer ~anchor (Campaign.case plan i))
         in
         Some (Campaign.finalize ~plan ~raws)
   in
@@ -224,6 +224,58 @@ let test_campaign_plan_finalize_equals_run () =
       check Alcotest.string "plan/execute/finalize = run" (digest whole)
         (digest pieces)
   | _ -> Alcotest.fail "rdtsc seeds exist"
+
+let test_nested_checkpoint_rewind () =
+  (* Nested marks let the fuzzer rewind to a mid-case point without
+     replaying the prefix: rerunning a case after rewinding its mark
+     observes exactly the same raw outcome. *)
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  let trace = recording.Manager.trace in
+  match
+    Campaign.plan ~config:(config 30) ~trace ~reason:R.Rdtsc
+      ~area:Mutation.Area_vmcs
+  with
+  | None -> Alcotest.fail "rdtsc seeds exist"
+  | Some plan ->
+      let replayer =
+        Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+      in
+      let seed_index = plan.Campaign.plan_target.Iris_core.Seed.index in
+      let anchor =
+        Campaign.anchor ~replayer ~trace ~seed_index ()
+      in
+      let cps, base =
+        match anchor with
+        | Campaign.Anchor_cow (cps, base) -> (cps, base)
+        | Campaign.Anchor_full _ -> Alcotest.fail "cow anchor expected"
+      in
+      let case_a = Campaign.case plan 1 and case_b = Campaign.case plan 2 in
+      (* Run A from the base mark; execute_case rewinds back to it. *)
+      let raw_a = Campaign.execute_case ~replayer ~anchor case_a in
+      (* Open a nested mark, run B on top of it twice. *)
+      let m2 = Iris_hv.Checkpoint.push cps in
+      check Alcotest.int "two marks live" 2 (Iris_hv.Checkpoint.depth cps);
+      let anchor2 = Campaign.Anchor_cow (cps, m2) in
+      let raw_b = Campaign.execute_case ~replayer ~anchor:anchor2 case_b in
+      let raw_b' = Campaign.execute_case ~replayer ~anchor:anchor2 case_b in
+      check Alcotest.string "rerun from nested mark identical"
+        (digest raw_b) (digest raw_b');
+      (* Rewinding to base discards m2 and re-exposes S_R exactly. *)
+      ignore
+        (Iris_hv.Checkpoint.rewind cps base : Iris_hv.Domain.revert_stats);
+      check Alcotest.int "inner mark discarded" 1
+        (Iris_hv.Checkpoint.depth cps);
+      Alcotest.check_raises "discarded mark is dead"
+        (Invalid_argument "Checkpoint.rewind: mark not live") (fun () ->
+          ignore
+            (Iris_hv.Checkpoint.rewind cps m2 : Iris_hv.Domain.revert_stats));
+      let raw_a' = Campaign.execute_case ~replayer ~anchor case_a in
+      check Alcotest.string "rerun from base identical" (digest raw_a)
+        (digest raw_a');
+      Iris_hv.Checkpoint.pop cps base;
+      check Alcotest.int "stack empty" 0 (Iris_hv.Checkpoint.depth cps)
 
 (* --- Guided fuzzing (§IX extension) --- *)
 
@@ -341,7 +393,9 @@ let () =
           Alcotest.test_case "deterministic" `Slow
             test_campaign_deterministic;
           Alcotest.test_case "plan/finalize = run" `Slow
-            test_campaign_plan_finalize_equals_run ] );
+            test_campaign_plan_finalize_equals_run;
+          Alcotest.test_case "nested checkpoint rewind" `Slow
+            test_nested_checkpoint_rewind ] );
       ( "guided",
         [ Alcotest.test_case "beats naive" `Slow test_guided_beats_naive;
           Alcotest.test_case "absent reason" `Slow test_guided_absent_reason;

@@ -198,9 +198,12 @@ let config n = { Campaign.mutations = n; prng_seed = 77 }
 let test_fuzz_jobs_byte_identical () =
   let m = mgr () in
   let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  (* The sequential oracle runs on the deep-copy full-restore path;
+     the orchestrator's workers run on the COW rewind path — the
+     merged report must be byte-identical anyway. *)
   let seq =
-    Campaign.run ~config:(config 80) ~manager:m ~recording ~reason:R.Rdtsc
-      ~area:Mutation.Area_vmcs
+    Campaign.run ~snapshot_mode:Campaign.Full_restore ~config:(config 80)
+      ~manager:m ~recording ~reason:R.Rdtsc ~area:Mutation.Area_vmcs ()
   in
   let orch jobs =
     Orch.fuzz ~jobs ~config:(config 80) ~recording ~reason:R.Rdtsc
@@ -210,7 +213,8 @@ let test_fuzz_jobs_byte_identical () =
   | Some seq, Some o1, Some o4 ->
       (* The merged report is byte-identical to the sequential one and
          across job counts. *)
-      check Alcotest.string "jobs=1 = sequential" (digest seq)
+      check Alcotest.string "jobs=1 (cow) = sequential (full restore)"
+        (digest seq)
         (digest o1.Orch.fuzz_result);
       check Alcotest.string "jobs=4 = jobs=1" (digest o1.Orch.fuzz_result)
         (digest o4.Orch.fuzz_result);

@@ -1,0 +1,402 @@
+(* The COW snapshot engine's determinism contract: rewinding a journal
+   checkpoint is observably identical to a full deep-copy restore.
+
+   Each layer (Gmem, EPT, VMCS, VMCB) gets a randomized property test
+   that interleaves writes with checkpoint pushes, rewinds to
+   arbitrary live marks, and commits — checking the live structure
+   against a deep-copy oracle captured at every push.  On top, the
+   domain and campaign levels pin that the COW revert path produces
+   byte-identical raw observations and merged reports. *)
+
+module Gmem = Iris_memory.Gmem
+module Ept = Iris_memory.Ept
+module Vmcs = Iris_vmcs.Vmcs
+module F = Iris_vmcs.Field
+module Vmcb = Iris_svm.Vmcb
+module Prng = Iris_util.Prng
+module Domain = Iris_hv.Domain
+module Checkpoint = Iris_hv.Checkpoint
+module Ctx = Iris_hv.Ctx
+module Seed = Iris_core.Seed
+module Manager = Iris_core.Manager
+module Replayer = Iris_core.Replayer
+module Mutation = Iris_fuzzer.Mutation
+module Campaign = Iris_fuzzer.Campaign
+module Guided = Iris_fuzzer.Guided
+module R = Iris_vtx.Exit_reason
+module W = Iris_guest.Workload
+
+let check = Alcotest.check
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* --- Gmem: random write/checkpoint/rewind/commit interleavings ---
+
+   The mark stack pairs each live checkpoint with a deep-copy oracle
+   taken at the same instant; every rewind must make the live memory
+   logically equal ([nonzero_pages]) to the oracle. *)
+
+let prop_gmem_cow_equals_copy =
+  QCheck.Test.make ~name:"gmem: rewind ≡ deep-copy restore" ~count:25
+    QCheck.small_int (fun salt ->
+      let prng = Prng.of_int (0xC0DE + salt) in
+      let m = Gmem.create ~size_mib:1 in
+      let limit = Int64.to_int (Gmem.size_bytes m) in
+      let addr () = Int64.of_int (Prng.int prng (limit - 8)) in
+      let write () =
+        let w = Prng.choose prng [| 1; 2; 4; 8 |] in
+        (* Mix in zero stores so zero-page canonicalization is hit. *)
+        let v = if Prng.chance prng 0.2 then 0L else Prng.int64_any prng in
+        Gmem.write m (addr ()) ~width:w v
+      in
+      for _ = 1 to 8 do write () done;
+      let stack = ref [] in
+      let ok = ref true in
+      for _ = 1 to 120 do
+        match Prng.int prng 12 with
+        | 0 | 1 when List.length !stack < 4 ->
+            stack := (Gmem.checkpoint m, Gmem.copy m) :: !stack
+        | 2 | 3 when !stack <> [] ->
+            (* Rewind to a random live mark; marks inside it die. *)
+            let l = !stack in
+            let i = Prng.int prng (List.length l) in
+            let cp, oracle = List.nth l i in
+            ignore (Gmem.rewind m cp : int);
+            stack := List.filteri (fun j _ -> j >= i) l;
+            if not (Gmem.equal m oracle) then ok := false
+        | 4 when !stack <> [] ->
+            let cp, _ = List.hd !stack in
+            Gmem.commit m cp;
+            stack := List.tl !stack
+        | _ -> write ()
+      done;
+      (* Unwind whatever is left, outermost last. *)
+      List.iteri
+        (fun i (cp, oracle) ->
+          (* Everything inside this mark is already gone after the
+             previous iteration's rewind. *)
+          ignore (i : int);
+          ignore (Gmem.rewind m cp : int);
+          if not (Gmem.equal m oracle) then ok := false)
+        !stack;
+      !ok)
+
+let test_gmem_zero_canonical () =
+  (* Dirtying a fresh page and rewinding must not leave a logically
+     visible trace: the memory reads back as zeros and compares equal
+     to an untouched twin. *)
+  let m = Gmem.create ~size_mib:1 in
+  let twin = Gmem.create ~size_mib:1 in
+  let cp = Gmem.checkpoint m in
+  Gmem.write m 0x4000L ~width:8 0xDEADBEEFL;
+  Gmem.write m 0x8123L ~width:1 7L;
+  check Alcotest.int "two pages dirtied" 2 (Gmem.dirty_pages m);
+  ignore (Gmem.rewind m cp : int);
+  check Alcotest.int64 "reads back zero" 0L (Gmem.read m 0x4000L ~width:8);
+  check Alcotest.bool "equal to untouched twin" true (Gmem.equal m twin);
+  Gmem.commit m cp;
+  check Alcotest.int "stack empty" 0 (Gmem.checkpoint_depth m)
+
+let test_gmem_full_restore_invalidates () =
+  let m = Gmem.create ~size_mib:1 in
+  let cp = Gmem.checkpoint m in
+  Gmem.transplant ~into:m ~from:(Gmem.create ~size_mib:1);
+  Alcotest.check_raises "stale checkpoint"
+    (Invalid_argument "Gmem.rewind: stale checkpoint") (fun () ->
+      ignore (Gmem.rewind m cp : int))
+
+(* --- EPT: random map/unmap vs deep-copy oracle --- *)
+
+let prop_ept_cow_equals_copy =
+  QCheck.Test.make ~name:"ept: rewind ≡ deep-copy restore" ~count:25
+    QCheck.small_int (fun salt ->
+      let prng = Prng.of_int (0xE9 + salt) in
+      let e = Ept.create () in
+      Ept.map e ~gpa:0L ~len:0x1000000L Ept.perm_rwx;
+      let page = 4096L in
+      let mutate () =
+        let pfn = Int64.of_int (Prng.int prng 4096) in
+        let gpa = Int64.mul pfn page in
+        (* Mostly small per-page updates (override path); rarely a
+           range big enough to take the range-list path and shadow
+           existing overrides. *)
+        let pages =
+          if Prng.chance prng 0.05 then 2048 else 1 + Prng.int prng 8
+        in
+        let len = Int64.mul (Int64.of_int pages) page in
+        if Prng.bool prng then
+          Ept.map e ~gpa ~len
+            (Prng.choose prng
+               [| Ept.perm_ro; Ept.perm_rw; Ept.perm_rwx; Ept.perm_none |])
+        else Ept.unmap e ~gpa ~len
+      in
+      for _ = 1 to 8 do mutate () done;
+      let stack = ref [] in
+      let ok = ref true in
+      for _ = 1 to 80 do
+        match Prng.int prng 12 with
+        | 0 | 1 when List.length !stack < 4 ->
+            stack := (Ept.checkpoint e, Ept.copy e) :: !stack
+        | 2 | 3 when !stack <> [] ->
+            let l = !stack in
+            let i = Prng.int prng (List.length l) in
+            let cp, oracle = List.nth l i in
+            ignore (Ept.rewind e cp : int);
+            stack := List.filteri (fun j _ -> j >= i) l;
+            if Ept.dump e <> Ept.dump oracle then ok := false
+        | 4 when !stack <> [] ->
+            let cp, _ = List.hd !stack in
+            Ept.commit e cp;
+            stack := List.tl !stack
+        | _ -> mutate ()
+      done;
+      List.iter
+        (fun (cp, oracle) ->
+          ignore (Ept.rewind e cp : int);
+          if Ept.dump e <> Ept.dump oracle then ok := false)
+        !stack;
+      !ok)
+
+(* --- VMCS / VMCB: random field writes vs deep-copy oracle --- *)
+
+let vmcs_canon v = (Vmcs.nonzero_fields v, Vmcs.state v)
+
+let prop_vmcs_cow_equals_copy =
+  QCheck.Test.make ~name:"vmcs: rewind ≡ deep-copy restore" ~count:25
+    QCheck.small_int (fun salt ->
+      let prng = Prng.of_int (0x5D + salt) in
+      let v = Vmcs.create () in
+      let writable =
+        Array.of_list
+          (List.filter (fun f -> not (F.readonly f)) (Array.to_list F.all))
+      in
+      let mutate () =
+        match Prng.int prng 10 with
+        | 0 -> Vmcs.vmclear v
+        | 1 -> Vmcs.set_active v
+        | 2 -> Vmcs.mark_launched v
+        | 3 ->
+            (* Processor-internal store into a read-only field. *)
+            Vmcs.write_exit_info v F.vm_exit_reason
+              (Int64.of_int (Prng.int prng 65))
+        | _ ->
+            let f = Prng.choose prng writable in
+            (match Vmcs.write v f (Prng.int64_any prng) with
+            | Ok () -> ()
+            | Error _ -> assert false)
+      in
+      for _ = 1 to 8 do mutate () done;
+      let stack = ref [] in
+      let ok = ref true in
+      for _ = 1 to 80 do
+        match Prng.int prng 12 with
+        | 0 | 1 when List.length !stack < 4 ->
+            stack := (Vmcs.checkpoint v, Vmcs.copy v) :: !stack
+        | 2 | 3 when !stack <> [] ->
+            let l = !stack in
+            let i = Prng.int prng (List.length l) in
+            let cp, oracle = List.nth l i in
+            ignore (Vmcs.rewind v cp : int);
+            stack := List.filteri (fun j _ -> j >= i) l;
+            if vmcs_canon v <> vmcs_canon oracle then ok := false
+        | 4 when !stack <> [] ->
+            let cp, _ = List.hd !stack in
+            Vmcs.commit v cp;
+            stack := List.tl !stack
+        | _ -> mutate ()
+      done;
+      List.iter
+        (fun (cp, oracle) ->
+          ignore (Vmcs.rewind v cp : int);
+          if vmcs_canon v <> vmcs_canon oracle then ok := false)
+        !stack;
+      !ok)
+
+let prop_vmcb_cow_equals_copy =
+  QCheck.Test.make ~name:"vmcb: rewind ≡ deep-copy restore" ~count:25
+    QCheck.small_int (fun salt ->
+      let prng = Prng.of_int (0xB0 + salt) in
+      let b = Vmcb.create () in
+      let mutate () =
+        Vmcb.write b (Prng.choose prng Vmcb.all) (Prng.int64_any prng)
+      in
+      for _ = 1 to 8 do mutate () done;
+      let stack = ref [] in
+      let ok = ref true in
+      for _ = 1 to 80 do
+        match Prng.int prng 12 with
+        | 0 | 1 when List.length !stack < 4 ->
+            stack := (Vmcb.checkpoint b, Vmcb.copy b) :: !stack
+        | 2 | 3 when !stack <> [] ->
+            let l = !stack in
+            let i = Prng.int prng (List.length l) in
+            let cp, oracle = List.nth l i in
+            ignore (Vmcb.rewind b cp : int);
+            stack := List.filteri (fun j _ -> j >= i) l;
+            if Vmcb.nonzero_fields b <> Vmcb.nonzero_fields oracle then
+              ok := false
+        | 4 when !stack <> [] ->
+            let cp, _ = List.hd !stack in
+            Vmcb.commit b cp;
+            stack := List.tl !stack
+        | _ -> mutate ()
+      done;
+      List.iter
+        (fun (cp, oracle) ->
+          ignore (Vmcb.rewind b cp : int);
+          if Vmcb.nonzero_fields b <> Vmcb.nonzero_fields oracle then
+            ok := false)
+        !stack;
+      !ok)
+
+(* --- domain level: COW revert ≡ full restore, case by case --- *)
+
+let mgr () = Manager.create ~boot_scale:0.02 ~prng_seed:21 ()
+
+let config n = { Campaign.mutations = n; prng_seed = 77 }
+
+(* Two isolated replayer universes execute the same plan — one
+   anchored with a deep snapshot, one with a journal mark — and every
+   per-case raw observation must be byte-identical. *)
+let test_per_case_equivalence () =
+  let setup mode =
+    let m = mgr () in
+    let recording = Manager.record m W.Cpu_bound ~exits:300 in
+    let trace = recording.Manager.trace in
+    match
+      Campaign.plan ~config:(config 120) ~trace ~reason:R.Rdtsc
+        ~area:Mutation.Area_vmcs
+    with
+    | None -> Alcotest.fail "rdtsc seeds exist"
+    | Some plan ->
+        let replayer =
+          Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+        in
+        let anchor =
+          Campaign.anchor ~mode ~replayer ~trace
+            ~seed_index:plan.Campaign.plan_target.Seed.index ()
+        in
+        (plan, replayer, anchor)
+  in
+  (* Canonical projection of the whole domain state.  The VMCS VPID is
+     excluded: it encodes the process-global domain id, which differs
+     between the two universes by construction. *)
+  let canon replayer =
+    let dom = (Replayer.ctx replayer).Ctx.dom in
+    digest
+      ( Gmem.nonzero_pages dom.Domain.mem,
+        Ept.dump dom.Domain.ept,
+        List.filter
+          (fun (f, _) -> f <> F.vpid)
+          (Vmcs.nonzero_fields dom.Domain.vcpu.Iris_vtx.Vcpu.vmcs),
+        dom.Domain.vcpu.Iris_vtx.Vcpu.rip,
+        Iris_vtx.Clock.now dom.Domain.vcpu.Iris_vtx.Vcpu.clock,
+        dom.Domain.crashed, dom.Domain.guest_mode, dom.Domain.blocked )
+  in
+  let plan_f, repl_f, anch_f = setup Campaign.Full_restore in
+  let plan_c, repl_c, anch_c = setup Campaign.Cow in
+  check Alcotest.string "same plan" (digest plan_f) (digest plan_c);
+  let sr_f = canon repl_f and sr_c = canon repl_c in
+  check Alcotest.string "S_R states agree" sr_f sr_c;
+  for i = 0 to Campaign.case_count plan_f - 1 do
+    let seed = Campaign.case plan_f i in
+    let rf = Campaign.execute_case ~replayer:repl_f ~anchor:anch_f seed in
+    let rc = Campaign.execute_case ~replayer:repl_c ~anchor:anch_c seed in
+    check Alcotest.string
+      (Printf.sprintf "case %d raw identical" i)
+      (digest rf) (digest rc)
+  done;
+  (* Both restore paths land the domain exactly back on S_R... *)
+  check Alcotest.string "full restore returns to S_R" sr_f (canon repl_f);
+  check Alcotest.string "cow rewind returns to S_R" sr_c (canon repl_c);
+  (* ...so the two universes still agree with each other. *)
+  check Alcotest.string "domains agree" (canon repl_f) (canon repl_c)
+
+let test_campaign_modes_byte_identical () =
+  let run mode =
+    let m = mgr () in
+    let recording = Manager.record m W.Cpu_bound ~exits:300 in
+    Campaign.run ~snapshot_mode:mode ~config:(config 120) ~manager:m
+      ~recording ~reason:R.Rdtsc ~area:Mutation.Area_vmcs ()
+  in
+  match (run Campaign.Full_restore, run Campaign.Cow) with
+  | Some f, Some c ->
+      check Alcotest.string "campaign report identical" (digest f) (digest c)
+  | _ -> Alcotest.fail "rdtsc seeds exist"
+
+let test_guided_modes_byte_identical () =
+  let run mode =
+    let m = mgr () in
+    let recording = Manager.record m W.Cpu_bound ~exits:300 in
+    let replayer =
+      Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+    in
+    Guided.run_with ~snapshot_mode:mode
+      ~config:
+        { Guided.default_config with Guided.iterations = 150; prng_seed = 5 }
+      ~replayer ~trace:recording.Manager.trace ~reason:R.Rdtsc ~guided:true ()
+  in
+  match (run Campaign.Full_restore, run Campaign.Cow) with
+  | Some f, Some c ->
+      check Alcotest.string "guided result identical" (digest f) (digest c)
+  | _ -> Alcotest.fail "rdtsc seeds exist"
+
+(* --- stats accounting --- *)
+
+let test_cow_stats_accounting () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:300 in
+  let trace = recording.Manager.trace in
+  match
+    Campaign.plan ~config:(config 40) ~trace ~reason:R.Rdtsc
+      ~area:Mutation.Area_vmcs
+  with
+  | None -> Alcotest.fail "rdtsc seeds exist"
+  | Some plan ->
+      let replayer =
+        Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+      in
+      let dom = (Replayer.ctx replayer).Ctx.dom in
+      let before = Domain.snapshot_stats dom in
+      let anchor =
+        Campaign.anchor ~replayer ~trace
+          ~seed_index:plan.Campaign.plan_target.Seed.index ()
+      in
+      let n = min 10 (Campaign.case_count plan) in
+      for i = 0 to n - 1 do
+        ignore
+          (Campaign.execute_case ~replayer ~anchor (Campaign.case plan i)
+          : Campaign.raw)
+      done;
+      let st = Domain.snapshot_stats dom in
+      check Alcotest.int "one checkpoint opened" 1
+        (st.Domain.checkpoints - before.Domain.checkpoints);
+      check Alcotest.int "one rewind per case" n
+        (st.Domain.cow_reverts - before.Domain.cow_reverts);
+      check Alcotest.bool "full-restore path unused" true
+        (st.Domain.full_reverts = before.Domain.full_reverts);
+      check Alcotest.bool "journaled work was measured" true
+        (st.Domain.vmcs_fields_restored > before.Domain.vmcs_fields_restored)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iris_snapshot"
+    [ ( "gmem",
+        qcheck [ prop_gmem_cow_equals_copy ]
+        @ [ Alcotest.test_case "zero pages canonical" `Quick
+              test_gmem_zero_canonical;
+            Alcotest.test_case "full restore invalidates" `Quick
+              test_gmem_full_restore_invalidates ] );
+      ("ept", qcheck [ prop_ept_cow_equals_copy ]);
+      ("vmcs", qcheck [ prop_vmcs_cow_equals_copy ]);
+      ("vmcb", qcheck [ prop_vmcb_cow_equals_copy ]);
+      ( "domain",
+        [ Alcotest.test_case "per-case raw equivalence" `Slow
+            test_per_case_equivalence;
+          Alcotest.test_case "campaign modes identical" `Slow
+            test_campaign_modes_byte_identical;
+          Alcotest.test_case "guided modes identical" `Slow
+            test_guided_modes_byte_identical;
+          Alcotest.test_case "cow stats accounting" `Slow
+            test_cow_stats_accounting ] ) ]
