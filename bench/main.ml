@@ -1160,6 +1160,124 @@ let revert_bench () =
          modeled_speedup)
 
 (* ------------------------------------------------------------------ *)
+(* Inspect: checkpoint-search divergence location vs linear re-replay *)
+(* ------------------------------------------------------------------ *)
+
+let inspect_bench () =
+  section "Inspect: divergence locator vs linear re-replay, crash bisection";
+  let module Insp = Iris_inspect in
+  (* One perturbed seed deep inside the paper's 5K-exit sample trace.
+     The reference is an unperturbed *replay* trace, so replay
+     determinism guarantees the planted index is the only divergence
+     and exactness can be gated, not eyeballed. *)
+  let recording, baseline = recorded_run W.Cpu_bound in
+  (match baseline.Manager.outcome with
+  | Replayer.Replayed -> ()
+  | Replayer.Vm_crashed msg ->
+      failwith ("inspect: baseline replay crashed: " ^ msg));
+  let reference = baseline.Manager.replay_trace in
+  let m = mgr () in
+  let planted, seeds =
+    match
+      Insp.Synthetic.perturb ~kind:Insp.Synthetic.Crash_rip
+        ~at:(trace_exits * 3 / 5)
+        recording.Manager.trace.Trace.seeds
+    with
+    | Some r -> r
+    | None -> failwith "inspect: no guest-RIP-reading seed to perturb"
+  in
+  (* Linear ground truth: one instrumented whole-prefix replay. *)
+  let truth =
+    Manager.replay_seeds m ~revert_to:recording.Manager.snapshot seeds
+  in
+  let crashed =
+    match truth.Manager.outcome with
+    | Replayer.Vm_crashed msg -> Some (truth.Manager.submitted, msg)
+    | Replayer.Replayed -> None
+  in
+  let dv =
+    Analysis.divergence ?crashed ~recorded:reference
+      ~replayed:truth.Manager.replay_trace ()
+  in
+  let truth_first =
+    match dv.Analysis.dv_first with
+    | Some d -> d.Analysis.d_index
+    | None -> failwith "inspect: planted fault did not diverge"
+  in
+  (* The locator: checkpointed detection pass + backward segment
+     probes. *)
+  let every = 64 in
+  let replayer =
+    Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+  in
+  let session = Insp.Session.start ~every ~replayer ~seeds () in
+  let report = Insp.Locator.locate session ~reference in
+  Insp.Session.finish session;
+  let found =
+    match report.Insp.Locator.first_divergent with
+    | Some d -> d.Insp.Locator.dg_index
+    | None -> failwith "inspect: locator found no divergence"
+  in
+  Printf.printf
+    "planted fault at seed #%d; ground truth #%d; locator #%d\n" planted
+    truth_first found;
+  if found <> planted || found <> truth_first then
+    failwith
+      (Printf.sprintf
+         "INSPECT EXACTNESS VIOLATION: planted #%d, truth #%d, locator #%d"
+         planted truth_first found);
+  (* The savings gate compares instrumented seeds: what the probes
+     replayed under the metrics recorder vs the whole-prefix linear
+     sweep the same diagnosis used to cost. *)
+  let instrumented = max 1 report.Insp.Locator.seeds_instrumented in
+  let linear = report.Insp.Locator.linear_seeds in
+  let savings = float_of_int linear /. float_of_int instrumented in
+  Printf.printf
+    "cost: %d checkpoints, %d reverts, %d probes, %d instrumented seeds vs \
+     %d linear -> %.1fx fewer (gate: >= 5x)\n"
+    report.Insp.Locator.checkpoints report.Insp.Locator.reverts
+    report.Insp.Locator.probes instrumented linear savings;
+  if savings < 5.0 then
+    failwith
+      (Printf.sprintf
+         "INSPECT REGRESSION: locator replayed only %.2fx fewer seeds than \
+          the linear sweep (gate: >= 5x)"
+         savings);
+  (* Crash bisection determinism: minimize the planted crasher and
+     require byte-identical verification digests across two replays. *)
+  let prefix = Array.sub seeds 0 planted in
+  let crasher = seeds.(planted) in
+  let make_replayer () =
+    Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+  in
+  (match Insp.Bisect.minimize ~make_replayer ~prefix ~crasher with
+  | None -> failwith "inspect: planted crash did not reproduce under bisection"
+  | Some b ->
+      Printf.printf
+        "bisection: prefix %d -> suffix start %d (%d-seed reproducer), %d \
+         attempts, digest %s\n"
+        planted b.Insp.Bisect.b_suffix_start
+        (Array.length b.Insp.Bisect.b_seeds)
+        b.Insp.Bisect.b_attempts b.Insp.Bisect.b_digest;
+      if not b.Insp.Bisect.b_deterministic then
+        failwith
+          "INSPECT DETERMINISM VIOLATION: bisection reproducer digests \
+           differ across two replays";
+      Report.put_i "inspect.bisect_suffix_seeds"
+        (Array.length b.Insp.Bisect.b_seeds);
+      Report.put_i "inspect.bisect_attempts" b.Insp.Bisect.b_attempts;
+      Report.put_i "inspect.bisect_deterministic" 1);
+  Report.put_i "inspect.planted_index" planted;
+  Report.put_i "inspect.located_index" found;
+  Report.put_i "inspect.exact" 1;
+  Report.put_i "inspect.checkpoints" report.Insp.Locator.checkpoints;
+  Report.put_i "inspect.reverts" report.Insp.Locator.reverts;
+  Report.put_i "inspect.probes" report.Insp.Locator.probes;
+  Report.put_i "inspect.locator_seeds_instrumented" instrumented;
+  Report.put_i "inspect.linear_seeds" linear;
+  Report.put_f "inspect.savings_x" savings
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1229,7 +1347,7 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-shim", ablation_shim); ("ablation-timer", ablation_timer);
     ("ablation-coverage", ablation_coverage); ("batch", batch);
     ("guided", guided); ("portability", portability); ("scaling", scaling);
-    ("revert", revert_bench); ("micro", micro) ]
+    ("revert", revert_bench); ("inspect", inspect_bench); ("micro", micro) ]
 
 let report_path = "BENCH_iris.json"
 

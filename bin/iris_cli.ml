@@ -433,6 +433,15 @@ let stats_cmd =
         "\nhandler cycles per exit: p50 %.0f   p90 %.0f   p99 %.0f   max %.0f\n"
         (p 50.) (p 90.) (p 99.) (p 100.)
     end;
+    (match Analysis.handler_time_summary trace with
+    | Some q ->
+        Printf.printf
+          "handler service time:     p50 %.2f us  p95 %.2f us  p99 %.2f us  \
+           max %.2f us  (n=%d)\n"
+          q.Iris_util.Stats.q_p50 q.Iris_util.Stats.q_p95
+          q.Iris_util.Stats.q_p99 q.Iris_util.Stats.q_max
+          q.Iris_util.Stats.q_n
+    | None -> ());
     (* ...and the registry's O(1) log2-histogram approximation of the
        same distribution, which is what a live campaign exports. *)
     let h = T.Registry.histogram hub.T.Hub.registry "hv.handler_cycles" in
@@ -471,6 +480,358 @@ let stats_cmd =
     Term.(
       const run $ workload $ exits $ prng_seed $ boot_scale $ trace_out $ top
       $ jobs)
+
+(* --- inspect --- *)
+
+module Insp = Iris_inspect
+
+let int64_opt_str = function
+  | Some v -> Printf.sprintf "0x%Lx" v
+  | None -> "-"
+
+let print_diagnosis (d : Insp.Locator.diagnosis) =
+  Printf.printf "first divergent exit: #%d (%s)\n" d.Insp.Locator.dg_index
+    (R.short_name d.Insp.Locator.dg_reason);
+  (match d.Insp.Locator.dg_crashed with
+  | Some msg -> Printf.printf "  dummy VM crashed: %s\n" msg
+  | None -> ());
+  if d.Insp.Locator.dg_cov_missing + d.Insp.Locator.dg_cov_extra > 0 then begin
+    Printf.printf "  coverage delta: %d missing, %d extra lines\n"
+      d.Insp.Locator.dg_cov_missing d.Insp.Locator.dg_cov_extra;
+    List.iteri
+      (fun i (c, n) ->
+        if i < 5 then
+          Printf.printf "    %-14s %d lines\n" (Iris_coverage.Component.name c)
+            n)
+      d.Insp.Locator.dg_components
+  end;
+  List.iteri
+    (fun i (f, rv, pv) ->
+      if i < 8 then
+        Printf.printf "  VMWRITE delta: %-26s recorded %-18s replayed %s\n"
+          (Iris_vmcs.Field.name f) (int64_opt_str rv) (int64_opt_str pv))
+    d.Insp.Locator.dg_write_deltas
+
+let print_provenance ~trace ~before fname =
+  match
+    Array.to_list Iris_vmcs.Field.all
+    |> List.find_opt (fun f ->
+           String.lowercase_ascii (Iris_vmcs.Field.name f)
+           = String.lowercase_ascii fname)
+  with
+  | None ->
+      Printf.eprintf "unknown VMCS field %S\n" fname;
+      exit 1
+  | Some f ->
+      let prov = Insp.Provenance.build trace in
+      let touches = Insp.Provenance.field_touches prov f in
+      let describe (t : Insp.Provenance.touch) =
+        Printf.sprintf "exit #%d (%s) %s 0x%Lx" t.Insp.Provenance.t_index
+          (R.short_name t.Insp.Provenance.t_reason)
+          (match t.Insp.Provenance.t_access with
+          | Insp.Provenance.Read -> "read"
+          | Insp.Provenance.Write -> "wrote")
+          t.Insp.Provenance.t_value
+      in
+      Printf.printf "\nprovenance of %s: %d recorded touches\n"
+        (Iris_vmcs.Field.name f) (List.length touches);
+      (match Insp.Provenance.first_touch prov f with
+      | Some t -> Printf.printf "  first touch:          %s\n" (describe t)
+      | None -> ());
+      (match Insp.Provenance.last_touch_before prov f before with
+      | Some t ->
+          Printf.printf "  last touch before #%d: %s\n" before (describe t)
+      | None -> Printf.printf "  no touch before #%d\n" before)
+
+let inspect_cmd =
+  let perturb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "perturb" ] ~docv:"IDX"
+          ~doc:
+            "Plant a synthetic fault: rewrite the first seed at index >= \
+             $(docv) that reads guest RIP to a non-canonical value, then \
+             diagnose against an unperturbed baseline replay.")
+  in
+  let every =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "k"; "every" ] ~docv:"K"
+          ~doc:"Checkpoint period of the detection pass, in seeds.")
+  in
+  let thorough =
+    Arg.(
+      value & flag
+      & info [ "thorough" ]
+          ~doc:
+            "Scan every segment down to seed 0 instead of stopping at the \
+             first clean segment below a divergence (guaranteed-global \
+             minimum for multi-fault traces).")
+  in
+  let field =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "field" ] ~docv:"FIELD"
+          ~doc:
+            "Also print the provenance of this VMCS field (e.g. GUEST_RIP): \
+             first recorded touch, and the reverse-continue target before \
+             the divergence.")
+  in
+  let run workload exits prng_seed boot_scale perturb every thorough field
+      trace_out metrics =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = telemetry_hub ~trace_out ~metrics mgr in
+    Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
+      (W.name workload) prng_seed;
+    let recording = Manager.record mgr workload ~exits in
+    let rec_trace = recording.Manager.trace in
+    (* The reference: against the recording itself in the ordinary
+       diagnosis mode, or — when planting a synthetic fault — against
+       an unperturbed baseline replay, whose determinism guarantees
+       the planted index is the only divergence. *)
+    let reference, seeds, planted =
+      match perturb with
+      | None -> (rec_trace, rec_trace.Trace.seeds, None)
+      | Some at -> (
+          Printf.printf "baseline replay (the perturbed run's reference)...\n%!";
+          let baseline = Manager.replay mgr recording in
+          (match baseline.Manager.outcome with
+          | Replayer.Replayed -> ()
+          | Replayer.Vm_crashed msg ->
+              Printf.eprintf "baseline replay crashed: %s\n" msg;
+              exit 1);
+          match
+            Insp.Synthetic.perturb ~kind:Insp.Synthetic.Crash_rip ~at
+              rec_trace.Trace.seeds
+          with
+          | None ->
+              Printf.eprintf
+                "no seed at or after #%d reads guest RIP; nothing to perturb\n"
+                at;
+              exit 1
+          | Some (idx, seeds) ->
+              Printf.printf "perturbed seed #%d (non-canonical guest RIP)\n"
+                idx;
+              (baseline.Manager.replay_trace, seeds, Some idx))
+    in
+    (* Ground truth: one linear instrumented replay, through the
+       structured divergence report. *)
+    let truth =
+      Manager.replay_seeds mgr ~revert_to:recording.Manager.snapshot seeds
+    in
+    let crashed =
+      match truth.Manager.outcome with
+      | Replayer.Vm_crashed msg -> Some (truth.Manager.submitted, msg)
+      | Replayer.Replayed -> None
+    in
+    let dv =
+      Analysis.divergence ?crashed ~recorded:reference
+        ~replayed:truth.Manager.replay_trace ()
+    in
+    (match hub with
+    | None -> ()
+    | Some hub -> Analysis.note_divergence ~hub ~recorded:reference dv);
+    let locate_once ~thorough =
+      let rep =
+        Manager.make_dummy mgr ~revert_to:recording.Manager.snapshot ()
+      in
+      let session = Insp.Session.start ~every ~replayer:rep ~seeds () in
+      let report = Insp.Locator.locate ~thorough session ~reference in
+      Insp.Session.finish session;
+      report
+    in
+    let loc_first (r : Insp.Locator.report) =
+      Option.map
+        (fun d -> d.Insp.Locator.dg_index)
+        r.Insp.Locator.first_divergent
+    in
+    let truth_first =
+      Option.map (fun d -> d.Analysis.d_index) dv.Analysis.dv_first
+    in
+    let report = locate_once ~thorough in
+    let report, agreed =
+      if loc_first report = truth_first then (report, true)
+      else if thorough then (report, false)
+      else begin
+        (* The fast scan stops at the first clean segment; a
+           multi-fault trace with healed divergence can fool it. *)
+        Printf.printf
+          "fast scan disagrees with ground truth; re-running thorough...\n";
+        let r = locate_once ~thorough:true in
+        (r, loc_first r = truth_first)
+      end
+    in
+    (match report.Insp.Locator.first_divergent with
+    | None ->
+        Printf.printf
+          "no divergence: the replay fits the reference on all %d compared \
+           seeds\n"
+          dv.Analysis.dv_compared
+    | Some d -> print_diagnosis d);
+    (match planted with
+    | None -> ()
+    | Some idx ->
+        Printf.printf "planted fault at #%d -> locator %s\n" idx
+          (match loc_first report with
+          | Some i when i = idx -> "found the exact index"
+          | Some i -> Printf.sprintf "reported #%d (MISMATCH)" i
+          | None -> "found nothing (MISMATCH)"));
+    let r = report in
+    Printf.printf
+      "cost: %d checkpoints, %d reverts, %d probes, %d instrumented seeds\n"
+      r.Insp.Locator.checkpoints r.Insp.Locator.reverts
+      r.Insp.Locator.probes r.Insp.Locator.seeds_instrumented;
+    if r.Insp.Locator.seeds_instrumented > 0 then
+      Printf.printf
+        "linear instrumented re-replay would have cost %d seeds -> %.1fx \
+         fewer\n"
+        r.Insp.Locator.linear_seeds
+        (float_of_int r.Insp.Locator.linear_seeds
+        /. float_of_int r.Insp.Locator.seeds_instrumented);
+    (match field with
+    | None -> ()
+    | Some fname ->
+        let before =
+          match truth_first with
+          | Some i -> i
+          | None -> Trace.length rec_trace
+        in
+        print_provenance ~trace:rec_trace ~before fname);
+    telemetry_report ~trace_out ~metrics hub;
+    if not agreed then begin
+      Printf.eprintf "locator disagrees with the linear ground truth\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Record, replay and diagnose: find the first divergent exit with \
+          checkpoint search instead of linear re-replay, and answer \
+          field-provenance queries.")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ perturb $ every
+      $ thorough $ field $ trace_out $ metrics_flag)
+
+(* --- bisect --- *)
+
+let bisect_cmd =
+  let reason =
+    Arg.(
+      value
+      & opt reason_conv R.Rdtsc
+      & info [ "r"; "reason" ] ~docv:"REASON"
+          ~doc:"Exit reason of the fuzzed seed.")
+  in
+  let area =
+    Arg.(
+      value
+      & opt (enum [ ("vmcs", Iris_fuzzer.Mutation.Area_vmcs);
+                    ("gpr", Iris_fuzzer.Mutation.Area_gpr) ])
+          Iris_fuzzer.Mutation.Area_vmcs
+      & info [ "a"; "area" ] ~docv:"AREA" ~doc:"Seed area to mutate.")
+  in
+  let mutations =
+    Arg.(
+      value
+      & opt int 2_000
+      & info [ "m"; "mutations" ] ~docv:"N"
+          ~doc:"Mutated seed versions to try while hunting for a crash.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Save the minimized reproducer trace here.")
+  in
+  let run workload exits prng_seed boot_scale reason area mutations out
+      trace_out metrics =
+    let mgr = Manager.create ~boot_scale ~prng_seed () in
+    let hub = telemetry_hub ~trace_out ~metrics mgr in
+    Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
+      (W.name workload) prng_seed;
+    let recording = Manager.record mgr workload ~exits in
+    let trace = recording.Manager.trace in
+    let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
+    Printf.printf "fuzzing %s/%s for a crashing mutant...\n%!"
+      (R.short_name reason)
+      (Iris_fuzzer.Mutation.area_name area);
+    let result =
+      Iris_fuzzer.Campaign.run ~config ~manager:mgr ~recording ~reason ~area
+        ()
+    in
+    let plan =
+      Iris_fuzzer.Campaign.plan ~config ~trace ~reason ~area
+    in
+    (match (result, plan) with
+    | None, _ | _, None ->
+        Printf.printf "the trace has no seed with exit reason %s\n"
+          (R.short_name reason)
+    | Some r, Some plan -> (
+        match r.Iris_fuzzer.Campaign.crashing with
+        | [] ->
+            Printf.printf
+              "no crashing mutant in %d mutations; try more with -m\n"
+              mutations
+        | v :: _ ->
+            let seed_index = r.Iris_fuzzer.Campaign.seed_index in
+            let crasher = Iris_fuzzer.Campaign.crashing_seed plan v in
+            Printf.printf
+              "crashing mutant of VMseed #%d: [%s] %s\n  mutation: %s\n%!"
+              seed_index
+              (Iris_fuzzer.Campaign.failure_name
+                 v.Iris_fuzzer.Campaign.failure)
+              v.Iris_fuzzer.Campaign.detail
+              (Iris_fuzzer.Mutation.describe v.Iris_fuzzer.Campaign.mutation);
+            let prefix = Array.sub trace.Trace.seeds 0 seed_index in
+            let make_replayer () =
+              Manager.make_dummy mgr ~revert_to:recording.Manager.snapshot ()
+            in
+            (match Insp.Bisect.minimize ~make_replayer ~prefix ~crasher with
+            | None ->
+                Printf.printf
+                  "the crash does not reproduce on a linear replay (flaky \
+                   mutant); nothing to bisect\n";
+                exit 1
+            | Some b ->
+                Printf.printf
+                  "minimized: prefix %d seeds -> suffix [%d..%d) + mutant = \
+                   %d seeds\n"
+                  seed_index b.Insp.Bisect.b_suffix_start seed_index
+                  (Array.length b.Insp.Bisect.b_seeds);
+                Printf.printf "  crash: %s\n" b.Insp.Bisect.b_crash_msg;
+                Printf.printf
+                  "  search: %d attempts, %d seeds replayed\n"
+                  b.Insp.Bisect.b_attempts b.Insp.Bisect.b_seeds_replayed;
+                Printf.printf "  verification digest: %s (%s)\n"
+                  b.Insp.Bisect.b_digest
+                  (if b.Insp.Bisect.b_deterministic then
+                     "deterministic across two replays"
+                   else "NON-DETERMINISTIC");
+                (match out with
+                | Some path ->
+                    Trace.save
+                      (Insp.Bisect.to_trace
+                         ~workload:(W.name recording.Manager.workload)
+                         b)
+                      ~path;
+                    Printf.printf "reproducer written to %s\n" path
+                | None -> ());
+                if not b.Insp.Bisect.b_deterministic then exit 1)));
+    telemetry_report ~trace_out ~metrics hub
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:
+         "Fuzz until a mutant kills the VM, then shrink the crash to the \
+          smallest divergent suffix and emit a deterministic reproducer.")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ reason $ area
+      $ mutations $ out $ trace_out $ metrics_flag)
 
 (* --- info --- *)
 
@@ -549,4 +910,5 @@ let () =
              ~doc:
                "Record and replay of hardware-assisted virtualization \
                 behaviors (IRIS, DSN'23) on a simulated Xen/VT-x substrate.")
-          [ record_cmd; replay_cmd; fuzz_cmd; stats_cmd; info_cmd; port_cmd ]))
+          [ record_cmd; replay_cmd; fuzz_cmd; inspect_cmd; bisect_cmd;
+            stats_cmd; info_cmd; port_cmd ]))

@@ -133,6 +133,11 @@ let case p i =
 
 let case_count p = 1 + Array.length p.plan_mutations
 
+(* The bisector's entry point: a crashing verdict names its mutation;
+   re-applying it to the plan's target rebuilds the exact mutant seed
+   that killed the VM. *)
+let crashing_seed p (v : verdict) = Mutation.apply v.mutation p.plan_target
+
 (* --- execution (per test case; shardable) --- *)
 
 type raw = {

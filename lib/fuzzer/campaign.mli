@@ -98,6 +98,11 @@ val case : plan -> int -> Iris_core.Seed.t
 val case_count : plan -> int
 (** [1 + Array.length plan_mutations]. *)
 
+val crashing_seed : plan -> verdict -> Iris_core.Seed.t
+(** Rebuild the mutant seed behind a crashing verdict (the verdict's
+    mutation applied to the plan target) — what
+    [Iris_inspect.Bisect.minimize] takes as its crasher.  Pure. *)
+
 type raw = {
   raw_failure : failure_class;
   raw_detail : string;

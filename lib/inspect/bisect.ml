@@ -1,0 +1,102 @@
+module Replayer = Iris_core.Replayer
+module Recorder = Iris_core.Recorder
+module Seed = Iris_core.Seed
+module Trace = Iris_core.Trace
+
+type result = {
+  b_suffix_start : int;
+  b_seeds : Seed.t array;
+  b_crash_msg : string;
+  b_attempts : int;
+  b_seeds_replayed : int;
+  b_digest : string;
+  b_deterministic : bool;
+}
+
+type attempt =
+  | Repro of string  (** clean prefix, crasher killed the VM *)
+  | Clean  (** everything replayed — the crasher lost its teeth *)
+  | Early_crash of int * string  (** prefix died before the crasher *)
+
+(* One attempt = one fresh dummy: replay prefix[j..], then the
+   crasher.  A hypervisor panic counts as a crash class of its own —
+   a mutant that kills the hypervisor rather than the VM still
+   reproduces. *)
+let attempt ~make_replayer ~prefix ~crasher ~counters j =
+  let rep = make_replayer () in
+  let n = Array.length prefix in
+  let seeds_replayed, attempts = counters in
+  incr attempts;
+  let out =
+    try
+      let rec loop i =
+        if i >= n then
+          match Replayer.submit rep crasher with
+          | Replayer.Vm_crashed msg -> Repro msg
+          | Replayer.Replayed -> Clean
+        else
+          match Replayer.submit rep prefix.(i) with
+          | Replayer.Replayed ->
+              incr seeds_replayed;
+              loop (i + 1)
+          | Replayer.Vm_crashed msg -> Early_crash (i, msg)
+      in
+      loop j
+    with Iris_hv.Ctx.Hypervisor_panic msg -> Repro ("hv: " ^ msg)
+  in
+  incr seeds_replayed;  (* the crasher (or the seed that died) *)
+  out
+
+let digest_of_verification ~make_replayer ~seeds =
+  let rep = make_replayer () in
+  let recorder =
+    Recorder.start ~store_seeds:true ~store_metrics:false
+      (Replayer.ctx rep)
+  in
+  (try Array.iter (fun s -> ignore (Replayer.submit rep s)) seeds
+   with Iris_hv.Ctx.Hypervisor_panic _ -> ());
+  let trace = Recorder.stop recorder ~workload:"bisect-verify" ~prng_seed:0 in
+  Digest.to_hex (Digest.bytes (Trace.encode trace))
+
+let minimize ~make_replayer ~prefix ~crasher =
+  let seeds_replayed = ref 0 and attempts = ref 0 in
+  let counters = (seeds_replayed, attempts) in
+  let try_from j = attempt ~make_replayer ~prefix ~crasher ~counters j in
+  match try_from 0 with
+  | Clean | Early_crash _ -> None
+  | Repro ref_msg ->
+      let same = function
+        | Repro msg -> msg = ref_msg
+        | Clean | Early_crash _ -> false
+      in
+      let n = Array.length prefix in
+      (* Largest droppable prefix: binary search assuming the usual
+         monotone structure (more context can only help the repro);
+         the final verification replays catch the exotic cases where
+         it is not. *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if same (try_from mid) then lo := mid else hi := mid - 1
+      done;
+      let start = !lo in
+      let b_seeds =
+        Array.append (Array.sub prefix start (n - start)) [| crasher |]
+      in
+      let d1 = digest_of_verification ~make_replayer ~seeds:b_seeds in
+      let d2 = digest_of_verification ~make_replayer ~seeds:b_seeds in
+      Some
+        { b_suffix_start = start;
+          b_seeds;
+          b_crash_msg = ref_msg;
+          b_attempts = !attempts;
+          b_seeds_replayed = !seeds_replayed;
+          b_digest = d1;
+          b_deterministic = d1 = d2 }
+
+let to_trace ?(workload = "bisect-repro") r =
+  { Trace.workload;
+    prng_seed = 0;
+    seeds = r.b_seeds;
+    metrics = [||];
+    wall_cycles = 0L }

@@ -1,0 +1,40 @@
+(** Automatic crash bisection: shrink a crashing replay to the
+    smallest divergent suffix that still reproduces.
+
+    Input is a clean seed prefix plus one crashing seed (the shape a
+    {!Iris_fuzzer.Campaign} verdict yields: the recorded trace up to
+    the mutated seed, then the mutant).  The bisector binary-searches
+    the largest prefix that can be dropped while the mutant still
+    kills the VM with the same crash, replaying each candidate on a
+    fresh dummy so attempts cannot contaminate each other.  The
+    surviving suffix plus the mutant is the reproducer, re-replayed
+    twice under a seed recorder to prove the repro is deterministic
+    (byte-identical encoded traces). *)
+
+type result = {
+  b_suffix_start : int;
+      (** first kept prefix index; [seeds = prefix[start..] + crasher] *)
+  b_seeds : Iris_core.Seed.t array;  (** the minimized reproducer *)
+  b_crash_msg : string;
+  b_attempts : int;  (** replays the search performed *)
+  b_seeds_replayed : int;  (** total seeds across all attempts *)
+  b_digest : string;
+      (** hex digest of the encoded verification trace *)
+  b_deterministic : bool;
+      (** both verification replays produced [b_digest] *)
+}
+
+val minimize :
+  make_replayer:(unit -> Iris_core.Replayer.t) ->
+  prefix:Iris_core.Seed.t array ->
+  crasher:Iris_core.Seed.t ->
+  result option
+(** [make_replayer] must return a replayer over a freshly-reverted
+    dummy at the recording's initial state — one per attempt.
+    Returns [None] when the full prefix + crasher does not crash (no
+    repro to shrink), or when a candidate prefix crashes before the
+    mutant is reached (the crash is not the mutant's). *)
+
+val to_trace : ?workload:string -> result -> Iris_core.Trace.t
+(** Package the reproducer as a metrics-less trace for
+    {!Iris_core.Trace.save}. *)

@@ -1,0 +1,54 @@
+(** The divergence locator: find the first replayed exit that departs
+    from a reference trace in O(segments) checkpoint rewinds, probing
+    only segment-sized slices with instrumentation instead of
+    re-replaying the whole prefix per candidate.
+
+    The {!Session}'s detection pass already replayed the trace once,
+    uninstrumented, dropping a mark every K seeds.  Diagnosis then
+    scans *backwards* from the last segment: rewind to a mark, replay
+    its K seeds with a metrics recorder attached, and compare each
+    seed against the reference with the shared
+    {!Iris_core.Analysis.seed_diverges} predicate.  The scan stops at
+    the first fully-clean segment below a divergent one — on the
+    single-fault traces the fuzzer triages, that is the segment
+    containing the root cause.  Downward-only rewinds mean the stack
+    checkpoints of PR 6 never have to be re-established.
+
+    [thorough] keeps scanning to segment 0, guaranteeing the global
+    minimum even when divergence heals and re-appears. *)
+
+type diagnosis = {
+  dg_index : int;  (** first divergent submission index *)
+  dg_reason : Iris_vtx.Exit_reason.t;
+  dg_cov_missing : int;  (** recorded-only lines at that seed *)
+  dg_cov_extra : int;    (** replayed-only lines *)
+  dg_components : (Iris_coverage.Component.t * int) list;
+      (** differing lines per component, descending *)
+  dg_write_deltas :
+    (Iris_vmcs.Field.t * int64 option * int64 option) list;
+      (** VMCS field deltas: (field, recorded, replayed); [None] =
+          the side performed no such write at that position *)
+  dg_crashed : string option;
+}
+
+type report = {
+  first_divergent : diagnosis option;
+  checkpoints : int;  (** marks live when diagnosis started *)
+  reverts : int;  (** checkpoint rewinds the diagnosis performed *)
+  probes : int;  (** segments probed with instrumentation *)
+  seeds_instrumented : int;  (** seeds replayed under the recorder *)
+  seeds_forward : int;
+      (** total forward submissions, detection pass included *)
+  linear_seeds : int;
+      (** what a linear instrumented re-replay of the prefix up to
+          (and including) the divergence would have cost — the
+          baseline the bench compares against *)
+  crashed_at : (int * string) option;
+}
+
+val locate :
+  ?noise_threshold:int -> ?thorough:bool -> Session.t ->
+  reference:Iris_core.Trace.t -> report
+(** The reference trace must carry metrics; its seeds (when present)
+    name each diagnosis' exit reason.  A session crash at a seed the
+    reference survived counts as the divergence at that index. *)

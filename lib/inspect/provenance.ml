@@ -1,0 +1,95 @@
+module F = Iris_vmcs.Field
+module R = Iris_vtx.Exit_reason
+module Gpr = Iris_x86.Gpr
+module Seed = Iris_core.Seed
+module Trace = Iris_core.Trace
+
+type access = Read | Write
+
+type touch = {
+  t_index : int;
+  t_reason : R.t;
+  t_access : access;
+  t_value : int64;
+}
+
+type t = {
+  seed_count : int;
+  by_field : (F.t, touch list) Hashtbl.t;  (** ascending index *)
+  msrs : (int64, touch list) Hashtbl.t;
+  gpas : touch list;  (** ascending index; t_value = faulting GPA *)
+}
+
+let push tbl key touch =
+  let prev = try Hashtbl.find tbl key with Not_found -> [] in
+  Hashtbl.replace tbl key (touch :: prev)
+
+let finalize tbl = Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) tbl
+
+let build (trace : Trace.t) =
+  let by_field = Hashtbl.create 64 in
+  let msrs = Hashtbl.create 16 in
+  let gpas = ref [] in
+  Array.iter
+    (fun (s : Seed.t) ->
+      let mk access (f, v) =
+        push by_field f
+          { t_index = s.Seed.index; t_reason = s.Seed.reason;
+            t_access = access; t_value = v }
+      in
+      List.iter (mk Read) s.Seed.reads;
+      List.iter (mk Write) s.Seed.writes;
+      (match s.Seed.reason with
+      | R.Rdmsr ->
+          push msrs (Seed.gpr_value s Gpr.Rcx)
+            { t_index = s.Seed.index; t_reason = s.Seed.reason;
+              t_access = Read; t_value = 0L }
+      | R.Wrmsr ->
+          let v =
+            Int64.logor
+              (Int64.shift_left (Seed.gpr_value s Gpr.Rdx) 32)
+              (Int64.logand (Seed.gpr_value s Gpr.Rax) 0xFFFF_FFFFL)
+          in
+          push msrs (Seed.gpr_value s Gpr.Rcx)
+            { t_index = s.Seed.index; t_reason = s.Seed.reason;
+              t_access = Write; t_value = v }
+      | R.Ept_violation -> (
+          match Seed.first_read s F.guest_physical_address with
+          | None -> ()
+          | Some gpa ->
+              let access =
+                match Seed.first_read s F.exit_qualification with
+                | Some q when Int64.logand q 2L <> 0L -> Write
+                | Some _ | None -> Read
+              in
+              gpas :=
+                { t_index = s.Seed.index; t_reason = s.Seed.reason;
+                  t_access = access; t_value = gpa }
+                :: !gpas)
+      | _ -> ()))
+    trace.Trace.seeds;
+  finalize by_field;
+  finalize msrs;
+  { seed_count = Array.length trace.Trace.seeds;
+    by_field; msrs; gpas = List.rev !gpas }
+
+let seed_count t = t.seed_count
+
+let field_touches t f = try Hashtbl.find t.by_field f with Not_found -> []
+
+let matches access touch =
+  match access with None -> true | Some a -> touch.t_access = a
+
+let first_touch ?access t f =
+  List.find_opt (matches access) (field_touches t f)
+
+let last_touch_before ?access t f i =
+  List.fold_left
+    (fun acc touch ->
+      if touch.t_index < i && matches access touch then Some touch else acc)
+    None (field_touches t f)
+
+let msr_touches t m = try Hashtbl.find t.msrs m with Not_found -> []
+
+let gpa_touches t ~lo ~hi =
+  List.filter (fun touch -> touch.t_value >= lo && touch.t_value <= hi) t.gpas

@@ -1,0 +1,54 @@
+(** Field-provenance index over a recorded trace.
+
+    Answers the debugger questions the accuracy report cannot:
+    "which exit first read (or wrote) VMCS field X", "which MSR
+    accesses touched MSR [m]", "which EPT violations hit this GPA
+    range" — and, combined with {!Session.reverse_continue_to}, "run
+    backwards to the exit that last touched X before seed [i]" (the
+    rr reverse-watchpoint idiom over IRIS seeds).
+
+    The index is built once from the trace's seeds — recorded VMREAD
+    traffic is a read provenance, recorded VMWRITE traffic a write
+    provenance — so queries are pure lookups and never touch the
+    hypervisor. *)
+
+type access = Read | Write
+
+type touch = {
+  t_index : int;  (** submission index of the touching exit *)
+  t_reason : Iris_vtx.Exit_reason.t;
+  t_access : access;
+  t_value : int64;
+}
+
+type t
+
+val build : Iris_core.Trace.t -> t
+(** The trace must carry seeds ([store_seeds] recordings). *)
+
+val seed_count : t -> int
+
+val field_touches : t -> Iris_vmcs.Field.t -> touch list
+(** Every recorded access to the field, ascending index, reads and
+    writes interleaved in execution order per exit. *)
+
+val first_touch :
+  ?access:access -> t -> Iris_vmcs.Field.t -> touch option
+(** First exit touching the field (optionally restricted to reads or
+    writes only). *)
+
+val last_touch_before :
+  ?access:access -> t -> Iris_vmcs.Field.t -> int -> touch option
+(** [last_touch_before t f i] is the newest touch of [f] strictly
+    before seed [i] — the reverse-continue target. *)
+
+val msr_touches : t -> int64 -> touch list
+(** Accesses to MSR [m]: RDMSR exits ([Read]) and WRMSR exits
+    ([Write]) whose RCX selected [m].  A WRMSR touch carries the
+    written EDX:EAX value; a RDMSR touch carries 0 — the read result
+    is produced by the handler, not recorded in the seed. *)
+
+val gpa_touches : t -> lo:int64 -> hi:int64 -> touch list
+(** EPT violations whose guest-physical address falls in
+    [\[lo, hi\]]; access direction from the exit qualification
+    (bit 1 = write).  The touch value is the faulting GPA. *)

@@ -1,0 +1,90 @@
+module Replayer = Iris_core.Replayer
+module Seed = Iris_core.Seed
+
+type t = {
+  rep : Replayer.t;
+  seeds : Seed.t array;
+  every : int;
+  mutable crashed_at : (int * string) option;
+  mutable seeds_forward : int;
+  mutable reverts : int;
+}
+
+let submit_one t i =
+  t.seeds_forward <- t.seeds_forward + 1;
+  Replayer.submit t.rep t.seeds.(i)
+
+let start ?(every = 64) ~replayer ~seeds () =
+  if every <= 0 then invalid_arg "Session.start: every must be positive";
+  let t =
+    { rep = replayer; seeds; every; crashed_at = None; seeds_forward = 0;
+      reverts = 0 }
+  in
+  Replayer.set_checkpoint_every replayer every;
+  (* Detection pass: uninstrumented, full speed, marks every [every]
+     seeds.  Stops at a crash — positions beyond it don't exist. *)
+  let n = Array.length seeds in
+  let rec loop i =
+    if i < n then
+      match submit_one t i with
+      | Replayer.Replayed -> loop (i + 1)
+      | Replayer.Vm_crashed msg -> t.crashed_at <- Some (i, msg)
+  in
+  loop 0;
+  t
+
+let length t = Array.length t.seeds
+
+let every t = t.every
+
+let position t = Replayer.seeds_submitted t.rep
+
+let crashed_at t = t.crashed_at
+
+let replayer t = t.rep
+
+let limit t =
+  match t.crashed_at with
+  | Some (c, _) -> c
+  | None -> Array.length t.seeds
+
+let goto t i =
+  if i < 0 || i > limit t then
+    invalid_arg
+      (Printf.sprintf "Session.goto: position %d outside reachable 0..%d" i
+         (limit t));
+  if i < position t then begin
+    t.reverts <- t.reverts + 1;
+    ignore (Replayer.rewind_to t.rep i)
+  end;
+  let rec forward () =
+    let p = position t in
+    if p < i then
+      match submit_one t p with
+      | Replayer.Replayed -> forward ()
+      | Replayer.Vm_crashed msg ->
+          (* Replay is deterministic: a crash strictly below the known
+             crash boundary means the marks were tampered with. *)
+          t.crashed_at <- Some (p, msg);
+          invalid_arg
+            (Printf.sprintf
+               "Session.goto: unexpected crash at seed %d (%s) before \
+                position %d"
+               p msg i)
+  in
+  forward ()
+
+let vmread t f = Iris_hv.Access.vmread_raw (Replayer.ctx t.rep) f
+
+let reverse_continue_to ?access t prov f =
+  match Provenance.last_touch_before ?access prov f (position t) with
+  | None -> None
+  | Some touch ->
+      goto t touch.Provenance.t_index;
+      Some touch
+
+let seeds_forward t = t.seeds_forward
+
+let reverts t = t.reverts
+
+let finish t = Replayer.release_marks t.rep

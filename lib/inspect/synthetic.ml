@@ -1,0 +1,38 @@
+module F = Iris_vmcs.Field
+module Seed = Iris_core.Seed
+
+type kind = Crash_rip | Wrong_value
+
+let crash_rip_value = 0x0100_0000_0000_0000L
+
+let rewrite_first_rip ~kind (s : Seed.t) =
+  let done_ = ref false in
+  let reads =
+    List.map
+      (fun (f, v) ->
+        if (not !done_) && f = F.guest_rip then begin
+          done_ := true;
+          ( f,
+            match kind with
+            | Crash_rip -> crash_rip_value
+            | Wrong_value -> Int64.add v 0x40L )
+        end
+        else (f, v))
+      s.Seed.reads
+  in
+  if !done_ then Some { s with Seed.reads } else None
+
+let perturb ~kind ~at seeds =
+  let n = Array.length seeds in
+  let rec find i =
+    if i >= n then None
+    else
+      match rewrite_first_rip ~kind seeds.(i) with
+      | Some s ->
+          let out = Array.copy seeds in
+          out.(i) <- s;
+          Some (i, out)
+      | None -> find (i + 1)
+  in
+  if at < 0 then invalid_arg "Synthetic.perturb: negative index"
+  else find at

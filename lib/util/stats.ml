@@ -33,6 +33,24 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+type quantiles = {
+  q_n : int;
+  q_p50 : float;
+  q_p95 : float;
+  q_p99 : float;
+  q_max : float;
+}
+
+let quantiles xs =
+  if Array.length xs = 0 then None
+  else
+    Some
+      { q_n = Array.length xs;
+        q_p50 = percentile xs 50.0;
+        q_p95 = percentile xs 95.0;
+        q_p99 = percentile xs 99.0;
+        q_max = percentile xs 100.0 }
+
 type boxplot = {
   whisker_low : float;
   q1 : float;

@@ -19,6 +19,20 @@ val percentile : float array -> float -> float
 
 val median : float array -> float
 
+type quantiles = {
+  q_n : int;
+  q_p50 : float;
+  q_p95 : float;
+  q_p99 : float;
+  q_max : float;
+}
+(** The latency-summary tuple every consumer of a sample distribution
+    reports (handler service times, locator probe costs). *)
+
+val quantiles : float array -> quantiles option
+(** [None] on empty input; otherwise p50/p95/p99/max by the same
+    linear-interpolation rule as {!percentile}. *)
+
 type boxplot = {
   whisker_low : float;
   q1 : float;

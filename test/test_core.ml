@@ -275,6 +275,88 @@ let test_replay_accuracy_high () =
        acc.Analysis.record_curve;
      !ok)
 
+let test_accuracy_identical_traces () =
+  (* A trace compared against itself: no divergence, perfect fit. *)
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:200 in
+  let t = recording.Manager.trace in
+  let acc = Analysis.accuracy ~recorded:t ~replayed:t in
+  check (Alcotest.float 0.0) "0% divergent" 0.0 acc.Analysis.divergent_pct;
+  check (Alcotest.float 0.0) "100% coverage fit" 100.0 acc.Analysis.fitting_pct;
+  check (Alcotest.float 0.0) "100% vmwrite fit" 100.0
+    acc.Analysis.vmwrite_fit_pct;
+  let dv = acc.Analysis.divergence in
+  check Alcotest.int "all seeds compared" (Trace.length t)
+    dv.Analysis.dv_compared;
+  check Alcotest.bool "no first divergent exit" true
+    (dv.Analysis.dv_first = None);
+  check (Alcotest.float 0.0) "0% in the report" 0.0 dv.Analysis.dv_pct
+
+let test_accuracy_empty_traces () =
+  let empty =
+    { Trace.workload = "empty"; prng_seed = 0; seeds = [||]; metrics = [||];
+      wall_cycles = 0L }
+  in
+  let acc = Analysis.accuracy ~recorded:empty ~replayed:empty in
+  check (Alcotest.float 0.0) "0% divergent" 0.0 acc.Analysis.divergent_pct;
+  check Alcotest.int "nothing compared" 0
+    acc.Analysis.divergence.Analysis.dv_compared;
+  check Alcotest.bool "no divergence entry" true
+    (acc.Analysis.divergence.Analysis.dv_first = None);
+  check Alcotest.bool "no handler-time summary" true
+    (Analysis.handler_time_summary empty = None)
+
+let test_divergence_known_first_index () =
+  (* Hand-built metric pair with the first (and only) divergence
+     planted at index 3: the structured report must name exactly
+     it — the same predicate the lib/inspect locator is tested
+     against over a live replay. *)
+  let module Cov = Iris_coverage.Cov in
+  let module Comp = Iris_coverage.Component in
+  let span lo n =
+    List.fold_left
+      (fun s k -> Cov.Pset.add (Cov.point Comp.Vmx_c ((lo + k) * 16)) s)
+      Cov.Pset.empty
+      (List.init n (fun k -> k))
+  in
+  let mk cov = { Metrics.coverage = cov; writes = []; handler_cycles = 1L } in
+  let trace metrics =
+    { Trace.workload = "synthetic"; prng_seed = 0; seeds = [||]; metrics;
+      wall_cycles = 0L }
+  in
+  let base = Array.init 8 (fun _ -> mk (span 0 10)) in
+  let perturbed = Array.copy base in
+  (* 10 + 50 differing lines: far above the noise threshold. *)
+  perturbed.(3) <- mk (span 100 50);
+  (* A sub-threshold wobble at 5 must NOT count as divergence. *)
+  perturbed.(5) <- mk (span 0 15);
+  let dv =
+    Analysis.divergence ~recorded:(trace base) ~replayed:(trace perturbed) ()
+  in
+  check Alcotest.int "compared" 8 dv.Analysis.dv_compared;
+  (match dv.Analysis.dv_first with
+  | Some d ->
+      check Alcotest.int "first divergent index" 3 d.Analysis.d_index;
+      check Alcotest.int "differing lines" 60 d.Analysis.d_cov_lines;
+      check Alcotest.bool "not a write mismatch" false
+        d.Analysis.d_write_mismatch
+  | None -> Alcotest.fail "planted divergence not found");
+  check Alcotest.int "exactly one divergent seed" 1
+    (List.length dv.Analysis.dv_divergent);
+  check (Alcotest.float 0.01) "1/8 divergent" 12.5 dv.Analysis.dv_pct
+
+let test_handler_time_summary () =
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:200 in
+  match Analysis.handler_time_summary recording.Manager.trace with
+  | None -> Alcotest.fail "recorded trace must have handler times"
+  | Some q ->
+      let open Iris_util.Stats in
+      check Alcotest.int "one sample per exit" 200 q.q_n;
+      check Alcotest.bool "percentiles ordered" true
+        (q.q_p50 > 0.0 && q.q_p50 <= q.q_p95 && q.q_p95 <= q.q_p99
+        && q.q_p99 <= q.q_max)
+
 let test_replay_fresh_state_crashes_bad_rip () =
   (* §VI-B: replaying post-boot seeds on a never-booted dummy VM
      crashes with Xen's "bad RIP for mode 0". *)
@@ -502,6 +584,14 @@ let () =
           Alcotest.test_case "faster than real" `Slow
             test_replay_faster_than_real;
           Alcotest.test_case "accuracy" `Slow test_replay_accuracy_high;
+          Alcotest.test_case "accuracy: identical traces" `Slow
+            test_accuracy_identical_traces;
+          Alcotest.test_case "accuracy: empty traces" `Quick
+            test_accuracy_empty_traces;
+          Alcotest.test_case "divergence: known first index" `Quick
+            test_divergence_known_first_index;
+          Alcotest.test_case "handler time summary" `Slow
+            test_handler_time_summary;
           Alcotest.test_case "fresh state crashes (bad RIP)" `Slow
             test_replay_fresh_state_crashes_bad_rip;
           Alcotest.test_case "after boot succeeds" `Slow

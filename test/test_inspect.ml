@@ -1,0 +1,354 @@
+(* Tests for the time-travel trace inspector: replayer checkpointing,
+   field provenance, session travel, the divergence locator, and
+   crash bisection. *)
+
+module Manager = Iris_core.Manager
+module Trace = Iris_core.Trace
+module Replayer = Iris_core.Replayer
+module Analysis = Iris_core.Analysis
+module Seed = Iris_core.Seed
+module F = Iris_vmcs.Field
+module R = Iris_vtx.Exit_reason
+module W = Iris_guest.Workload
+module Prov = Iris_inspect.Provenance
+module Session = Iris_inspect.Session
+module Locator = Iris_inspect.Locator
+module Bisect = Iris_inspect.Bisect
+module Synthetic = Iris_inspect.Synthetic
+
+let check = Alcotest.check
+
+let exits = 320
+
+(* One recording + baseline replay shared by every test in the file:
+   replay determinism means the baseline replay trace is the perfect
+   reference — the only divergence is whatever a test plants. *)
+let cache =
+  lazy
+    (let m = Manager.create ~boot_scale:0.05 ~prng_seed:7 () in
+     let recording = Manager.record m W.Cpu_bound ~exits in
+     let baseline = Manager.replay m recording in
+     (match baseline.Manager.outcome with
+     | Replayer.Replayed -> ()
+     | Replayer.Vm_crashed msg -> failwith ("baseline replay crashed: " ^ msg));
+     (m, recording, baseline))
+
+let fresh_replayer () =
+  let m, recording, _ = Lazy.force cache in
+  Manager.make_dummy m ~revert_to:recording.Manager.snapshot ()
+
+let perturb ~kind ~at =
+  let _, recording, _ = Lazy.force cache in
+  match Synthetic.perturb ~kind ~at recording.Manager.trace.Trace.seeds with
+  | Some r -> r
+  | None -> Alcotest.fail "no guest-RIP-reading seed to perturb"
+
+let ground_truth seeds =
+  let m, recording, baseline = Lazy.force cache in
+  let truth =
+    Manager.replay_seeds m ~revert_to:recording.Manager.snapshot seeds
+  in
+  let crashed =
+    match truth.Manager.outcome with
+    | Replayer.Vm_crashed msg -> Some (truth.Manager.submitted, msg)
+    | Replayer.Replayed -> None
+  in
+  Analysis.divergence ?crashed
+    ~recorded:baseline.Manager.replay_trace
+    ~replayed:truth.Manager.replay_trace ()
+
+let first_of report =
+  Option.map
+    (fun d -> d.Locator.dg_index)
+    report.Locator.first_divergent
+
+(* --- replayer checkpointing --- *)
+
+let test_replayer_checkpoint_api () =
+  let _, recording, _ = Lazy.force cache in
+  let seeds = recording.Manager.trace.Trace.seeds in
+  let rep = fresh_replayer () in
+  Alcotest.check_raises "negative period rejected"
+    (Invalid_argument "Replayer.set_checkpoint_every: negative period")
+    (fun () -> Replayer.set_checkpoint_every rep (-1));
+  (try
+     ignore (Replayer.rewind_to rep 0);
+     Alcotest.fail "rewind without checkpoints must raise"
+   with Invalid_argument _ -> ());
+  Replayer.set_checkpoint_every rep 8;
+  check Alcotest.int "period" 8 (Replayer.checkpoint_every rep);
+  for i = 0 to 19 do
+    match Replayer.submit rep seeds.(i) with
+    | Replayer.Replayed -> ()
+    | Replayer.Vm_crashed msg -> Alcotest.fail ("unexpected crash: " ^ msg)
+  done;
+  check (Alcotest.list Alcotest.int) "marks before seeds 0/8/16" [ 0; 8; 16 ]
+    (Replayer.mark_indices rep);
+  let j, _ = Replayer.rewind_to rep 12 in
+  check Alcotest.int "rewound to the newest mark at or below 12" 8 j;
+  check Alcotest.int "submission counter follows" 8
+    (Replayer.seeds_submitted rep);
+  check (Alcotest.list Alcotest.int) "later marks discarded" [ 0; 8 ]
+    (Replayer.mark_indices rep);
+  (* Replay is deterministic after the rewind. *)
+  (match Replayer.submit rep seeds.(8) with
+  | Replayer.Replayed -> ()
+  | Replayer.Vm_crashed msg -> Alcotest.fail ("replay after rewind: " ^ msg));
+  Replayer.release_marks rep;
+  check Alcotest.int "all marks released" 0 (Replayer.outstanding_marks rep)
+
+let test_crash_releases_marks () =
+  (* The mark-leak fix: a crashed [submit_all] must not leave open
+     journals behind, or the next full revert of the domain raises on
+     stale state. *)
+  let _, recording, _ = Lazy.force cache in
+  let at, seeds = perturb ~kind:Synthetic.Crash_rip ~at:100 in
+  let rep = fresh_replayer () in
+  Replayer.set_checkpoint_every rep 16;
+  let i, outcome = Replayer.submit_all rep seeds in
+  (match outcome with
+  | Replayer.Vm_crashed _ -> ()
+  | Replayer.Replayed -> Alcotest.fail "perturbed replay must crash");
+  check Alcotest.int "crashed at the planted seed" at i;
+  check Alcotest.int "no outstanding marks after the crash" 0
+    (Replayer.outstanding_marks rep);
+  (* A full revert (arming the next run) must work: stale journals
+     would make it raise. *)
+  Iris_hv.Domain.revert
+    (Replayer.ctx rep).Iris_hv.Ctx.dom recording.Manager.snapshot;
+  check Alcotest.bool "revert cleared the crash" false
+    (Iris_hv.Domain.crashed (Replayer.ctx rep).Iris_hv.Ctx.dom)
+
+(* --- provenance --- *)
+
+let test_provenance_queries () =
+  let _, recording, _ = Lazy.force cache in
+  let trace = recording.Manager.trace in
+  let prov = Prov.build trace in
+  check Alcotest.int "seed count" exits (Prov.seed_count prov);
+  let touches = Prov.field_touches prov F.guest_rip in
+  check Alcotest.bool "RIP touched" true (touches <> []);
+  let ascending =
+    let rec ok = function
+      | a :: (b :: _ as rest) ->
+          a.Prov.t_index <= b.Prov.t_index && ok rest
+      | _ -> true
+    in
+    ok touches
+  in
+  check Alcotest.bool "touches ascending" true ascending;
+  (match Prov.first_touch prov F.guest_rip with
+  | Some t ->
+      check Alcotest.int "first touch is the earliest" t.Prov.t_index
+        (List.hd touches).Prov.t_index
+  | None -> Alcotest.fail "no first touch");
+  (* last_touch_before agrees with a brute-force scan. *)
+  let before = 100 in
+  let expected =
+    List.fold_left
+      (fun acc t -> if t.Prov.t_index < before then Some t else acc)
+      None touches
+  in
+  let got = Prov.last_touch_before prov F.guest_rip before in
+  check
+    (Alcotest.option Alcotest.int)
+    "last touch before 100"
+    (Option.map (fun t -> t.Prov.t_index) expected)
+    (Option.map (fun t -> t.Prov.t_index) got);
+  (* Write-only restriction: RIP advancement writes it every exit. *)
+  (match Prov.first_touch ~access:Prov.Write prov F.guest_rip with
+  | Some t -> check Alcotest.bool "write access" true (t.Prov.t_access = Prov.Write)
+  | None -> Alcotest.fail "RIP is written by advance_rip");
+  (* Unknown GPA range: empty, not an error. *)
+  check Alcotest.bool "gpa range empty" true
+    (Prov.gpa_touches prov ~lo:0xdead_0000L ~hi:0xdead_ffffL = [])
+
+(* --- session time travel --- *)
+
+let test_session_travel () =
+  let _, recording, _ = Lazy.force cache in
+  let trace = recording.Manager.trace in
+  let seeds = trace.Trace.seeds in
+  let rep = fresh_replayer () in
+  let session = Session.start ~every:32 ~replayer:rep ~seeds () in
+  check Alcotest.int "detection pass ran to the end" exits
+    (Session.position session);
+  check Alcotest.bool "no crash" true (Session.crashed_at session = None);
+  Session.goto session 100;
+  check Alcotest.int "backward goto" 100 (Session.position session);
+  (* At the boundary before seed 100 the VMCS RIP is whatever seed
+     99's handler wrote last — which replay fidelity pins to the
+     recorded write. *)
+  let last_rip_write m =
+    List.fold_left
+      (fun acc (f, v) -> if f = F.guest_rip then Some v else acc)
+      None
+      (Iris_core.Metrics.guest_state_writes m)
+  in
+  (match last_rip_write trace.Trace.metrics.(99) with
+  | Some recorded_rip ->
+      check Alcotest.int64 "time-travelled RIP matches the recording"
+        recorded_rip
+        (Session.vmread session F.guest_rip)
+  | None -> ());
+  let rip_at_100 = Session.vmread session F.guest_rip in
+  Session.goto session 37;
+  check Alcotest.int "second rewind" 37 (Session.position session);
+  (* Travelling away and back reproduces the exact machine state. *)
+  Session.goto session 100;
+  check Alcotest.int64 "revisited position is bit-identical" rip_at_100
+    (Session.vmread session F.guest_rip);
+  Session.goto session 37;
+  Session.goto session 39;
+  check Alcotest.int "forward replay" 39 (Session.position session);
+  (* reverse-continue: every CPU-bound exit advances RIP, so the last
+     touch before 39 is exit 38. *)
+  let prov = Prov.build trace in
+  (match Session.reverse_continue_to session prov F.guest_rip with
+  | Some t ->
+      check Alcotest.int "reverse-continue target" 38 t.Prov.t_index;
+      check Alcotest.int "moved to the touching exit" 38
+        (Session.position session)
+  | None -> Alcotest.fail "RIP must have a touch before 39");
+  check Alcotest.bool "rewinds counted" true (Session.reverts session >= 2);
+  check Alcotest.bool "forward work counted" true
+    (Session.seeds_forward session > exits);
+  (try
+     Session.goto session (exits + 1);
+     Alcotest.fail "goto beyond the trace must raise"
+   with Invalid_argument _ -> ());
+  Session.finish session;
+  check Alcotest.int "finish releases the marks" 0
+    (Replayer.outstanding_marks rep)
+
+(* --- locator --- *)
+
+let run_locator ?(every = 32) ?thorough seeds =
+  let _, _, baseline = Lazy.force cache in
+  let rep = fresh_replayer () in
+  let session = Session.start ~every ~replayer:rep ~seeds () in
+  let report =
+    Locator.locate ?thorough session
+      ~reference:baseline.Manager.replay_trace
+  in
+  Session.finish session;
+  report
+
+let test_locator_identical_traces () =
+  let _, recording, _ = Lazy.force cache in
+  let report = run_locator recording.Manager.trace.Trace.seeds in
+  check (Alcotest.option Alcotest.int) "no divergence" None (first_of report);
+  check Alcotest.bool "no crash" true (report.Locator.crashed_at = None)
+
+let test_locator_finds_planted_crash () =
+  let at, seeds = perturb ~kind:Synthetic.Crash_rip ~at:200 in
+  (* The locator must agree with the linear instrumented ground
+     truth, and both with the planted index. *)
+  let dv = ground_truth seeds in
+  check
+    (Alcotest.option Alcotest.int)
+    "ground truth sees the planted index" (Some at)
+    (Option.map (fun d -> d.Analysis.d_index) dv.Analysis.dv_first);
+  let report = run_locator seeds in
+  check (Alcotest.option Alcotest.int) "locator agrees" (Some at)
+    (first_of report);
+  (match report.Locator.first_divergent with
+  | Some d ->
+      check Alcotest.bool "crash attributed" true (d.Locator.dg_crashed <> None)
+  | None -> ());
+  (* The whole point: far fewer instrumented seeds than the linear
+     sweep. *)
+  check Alcotest.bool "cheaper than linear" true
+    (report.Locator.seeds_instrumented * 2 < report.Locator.linear_seeds);
+  check Alcotest.bool "rewinds happened" true (report.Locator.reverts >= 1)
+
+let test_locator_finds_transient_divergence () =
+  (* Wrong_value: a one-seed VMWRITE mismatch that the next seed's
+     injection heals — no crash, no coverage delta, located purely
+     through the metrics probes. *)
+  let at, seeds = perturb ~kind:Synthetic.Wrong_value ~at:150 in
+  let dv = ground_truth seeds in
+  check
+    (Alcotest.option Alcotest.int)
+    "ground truth" (Some at)
+    (Option.map (fun d -> d.Analysis.d_index) dv.Analysis.dv_first);
+  (match dv.Analysis.dv_first with
+  | Some d ->
+      check Alcotest.bool "write mismatch, not coverage" true
+        d.Analysis.d_write_mismatch
+  | None -> ());
+  let report = run_locator seeds in
+  check (Alcotest.option Alcotest.int) "locator agrees" (Some at)
+    (first_of report);
+  (match report.Locator.first_divergent with
+  | Some d ->
+      check Alcotest.bool "field delta reported" true
+        (d.Locator.dg_write_deltas <> [])
+  | None -> ());
+  (* Thorough scan reaches the same answer. *)
+  let thorough = run_locator ~thorough:true seeds in
+  check (Alcotest.option Alcotest.int) "thorough agrees" (Some at)
+    (first_of thorough)
+
+(* --- bisection --- *)
+
+let test_bisect_minimizes_and_is_deterministic () =
+  let at, seeds = perturb ~kind:Synthetic.Crash_rip ~at:120 in
+  let prefix = Array.sub seeds 0 at in
+  let crasher = seeds.(at) in
+  match Bisect.minimize ~make_replayer:fresh_replayer ~prefix ~crasher with
+  | None -> Alcotest.fail "planted crash must reproduce"
+  | Some b ->
+      (* A non-canonical RIP kills the VM with no context at all, so
+         the whole prefix is droppable. *)
+      check Alcotest.int "context-free crash drops the whole prefix" at
+        b.Bisect.b_suffix_start;
+      check Alcotest.int "one-seed reproducer" 1
+        (Array.length b.Bisect.b_seeds);
+      check Alcotest.bool "crash message kept" true (b.Bisect.b_crash_msg <> "");
+      check Alcotest.bool "bounded attempts" true
+        (b.Bisect.b_attempts <= 2 + 8 (* log2 120 *) + 2);
+      check Alcotest.bool "digests stable across two replays" true
+        b.Bisect.b_deterministic;
+      check Alcotest.int "hex digest" 32 (String.length b.Bisect.b_digest);
+      (* The reproducer round-trips through the trace format. *)
+      let t = Bisect.to_trace b in
+      (match Trace.decode (Trace.encode t) with
+      | Ok t' ->
+          check Alcotest.int "reproducer trace roundtrip" 1 (Trace.length t')
+      | Error e -> Alcotest.fail e)
+
+let test_bisect_rejects_flaky () =
+  (* A crasher that does not crash: minimize must return None rather
+     than fabricate a reproducer. *)
+  let _, recording, _ = Lazy.force cache in
+  let seeds = recording.Manager.trace.Trace.seeds in
+  let prefix = Array.sub seeds 0 10 in
+  check Alcotest.bool "clean seed is not a repro" true
+    (Bisect.minimize ~make_replayer:fresh_replayer ~prefix ~crasher:seeds.(10)
+    = None)
+
+let () =
+  Alcotest.run "iris-inspect"
+    [ ( "replayer-checkpoints",
+        [ Alcotest.test_case "checkpoint API" `Slow
+            test_replayer_checkpoint_api;
+          Alcotest.test_case "crash releases marks" `Slow
+            test_crash_releases_marks ] );
+      ( "provenance",
+        [ Alcotest.test_case "queries" `Slow test_provenance_queries ] );
+      ( "session",
+        [ Alcotest.test_case "time travel" `Slow test_session_travel ] );
+      ( "locator",
+        [ Alcotest.test_case "identical traces" `Slow
+            test_locator_identical_traces;
+          Alcotest.test_case "planted crash" `Slow
+            test_locator_finds_planted_crash;
+          Alcotest.test_case "transient divergence" `Slow
+            test_locator_finds_transient_divergence ] );
+      ( "bisect",
+        [ Alcotest.test_case "minimize + determinism" `Slow
+            test_bisect_minimizes_and_is_deterministic;
+          Alcotest.test_case "flaky rejected" `Slow test_bisect_rejects_flaky
+        ] )
+    ]

@@ -194,6 +194,25 @@ let test_stats_sign_test () =
   check Alcotest.bool "consistent difference significant" true
     (Stats.sign_test_p big small < 0.05)
 
+let test_stats_quantiles () =
+  check Alcotest.bool "empty gives None" true (Stats.quantiles [||] = None);
+  (* 1..100: every percentile is directly readable. *)
+  let xs = Array.init 100 (fun i -> float_of_int (100 - i)) in
+  match Stats.quantiles xs with
+  | None -> Alcotest.fail "non-empty sample"
+  | Some q ->
+      check Alcotest.int "n" 100 q.Stats.q_n;
+      check (Alcotest.float 1e-9) "p50" (Stats.percentile xs 50.0)
+        q.Stats.q_p50;
+      check (Alcotest.float 1e-9) "p95" (Stats.percentile xs 95.0)
+        q.Stats.q_p95;
+      check (Alcotest.float 1e-9) "p99" (Stats.percentile xs 99.0)
+        q.Stats.q_p99;
+      check (Alcotest.float 1e-9) "max" 100.0 q.Stats.q_max;
+      check Alcotest.bool "ordered" true
+        (q.Stats.q_p50 <= q.Stats.q_p95 && q.Stats.q_p95 <= q.Stats.q_p99
+        && q.Stats.q_p99 <= q.Stats.q_max)
+
 let test_stats_pct_change () =
   check (Alcotest.float 1e-9) "increase" 50.0 (Stats.pct_change 2.0 3.0);
   check (Alcotest.float 1e-9) "decrease" (-50.0) (Stats.pct_change 2.0 1.0)
@@ -302,6 +321,7 @@ let () =
             test_stats_median_percentile;
           Alcotest.test_case "boxplot outliers" `Quick test_stats_boxplot;
           Alcotest.test_case "sign test" `Quick test_stats_sign_test;
+          Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
           Alcotest.test_case "pct change" `Quick test_stats_pct_change ] );
       ( "textplot",
         [ Alcotest.test_case "renders" `Quick test_textplot_renders ] );
