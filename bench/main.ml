@@ -1278,6 +1278,81 @@ let inspect_bench () =
   Report.put_f "inspect.savings_x" savings
 
 (* ------------------------------------------------------------------ *)
+(* Diff: VT-x vs SVM cross-backend oracle                             *)
+(* ------------------------------------------------------------------ *)
+
+let diff_bench () =
+  section "Diff: VT-x vs SVM differential oracle";
+  let module Dc = Iris_differential.Diffcampaign in
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  (* Unperturbed zero-false-positive gate on the two extreme
+     workloads — CPU-bound (densest comparable set) and OS boot (the
+     mode-changing trace that punishes any anchoring shortcut) — plus
+     the determinism contract: the merged divergence report is
+     byte-identical across job counts. *)
+  List.iter
+    (fun (w, key) ->
+      let m = mgr () in
+      let recording = Manager.record m w ~exits:1_200 in
+      let runs =
+        List.map (fun jobs -> (jobs, Orch.diff_sweep ~jobs ~recording ()))
+          [ 1; 4 ]
+      in
+      let base = (List.assoc 1 runs).Orch.diff_report in
+      Printf.printf
+        "%-10s %d seeds: %d comparable (%d agree), %d lossy, %d findings\n"
+        (W.name w) base.Dc.total base.Dc.comparable base.Dc.agreements
+        base.Dc.lossy
+        (List.length base.Dc.findings);
+      List.iter
+        (fun (jobs, o) ->
+          if digest o.Orch.diff_report <> digest base then
+            failwith
+              (Printf.sprintf
+                 "DETERMINISM VIOLATION: jobs=%d divergence report differs \
+                  from jobs=1 on %s"
+                 jobs (W.name w)))
+        runs;
+      if base.Dc.findings <> [] then
+        failwith
+          (Printf.sprintf
+             "DIFF FALSE POSITIVE: %d findings on unperturbed %s (expected 0)"
+             (List.length base.Dc.findings)
+             (W.name w));
+      Report.put_i ("diff." ^ key ^ ".comparable") base.Dc.comparable;
+      Report.put_i ("diff." ^ key ^ ".lossy") base.Dc.lossy;
+      Report.put_i ("diff." ^ key ^ ".findings")
+        (List.length base.Dc.findings))
+    [ (W.Cpu_bound, "cpu_bound"); (W.Os_boot, "os_boot") ];
+  (* Planted asymmetries: every intentional SVM-side divergence must
+     surface, and nothing else — the ground-truth index set is
+     computed SVM-vs-SVM with no VT-x involvement, so the gate is
+     exact set equality, not a count. *)
+  let m = mgr () in
+  let recording = Manager.record m W.Cpu_bound ~exits:1_200 in
+  List.iter
+    (fun plant ->
+      let name = Iris_svm.Machine.asymmetry_name plant in
+      let expected = Dc.expected_planted ~plant recording.Manager.trace in
+      let o = Orch.diff_sweep ~jobs:4 ~plant ~recording () in
+      let detected = Dc.finding_indices o.Orch.diff_report in
+      Printf.printf "plant %-16s ground truth %d, detected %d\n" name
+        (List.length expected) (List.length detected);
+      if detected <> expected then
+        failwith
+          (Printf.sprintf
+             "DIFF PLANT GATE: %s ground truth %d findings, detected %d"
+             name (List.length expected) (List.length detected));
+      Report.put_i ("diff.plant." ^ name ^ ".findings")
+        (List.length detected))
+    Iris_svm.Machine.all_asymmetries;
+  Report.put_i "diff.deterministic" 1;
+  Report.put_i "diff.plants_exact" 1;
+  Printf.printf
+    "\nzero unperturbed findings, merged reports byte-identical across jobs \
+     1/4, all plants detected exactly\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1347,7 +1422,8 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-shim", ablation_shim); ("ablation-timer", ablation_timer);
     ("ablation-coverage", ablation_coverage); ("batch", batch);
     ("guided", guided); ("portability", portability); ("scaling", scaling);
-    ("revert", revert_bench); ("inspect", inspect_bench); ("micro", micro) ]
+    ("revert", revert_bench); ("inspect", inspect_bench);
+    ("diff", diff_bench); ("micro", micro) ]
 
 let report_path = "BENCH_iris.json"
 

@@ -901,6 +901,129 @@ let port_cmd =
        ~doc:"Report how much of a recorded trace ports to AMD SVM (§IX).")
     Term.(const run $ file)
 
+(* --- diff --- *)
+
+let diff_cmd =
+  let module Diffc = Iris_differential.Diffcampaign in
+  let module Machine = Iris_svm.Machine in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains to shard the differential sweep across.")
+  in
+  let plant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plant" ] ~docv:"KIND"
+          ~doc:
+            "Plant an intentional SVM-side asymmetry and gate the detector \
+             against ground truth (the finding set of an SVM-vs-SVM diff). \
+             KIND is next-rip-skew, cpuid-ecx-flip, rflags-cf-flip, \
+             reject-asid, or 'all'.")
+  in
+  let run workload exits prng_seed boot_scale jobs plant trace_out metrics =
+    let plants =
+      match plant with
+      | None -> Ok None
+      | Some "all" -> Ok (Some Machine.all_asymmetries)
+      | Some name -> (
+          match Machine.asymmetry_of_name name with
+          | Some k -> Ok (Some [ k ])
+          | None ->
+              Error
+                (Printf.sprintf "unknown asymmetry %S (try: %s, all)" name
+                   (String.concat ", "
+                      (List.map Machine.asymmetry_name
+                         Machine.all_asymmetries))))
+    in
+    match plants with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok plants ->
+        let mgr = Manager.create ~boot_scale ~prng_seed () in
+        Printf.printf "recording %d exits of %s (seed %d)...\n%!" exits
+          (W.name workload) prng_seed;
+        let recording = Manager.record mgr workload ~exits in
+        let trace = recording.Manager.trace in
+        let merged_hub = T.Hub.create () in
+        let failed = ref false in
+        let sweep ?plant () =
+          let outcome = Orch.diff_sweep ~jobs ?plant ~recording () in
+          T.Hub.merge_into ~into:merged_hub
+            outcome.Orch.diff_run.Orch.r_hub;
+          Format.printf "%a@." Diffc.pp_report outcome.Orch.diff_report;
+          if jobs > 1 then
+            print_string (Orch.render_workers outcome.Orch.diff_run);
+          outcome
+        in
+        (match plants with
+        | None ->
+            let outcome = sweep () in
+            let r = outcome.Orch.diff_report in
+            if r.Diffc.findings <> [] then begin
+              Printf.eprintf
+                "unperturbed backends disagree on %d cases (expected 0)\n"
+                (List.length r.Diffc.findings);
+              failed := true
+            end
+            else
+              Printf.printf
+                "backends agree on all %d comparable cases (%d lossy)\n"
+                r.Diffc.comparable r.Diffc.lossy
+        | Some kinds ->
+            List.iter
+              (fun kind ->
+                let expected = Diffc.expected_planted ~plant:kind trace in
+                let outcome = sweep ~plant:kind () in
+                let detected =
+                  Diffc.finding_indices outcome.Orch.diff_report
+                in
+                Printf.printf "plant %s: ground truth %d, detected %d -> "
+                  (Machine.asymmetry_name kind)
+                  (List.length expected) (List.length detected);
+                if detected = expected then Printf.printf "exact match\n"
+                else begin
+                  Printf.printf "MISMATCH\n";
+                  let missed =
+                    List.filter (fun i -> not (List.mem i detected)) expected
+                  and spurious =
+                    List.filter (fun i -> not (List.mem i expected)) detected
+                  in
+                  if missed <> [] then
+                    Printf.eprintf "  missed: %s\n"
+                      (String.concat " " (List.map string_of_int missed));
+                  if spurious <> [] then
+                    Printf.eprintf "  spurious: %s\n"
+                      (String.concat " " (List.map string_of_int spurious));
+                  failed := true
+                end)
+              kinds);
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+            T.Export.write_file ~path
+              (T.Export.chrome_trace_string ~process_name:"iris-diff"
+                 merged_hub.T.Hub.tracer);
+            Printf.printf "chrome trace written to %s\n" path);
+        if metrics then
+          print_string (T.Hub.summary ~title:"differential" merged_hub);
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differential fuzzing oracle: replay a recorded trace on both the \
+          VT-x and SVM substrates and treat any normalized-verdict \
+          disagreement as a finding; with --plant, gate the detector \
+          against planted ground truth.")
+    Term.(
+      const run $ workload $ exits $ prng_seed $ boot_scale $ jobs $ plant
+      $ trace_out $ metrics_flag)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -910,5 +1033,5 @@ let () =
              ~doc:
                "Record and replay of hardware-assisted virtualization \
                 behaviors (IRIS, DSN'23) on a simulated Xen/VT-x substrate.")
-          [ record_cmd; replay_cmd; fuzz_cmd; inspect_cmd; bisect_cmd;
+          [ record_cmd; replay_cmd; fuzz_cmd; diff_cmd; inspect_cmd; bisect_cmd;
             stats_cmd; info_cmd; port_cmd ]))

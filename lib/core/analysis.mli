@@ -109,3 +109,15 @@ val handler_time_summary : Trace.t -> Iris_util.Stats.quantiles option
 val ideal_throughput_exits_per_sec : float
 (** Throughput of an empty preemption-timer exit/entry loop under the
     cost model (the paper's ~50 K exits/s upper bound). *)
+
+val note_backend_divergence :
+  hub:Iris_telemetry.Hub.t ->
+  total:int ->
+  comparable:int ->
+  lossy:int ->
+  findings:(int * string * string) list ->
+  unit
+(** Export a cross-backend differential report ([lib/differential])
+    through telemetry: [diff.cases_total]/[comparable]/[lossy]/
+    [findings] counters plus a ["backend-divergence"] trace instant
+    per finding ([(seed index, exit-reason name, finding kind)]). *)

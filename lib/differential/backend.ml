@@ -1,0 +1,94 @@
+(* The backend abstraction: one packed value per substrate that can
+   run a comparable case and report a normalized observation.
+
+   Neither instance reverts between cases.  The VT-x side *walks* the
+   recorded trace — each seed submits at its true predecessor state
+   S_i, because the VM-entry checks consult guest state beyond what a
+   seed carries (the §VI-B "bad RIP for mode 0" lesson: a post-boot
+   seed against a pre-boot VMCS fails entry).  The SVM machine resets
+   itself at the top of every [vmrun] instead: its entire comparable
+   state is injected from the seed, so it has no notion of trace
+   position. *)
+
+module Gpr = Iris_x86.Gpr
+module Seed = Iris_core.Seed
+module Replayer = Iris_core.Replayer
+module Ctx = Iris_hv.Ctx
+module Access = Iris_hv.Access
+module Cov = Iris_coverage.Cov
+module Vmcb = Iris_svm.Vmcb
+module Port = Iris_svm.Port
+module Machine = Iris_svm.Machine
+
+type t = {
+  name : string;
+  run_case : Seed.t -> Port.translated -> Normalize.probe -> Normalize.observation;
+}
+
+type observation = Normalize.observation
+
+let name t = t.name
+let run_case t seed tr probe = t.run_case seed tr probe
+
+(* --- VT-x: the recorded substrate, driven through the replayer --- *)
+
+let vtx ~replayer =
+  let ctx = Replayer.ctx replayer in
+  let run_case seed _tr (probe : Normalize.probe) =
+    Cov.span_begin ctx.Ctx.cov;
+    let crash =
+      match Replayer.submit replayer seed with
+      | Replayer.Replayed -> None
+      | Replayer.Vm_crashed msg -> Some msg
+      | exception Ctx.Hypervisor_panic msg ->
+          Some ("hypervisor panic: " ^ msg)
+    in
+    let span = Cov.span_end ctx.Ctx.cov in
+    {
+      Normalize.o_crash = crash;
+      o_slots =
+        List.map
+          (fun (f, slot) -> (Vmcb.name slot, Access.vmread_raw ctx f))
+          probe.Normalize.p_slots;
+      o_gprs =
+        List.map
+          (fun r -> (Gpr.name r, Gpr.get (Ctx.regs ctx) r))
+          probe.Normalize.p_gprs;
+      o_components =
+        Normalize.normalize_components
+          (List.map fst (Cov.by_component span));
+    }
+  in
+  { name = "vtx"; run_case }
+
+(* --- SVM: the ported substrate, driven through the VMCB machine --- *)
+
+let svm ?plant ?mem_pages () =
+  let m = Machine.boot ?plant ?mem_pages () in
+  let run_case _seed tr (probe : Normalize.probe) =
+    Machine.reset m;
+    let crash =
+      match Machine.vmrun m tr with
+      | Machine.Ran -> None
+      | Machine.Crashed msg -> Some msg
+    in
+    {
+      Normalize.o_crash = crash;
+      o_slots =
+        List.map
+          (fun (_, slot) -> (Vmcb.name slot, Machine.read_field m slot))
+          probe.Normalize.p_slots;
+      o_gprs =
+        List.map
+          (fun r -> (Gpr.name r, Machine.get_gpr m r))
+          probe.Normalize.p_gprs;
+      o_components =
+        Normalize.normalize_components (Machine.touched_components m);
+    }
+  in
+  let name =
+    match plant with
+    | None -> "svm"
+    | Some a -> "svm+" ^ Machine.asymmetry_name a
+  in
+  { name; run_case }

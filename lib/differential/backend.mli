@@ -1,0 +1,35 @@
+(** The backend abstraction: a packed substrate instance that can run
+    one comparable case and report a normalized observation.
+
+    Instances do not revert between cases — the VT-x side walks the
+    recorded trace in order so every seed executes at its true
+    predecessor state (the §VI-B "bad RIP for mode 0" lesson), and
+    the SVM machine resets itself at the top of each [vmrun]. *)
+
+type t
+
+type observation = Normalize.observation
+
+val name : t -> string
+
+val run_case :
+  t ->
+  Iris_core.Seed.t ->
+  Iris_svm.Port.translated ->
+  Normalize.probe ->
+  Normalize.observation
+(** Execute one case and observe the probe. *)
+
+val vtx : replayer:Iris_core.Replayer.t -> t
+(** The recorded substrate: submits through the replayer (VMREAD shim
+    + entry checks), observes via uninstrumented [Access.vmread_raw]
+    and the saved register file.  The caller owns trace position:
+    submit seeds in recorded order and revert between sweeps. *)
+
+val svm :
+  ?plant:Iris_svm.Machine.asymmetry -> ?mem_pages:int64 -> unit -> t
+(** The ported substrate: an [Iris_svm.Machine] booted once and reset
+    per case; cases inject [Port.translate]d seeds.  [plant]
+    introduces an intentional asymmetry (detector ground truth);
+    [mem_pages] should match the VT-x dummy's guest RAM so the
+    memory_op hypercall agrees. *)

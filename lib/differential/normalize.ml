@@ -1,0 +1,252 @@
+(* Verdict normalization: decide what is comparable across the VT-x
+   and SVM substrates and what to observe after a case.
+
+   The whole oracle's zero-false-positive property is built here.  A
+   recorded seed is compared only when its translation is exact
+   ([Port.translate] dropped nothing, the exit reason has an SVM
+   counterpart, and the handler family is modeled on the VMCB
+   substrate), and the post-case state digest is restricted to what
+   the seed itself constrains: Save-area VMCB slots the seed injected
+   and the GPRs it carried, minus per-family clobbers whose values
+   are legitimately backend-local (time-stamp counters, device reads).
+   Everything else — VT-x shadow state, control-area noise, baseline
+   state the seed never mentioned — is out of the digest domain, so a
+   backend disagreement there can never surface as a finding. *)
+
+module F = Iris_vmcs.Field
+module Comp = Iris_coverage.Component
+module Gpr = Iris_x86.Gpr
+module Seed = Iris_core.Seed
+module Vmcb = Iris_svm.Vmcb
+module Port = Iris_svm.Port
+module E = Iris_svm.Exitcode
+module Q = Iris_vtx.Exit_qual
+
+(* Components whose coverage is attributable to the dispatched
+   handler alone.  The harness-side components (exit plumbing, VMCS
+   maintenance, interrupt/timer/APIC scaffolding) fire differently on
+   the two substrates by construction — SVM has no VMREAD shim, no
+   entry-time interrupt assist — so they are masked out of the
+   comparison, exactly as the paper filters its own instrumentation
+   (Iris_c) out of coverage reports. *)
+let comparable_component = function
+  | Comp.Hvm_c | Comp.Emulate_c | Comp.Io_c | Comp.Msr_c | Comp.Cpuid_c
+  | Comp.Realmode_c | Comp.Ept_c | Comp.Hypercall_c ->
+      true
+  | Comp.Vmx_c | Comp.Vmcs_c | Comp.Intr_c | Comp.Irq_c | Comp.Vlapic_c
+  | Comp.Vpt_c | Comp.Iris_c ->
+      false
+
+(* What to read back after the case: (source VMCS field, VMCB slot)
+   pairs — the VT-x side reads the field, the SVM side the slot — and
+   the surviving GPRs. *)
+type probe = {
+  p_slots : (F.t * Vmcb.field) list;
+  p_gprs : Gpr.reg list;
+}
+
+(* One backend's normalized post-case view.  Note what is absent: the
+   [blocked] flag.  The replayer deliberately clears it after every
+   handler ("the dummy vCPU is never allowed to block", §IV-B), so on
+   the VT-x substrate it is harness-suppressed state, not a replay
+   observable; a blocking-policy asymmetry still surfaces through the
+   crash channel (HLT with IF clear kills the guest on both). *)
+type observation = {
+  o_crash : string option;
+  o_slots : (string * int64) list;  (* slot name, value; probe order *)
+  o_gprs : (string * int64) list;
+  o_components : string list;       (* in-mask components, sorted *)
+}
+
+let first_slot_value (tr : Port.translated) slot =
+  List.find_map
+    (fun w -> if w.Port.field = slot then Some w.Port.value else None)
+    tr.Port.writes
+
+(* GPRs whose post-case value is legitimately backend-local. *)
+let gpr_clobbers (tr : Port.translated) =
+  match tr.Port.exitcode with
+  | Some E.Vmexit_rdtsc -> [ Gpr.Rax; Gpr.Rdx ]
+  | Some E.Vmexit_rdtscp -> [ Gpr.Rax; Gpr.Rcx; Gpr.Rdx ]
+  | Some E.Vmexit_ioio -> (
+      match first_slot_value tr Vmcb.exitinfo1 with
+      | Some qual -> (
+          match Q.decode_io qual with
+          | Some { Q.direction = Q.Io_in; _ } -> [ Gpr.Rax ]
+          | _ -> [])
+      | None -> [])
+  | Some (E.Vmexit_cr_read _ | E.Vmexit_cr_write _) -> (
+      match first_slot_value tr Vmcb.exitinfo1 with
+      | Some qual -> (
+          match Q.decode_cr qual with
+          | Some { Q.access = Q.Mov_from_cr; cr = 8; gpr } -> [ gpr ]
+          | _ -> [])
+      | None -> [])
+  | _ -> []
+
+(* Exit families the SVM machine does not model: their handlers
+   consume VT-x-only exit information (interruption info, MSR access
+   direction) or state outside the seed (guest memory for the
+   instruction emulator).  Most of these are *also* caught by the
+   dropped-fields check — the classification here is the explicit,
+   auditable list. *)
+let family_modeled (tr : Port.translated) =
+  match tr.Port.exitcode with
+  | None -> Error "exit reason has no SVM counterpart"
+  | Some code -> (
+      match code with
+      | E.Vmexit_msr ->
+          Error "MSR access direction is VT-x-only exit information"
+      | E.Vmexit_excp _ ->
+          Error "exception vector lives in the VT-x interruption info"
+      | E.Vmexit_intr | E.Vmexit_nmi | E.Vmexit_vintr ->
+          Error "interrupt delivery depends on VT-x-only pending state"
+      | E.Vmexit_ioio -> (
+          match first_slot_value tr Vmcb.exitinfo1 with
+          | None -> Error "I/O qualification was not recorded"
+          | Some qual -> (
+              match Q.decode_io qual with
+              | None -> Error "undecodable I/O qualification"
+              | Some { Q.string_op = true; _ } ->
+                  Error "string I/O needs the instruction emulator"
+              | Some _ -> Ok ()))
+      | E.Vmexit_npf -> (
+          match first_slot_value tr Vmcb.exitinfo2 with
+          | None -> Error "faulting GPA was not recorded"
+          | Some gpa ->
+              if
+                Iris_hv.Vlapic.in_range gpa
+                || (gpa >= Iris_hv.Domain.mmio_bar_base
+                    && gpa
+                       < Int64.add Iris_hv.Domain.mmio_bar_base
+                           Iris_hv.Domain.mmio_bar_size)
+              then Error "MMIO emulation needs guest memory"
+              else Ok ())
+      | E.Vmexit_cr_read _ | E.Vmexit_cr_write _ -> (
+          match first_slot_value tr Vmcb.exitinfo1 with
+          | None -> Error "CR qualification was not recorded"
+          | Some qual -> (
+              match Q.decode_cr qual with
+              | None -> Error "undecodable CR qualification"
+              | Some { Q.access = Q.Mov_to_cr; cr = 0 | 4; _ } ->
+                  Error "CR0/CR4 writes read the VT-x CR shadows"
+              | Some { Q.access = Q.Clts_op | Q.Lmsw_op; _ } ->
+                  Error "CLTS/LMSW read the VT-x CR0 shadow"
+              | Some { Q.access = Q.Mov_to_cr; cr = 3 | 8; _ }
+              | Some { Q.access = Q.Mov_from_cr; cr = 3 | 8; _ } ->
+                  Ok ()
+              | Some _ -> Error "CR access outside the modeled set"))
+      | _ -> Ok ())
+
+(* First-wins vs last-wins hazard: the VT-x replayer injects writable
+   reads with the *first* occurrence winning, while [Port.apply]
+   stores in seed order (last wins), and two distinct VMCS fields can
+   share a VMCB slot.  Comparable only when every duplicate agrees. *)
+let inconsistent_slot (tr : Port.translated) =
+  let seen = Hashtbl.create 8 in
+  List.find_map
+    (fun w ->
+      match Hashtbl.find_opt seen w.Port.field with
+      | Some v when v <> w.Port.value -> Some (Vmcb.name w.Port.field)
+      | Some _ -> None
+      | None ->
+          Hashtbl.add seen w.Port.field w.Port.value;
+          None)
+    tr.Port.writes
+
+type case_class =
+  | Comparable of Port.translated * probe
+  | Untranslatable of string
+      (** lossy: expected, never a finding *)
+
+let probe_of (seed : Seed.t) (tr : Port.translated) =
+  let seen = Hashtbl.create 16 in
+  let slots =
+    List.filter_map
+      (fun (f, _) ->
+        match Port.map_field f with
+        | Some slot
+          when Vmcb.area slot = Vmcb.Save && not (Hashtbl.mem seen slot) ->
+            Hashtbl.add seen slot ();
+            Some (f, slot)
+        | _ -> None)
+      seed.Seed.reads
+  in
+  let clobbered = gpr_clobbers tr in
+  let gprs =
+    List.filter
+      (fun r -> not (List.mem r clobbered))
+      (List.sort_uniq compare (Gpr.Rax :: List.map fst seed.Seed.gprs))
+  in
+  { p_slots = slots; p_gprs = gprs }
+
+let classify (seed : Seed.t) =
+  let tr = Port.translate seed in
+  if tr.Port.dropped <> [] then
+    Untranslatable
+      (let d = List.hd tr.Port.dropped in
+       Printf.sprintf "%s: %s"
+         (F.name d.Port.vmcs_field)
+         d.Port.reason)
+  else
+    match family_modeled tr with
+    | Error reason -> Untranslatable reason
+    | Ok () -> (
+        match inconsistent_slot tr with
+        | Some slot ->
+            Untranslatable
+              (Printf.sprintf
+                 "inconsistent duplicate values injected into %s" slot)
+        | None -> Comparable (tr, probe_of seed tr))
+
+let normalize_components comps =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun c -> if comparable_component c then Some (Comp.name c) else None)
+       comps)
+
+(* First difference between two non-crashed observations, as a human
+   line; [None] means the backends agree. *)
+let first_difference a b =
+    let slot_diff =
+      List.find_map
+        (fun ((n, va), (_, vb)) ->
+          if va <> vb then
+            Some (Printf.sprintf "%s: 0x%Lx vs 0x%Lx" n va vb)
+          else None)
+        (List.combine a.o_slots b.o_slots)
+    in
+    match slot_diff with
+    | Some d -> Some d
+    | None -> (
+        let gpr_diff =
+          List.find_map
+            (fun ((n, va), (_, vb)) ->
+              if va <> vb then
+                Some (Printf.sprintf "%s: 0x%Lx vs 0x%Lx" n va vb)
+              else None)
+            (List.combine a.o_gprs b.o_gprs)
+        in
+        match gpr_diff with
+        | Some d -> Some d
+        | None ->
+            if a.o_components <> b.o_components then
+              Some
+                (Printf.sprintf "components: [%s] vs [%s]"
+                   (String.concat " " a.o_components)
+                   (String.concat " " b.o_components))
+            else None)
+
+let digest obs =
+  let buf = Buffer.create 128 in
+  (match obs.o_crash with
+  | Some m -> Buffer.add_string buf ("crash=" ^ m ^ ";")
+  | None -> ());
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s=%Lx;" n v))
+    obs.o_slots;
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s=%Lx;" n v))
+    obs.o_gprs;
+  List.iter (fun c -> Buffer.add_string buf (c ^ ";")) obs.o_components;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,77 @@
+(* The differential oracle: run one case on two backends and classify
+   the outcome (NecoFuzz-style cross-configuration comparison, over
+   the paper's §IX VT-x→SVM port).
+
+   Classification:
+   - [Lossy]: the seed does not translate exactly (or its handler
+     family is not modeled on SVM) — expected, never a finding;
+   - [Agree]: both backends produced the same normalized verdict
+     (both crashed counts as agreement: the guest is equally gone);
+   - [Semantic]: both ran, but a guest-visible register/flag/coverage
+     observation differs — a genuine backend asymmetry;
+   - [Crash_on_one]: one substrate killed the guest where the other
+     carried on — the sharpest kind of finding. *)
+
+module Seed = Iris_core.Seed
+
+type clazz =
+  | Lossy of string
+  | Agree
+  | Semantic of string
+  | Crash_on_one of {
+      left_crash : string option;
+      right_crash : string option;
+    }
+
+type verdict = {
+  v_index : int;
+  v_reason : string;  (** recorded VT-x exit-reason name *)
+  v_class : clazz;
+}
+
+let is_finding = function
+  | Semantic _ | Crash_on_one _ -> true
+  | Lossy _ | Agree -> false
+
+let class_kind = function
+  | Lossy _ -> "lossy"
+  | Agree -> "agree"
+  | Semantic _ -> "semantic"
+  | Crash_on_one _ -> "crash-on-one"
+
+let classify_pair (a : Normalize.observation) (b : Normalize.observation) =
+  match (a.Normalize.o_crash, b.Normalize.o_crash) with
+  | Some _, Some _ -> Agree
+  | Some _, None | None, Some _ ->
+      Crash_on_one
+        { left_crash = a.Normalize.o_crash;
+          right_crash = b.Normalize.o_crash }
+  | None, None -> (
+      match Normalize.first_difference a b with
+      | None -> Agree
+      | Some detail -> Semantic detail)
+
+let run_case ~(left : Backend.t) ~(right : Backend.t) (seed : Seed.t) =
+  let reason = Iris_vtx.Exit_reason.name seed.Seed.reason in
+  let v_class =
+    match Normalize.classify seed with
+    | Normalize.Untranslatable why -> Lossy why
+    | Normalize.Comparable (tr, probe) ->
+        let a = Backend.run_case left seed tr probe in
+        let b = Backend.run_case right seed tr probe in
+        classify_pair a b
+  in
+  { v_index = seed.Seed.index; v_reason = reason; v_class }
+
+(* Ground truth for the planted-asymmetry harness: the set of seed
+   indices a perfect detector must flag is computed *without the VT-x
+   side at all* — diff an unplanted SVM machine against the planted
+   one over the same plan.  Planting must make the detector's finding
+   set equal to this, and nothing else. *)
+let expected_planted ~plant (seeds : Seed.t array) =
+  let base = Backend.svm () in
+  let planted = Backend.svm ~plant () in
+  Array.to_list seeds
+  |> List.filter_map (fun seed ->
+         let v = run_case ~left:base ~right:planted seed in
+         if is_finding v.v_class then Some v.v_index else None)

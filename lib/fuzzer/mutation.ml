@@ -19,8 +19,15 @@ let describe = function
 let random prng area (seed : Seed.t) =
   match area with
   | Area_gpr ->
-      let reg = Prng.choose prng Gpr.all in
-      Some (Flip_gpr (reg, Prng.int prng 64))
+      (* Draw only from registers the seed actually carries: [apply]'s
+         [Flip_gpr] maps over [seed.gprs], so a register absent from
+         the seed would yield a silent no-op mutant. *)
+      let present = Array.of_list (List.map fst seed.Seed.gprs) in
+      if Array.length present = 0 then None
+      else begin
+        let reg = Prng.choose prng present in
+        Some (Flip_gpr (reg, Prng.int prng 64))
+      end
   | Area_vmcs ->
       let reads = Array.of_list seed.Seed.reads in
       if Array.length reads = 0 then None

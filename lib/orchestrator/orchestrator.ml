@@ -256,3 +256,93 @@ let guided_sweep ?(jobs = 1) ?(guided = true) ~config ~recording ~reasons () =
   let report = build_report ~jobs ~hubs ~setups ~stats ~busy ~host_seconds in
   { sweep_results = Array.mapi (fun i r -> (reasons.(i), r)) results;
     sweep_report = report }
+
+(* --- differential sharding: recorded seeds fanned out across the
+   VT-x/SVM oracle --- *)
+
+module Diffcampaign = Iris_differential.Diffcampaign
+module Oracle = Iris_differential.Oracle
+
+type diff_outcome = {
+  diff_report : Diffcampaign.report;
+  diff_run : report;
+}
+
+(* Shard the differential sweep by contiguous trace segments: every
+   worker boots an isolated VT-x universe anchored at S_0 plus its
+   own SVM machine, and a segment's verdicts are a function of the
+   trace prefix alone ([execute_segment] reverts to S_0 and replays
+   the prefix before walking), so the index-ordered
+   [Diffcampaign.finalize] merge is byte-identical for any [jobs].
+
+   Workers deliberately do NOT attach a telemetry probe: a segment's
+   prefix replay is repeated on steals and respawns, so per-exit
+   counters could not merge partition-independently.  The merged hub
+   instead carries the diff.* aggregates from
+   [Analysis.note_backend_divergence]. *)
+let diff_sweep ?(jobs = 1) ?plant ~recording () =
+  let trace = recording.Manager.trace in
+  let jobs = max 1 jobs in
+  let segs =
+    Diffcampaign.segments ~jobs ~total:(Diffcampaign.case_count trace)
+  in
+  let total = Array.length segs in
+  let hubs = Array.init jobs (fun _ -> Hub.create ()) in
+  let setups = Array.make jobs 0L in
+  let init wid =
+    let cov = Cov.create () in
+    let hooks = Iris_hv.Hooks.create () in
+    let ctx =
+      Iris_hv.Xen.construct ~dummy:true ~cov ~hooks
+        ~name:(Printf.sprintf "worker%d-dummy" wid) ()
+    in
+    Manager.arm_dummy ctx ~revert_to:(Some recording.Manager.snapshot)
+      ~keep_memory:false;
+    let replayer = Replayer.create ctx in
+    let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
+    let anchor = Campaign.anchor ~replayer ~trace ~seed_index:0 () in
+    let setup = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
+    setups.(wid) <- Int64.add setups.(wid) setup;
+    (replayer, anchor)
+  in
+  let task (replayer, anchor) i =
+    Diffcampaign.execute_segment ?plant ~replayer ~anchor ~trace segs.(i)
+  in
+  (* A worker context dying outside the replayer's triage still yields
+     deterministic crash-on-one verdicts for its segment. *)
+  let on_crash exn i =
+    let a, b = segs.(i) in
+    Array.init (b - a) (fun k ->
+        let seed = Diffcampaign.case trace (a + k) in
+        { Oracle.v_index = seed.Seed.index;
+          v_reason = Iris_vtx.Exit_reason.name seed.Seed.reason;
+          v_class =
+            Oracle.Crash_on_one
+              { left_crash =
+                  Some ("worker context died: " ^ Printexc.to_string exn);
+                right_crash = None } })
+  in
+  let host_t0 = Unix.gettimeofday () in
+  let per_segment, stats, _who =
+    Pool.run ~jobs ~total ~init ~task ~on_crash
+  in
+  let host_seconds = Unix.gettimeofday () -. host_t0 in
+  let verdicts = Array.concat (Array.to_list per_segment) in
+  let result = Diffcampaign.finalize ?plant ~verdicts () in
+  (* The submit/revert cycle accounting lives inside the backends, so
+     model-busy attribution is not split per worker here; the run
+     report still carries setup cycles and host-side utilization. *)
+  let busy = Array.make jobs 0L in
+  let run = build_report ~jobs ~hubs ~setups ~stats ~busy ~host_seconds in
+  Iris_core.Analysis.note_backend_divergence ~hub:run.r_hub
+    ~total:result.Diffcampaign.total
+    ~comparable:result.Diffcampaign.comparable
+    ~lossy:result.Diffcampaign.lossy
+    ~findings:
+      (List.map
+         (fun f ->
+           ( f.Diffcampaign.f_index,
+             f.Diffcampaign.f_reason,
+             f.Diffcampaign.f_kind ))
+         result.Diffcampaign.findings);
+  { diff_report = result; diff_run = run }

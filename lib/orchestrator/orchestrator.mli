@@ -81,3 +81,27 @@ val guided_sweep :
     corpus previous rounds grew), so the unit of sharding is a whole
     run: one per exit reason.  [~guided:false] runs the naive
     baseline at the same budget. *)
+
+(** {2 Differential sweeps} *)
+
+type diff_outcome = {
+  diff_report : Iris_differential.Diffcampaign.report;
+      (** index-ordered merged divergence report *)
+  diff_run : report;  (** worker/utilization accounting *)
+}
+
+val diff_sweep :
+  ?jobs:int ->
+  ?plant:Iris_svm.Machine.asymmetry ->
+  recording:Iris_core.Manager.recording ->
+  unit ->
+  diff_outcome
+(** Shard the VT-x vs SVM differential oracle across the domain pool
+    by contiguous trace segments: every worker owns an isolated VT-x
+    universe anchored at S_0 plus its own SVM machine, each segment
+    replays its prefix so every seed executes at its true predecessor
+    state S_i, each recorded seed is classified exactly once globally,
+    and the merged report is byte-identical for any [jobs].  [plant]
+    introduces an intentional SVM-side asymmetry (detector ground
+    truth); the merged hub gains [diff.*] counters via
+    {!Iris_core.Analysis.note_backend_divergence}. *)

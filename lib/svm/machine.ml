@@ -1,0 +1,452 @@
+(* An SVM execution surface: enough VMCB + EXITCODE dispatch to run
+   the translatable subset of recorded VT-x traces (paper §IX).
+
+   [vmrun] mirrors one [Replayer.submit] on the VT-x side: inject the
+   translated seed into the VMCB (plain stores — SVM needs no VMREAD
+   shim), dispatch the decoded exit code through handler emulations
+   that reproduce the VT-x handlers' guest-visible effects, then run
+   the VMRUN consistency checks (the analogue of VT-x entry checks;
+   an illegal state is VMEXIT_INVALID, which kills the guest just as
+   a failed VM entry does).
+
+   The handler emulations only model the *differential-comparable*
+   surface: deterministic guest-visible register effects (CPUID
+   results, RIP advancement via NEXT_RIP decode assist, hypercall
+   return values, HLT blocking/crash policy, CR3 moves, consistency
+   checks) and the handler-attributable coverage components.  Time-,
+   device- and VT-x-shadow-dependent effects are deliberately out of
+   scope — the differential oracle's normalization layer masks or
+   excludes those (see [Iris_differential.Normalize]). *)
+
+module F = Iris_vmcs.Field
+module C = Iris_vmcs.Controls
+module Q = Iris_vtx.Exit_qual
+module Comp = Iris_coverage.Component
+open Iris_x86
+
+(* Intentionally planted backend asymmetries: ground truth for
+   testing the differential detector itself (the archetype's
+   [--plant] mode, mirroring [inspect --perturb]). *)
+type asymmetry =
+  | Next_rip_skew
+      (** decode-assist off-by-one: RIP advances to NEXT_RIP + 1 *)
+  | Cpuid_ecx_flip
+      (** CPUID results return with ECX bit 0 flipped *)
+  | Rflags_cf_flip
+      (** every exit flips CF in the saved RFLAGS *)
+  | Reject_asid
+      (** boots with ASID 0, so every VMRUN is VMEXIT_INVALID *)
+
+let asymmetry_name = function
+  | Next_rip_skew -> "next-rip-skew"
+  | Cpuid_ecx_flip -> "cpuid-ecx-flip"
+  | Rflags_cf_flip -> "rflags-cf-flip"
+  | Reject_asid -> "reject-asid"
+
+let asymmetry_of_name = function
+  | "next-rip-skew" -> Some Next_rip_skew
+  | "cpuid-ecx-flip" -> Some Cpuid_ecx_flip
+  | "rflags-cf-flip" -> Some Rflags_cf_flip
+  | "reject-asid" -> Some Reject_asid
+  | _ -> None
+
+let all_asymmetries =
+  [ Next_rip_skew; Cpuid_ecx_flip; Rflags_cf_flip; Reject_asid ]
+
+type t = {
+  vmcb : Vmcb.t;
+  gprs : Gpr.file;  (* the 14 hypervisor-saved GPRs; RAX is in-VMCB *)
+  mem_pages : int64;
+  plant : asymmetry option;
+  base : Vmcb.checkpoint;  (* boot state, for [reset] *)
+  mutable crashed : string option;
+  mutable blocked : bool;
+  mutable touched : int;  (* component bitmask of the last [vmrun] *)
+}
+
+type outcome = Ran | Crashed of string
+
+(* Default guest RAM: 64 MiB, matching [Iris_hv.Domain]'s default. *)
+let default_mem_pages = 16_384L
+
+let boot ?plant ?(mem_pages = default_mem_pages) () =
+  let vmcb = Vmcb.create () in
+  (* Architectural reset state, shaped to pass [Vmcb.vmrun_valid] —
+     the SVM analogue of booting the dummy VM to a valid entry
+     state. *)
+  Vmcb.write vmcb Vmcb.save_cr0 Cr0.reset_value;
+  Vmcb.write vmcb Vmcb.save_rflags Rflags.reset_value;
+  Vmcb.write vmcb Vmcb.save_efer 0x1000L (* SVME *);
+  Vmcb.write vmcb Vmcb.save_rip 0xFFF0L;
+  Vmcb.write vmcb Vmcb.guest_asid
+    (match plant with Some Reject_asid -> 0L | _ -> 1L);
+  Vmcb.write vmcb Vmcb.intercept_misc2 1L (* VMRUN intercepted *);
+  let base = Vmcb.checkpoint vmcb in
+  { vmcb;
+    gprs = Gpr.create ();
+    mem_pages;
+    plant;
+    base;
+    crashed = None;
+    blocked = false;
+    touched = 0 }
+
+let reset t =
+  ignore (Vmcb.rewind t.vmcb t.base : int);
+  Gpr.iter (fun r _ -> Gpr.set t.gprs r 0L) t.gprs;
+  t.crashed <- None;
+  t.blocked <- false;
+  t.touched <- 0
+
+let crashed t = t.crashed
+
+let blocked t = t.blocked
+
+let read_field t f = Vmcb.read t.vmcb f
+
+let touch t c = t.touched <- t.touched lor (1 lsl Comp.index c)
+
+let touched_components t =
+  List.filter_map
+    (fun i ->
+      if t.touched land (1 lsl i) <> 0 then Comp.of_index i else None)
+    (List.init Comp.count Fun.id)
+
+let crash t msg = if t.crashed = None then t.crashed <- Some msg
+
+let get_gpr t = function
+  | Gpr.Rax -> Vmcb.read t.vmcb Vmcb.save_rax
+  | r -> Gpr.get t.gprs r
+
+let set_gpr t r v =
+  match r with
+  | Gpr.Rax -> Vmcb.write t.vmcb Vmcb.save_rax v
+  | r -> Gpr.set t.gprs r v
+
+(* RIP advancement via the decode assist: SVM reports the address of
+   the next instruction (NEXT_RIP), which [Port.translate] computes
+   from the recorded RIP + instruction length. *)
+let advance t ~has_next_rip =
+  if has_next_rip then begin
+    let next = Vmcb.read t.vmcb Vmcb.next_rip in
+    let next =
+      match t.plant with
+      | Some Next_rip_skew -> Int64.add next 1L
+      | _ -> next
+    in
+    Vmcb.write t.vmcb Vmcb.save_rip next
+  end
+
+(* Exception injection through EVENTINJ, mirroring
+   [Common.inject_exception]'s escalation policy (#DF, then triple
+   fault = guest gone). *)
+let inject_exception t ?(error_code = 0L) exn =
+  ignore error_code;
+  let pending = Vmcb.read t.vmcb Vmcb.eventinj in
+  let current =
+    if C.intr_info_is_valid pending then
+      match C.intr_info_type pending with
+      | Some C.Hardware_exception -> Exn.of_vector (C.intr_info_vector pending)
+      | Some _ | None -> None
+    else None
+  in
+  match Exn.escalate ~current exn with
+  | `Deliver e ->
+      let info =
+        C.make_intr_info ~error_code:(Exn.has_error_code e)
+          ~typ:C.Hardware_exception ~vector:(Exn.vector e) ()
+      in
+      Vmcb.write t.vmcb Vmcb.eventinj info
+  | `Double ->
+      let info =
+        C.make_intr_info ~error_code:true ~typ:C.Hardware_exception
+          ~vector:(Exn.vector Exn.DF) ()
+      in
+      Vmcb.write t.vmcb Vmcb.eventinj info
+  | `Triple -> crash t "Triple fault: exception during #DF delivery"
+
+(* --- handler emulations (guest-visible effects only) --- *)
+
+let xen_signature_leaf = 0x40000000L
+
+let pack4 s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  Int64.logor (b 0)
+    (Int64.logor
+       (Int64.shift_left (b 1) 8)
+       (Int64.logor (Int64.shift_left (b 2) 16) (Int64.shift_left (b 3) 24)))
+
+(* The virtual CPUID policy is backend-independent: both hypervisor
+   substrates expose the same guest-visible vCPU (same database, same
+   Xen leaves, hardware-virtualization feature hidden, hypervisor
+   bit set) — exactly like Xen's cpuid policy layer.  Mirrors
+   [H_cpuid.handle]. *)
+let do_cpuid t ~has_next_rip =
+  touch t Comp.Cpuid_c;
+  let leaf = Int64.logand (get_gpr t Gpr.Rax) 0xFFFFFFFFL in
+  let subleaf = Int64.logand (get_gpr t Gpr.Rcx) 0xFFFFFFFFL in
+  let { Cpuid_db.eax; ebx; ecx; edx } =
+    if leaf >= xen_signature_leaf && leaf < 0x40000100L then begin
+      if leaf = xen_signature_leaf then
+        { Cpuid_db.eax = 0x40000002L;
+          ebx = pack4 "XenVMMXenVMM" 0;
+          ecx = pack4 "XenVMMXenVMM" 4;
+          edx = pack4 "XenVMMXenVMM" 8 }
+      else if leaf = 0x40000001L then
+        { Cpuid_db.eax = 0x00040010L; ebx = 0L; ecx = 0L; edx = 0L }
+      else { Cpuid_db.eax = 0L; ebx = 0L; ecx = 0L; edx = 0L }
+    end
+    else begin
+      let raw = Cpuid_db.query ~leaf ~subleaf in
+      if leaf = 0x1L then
+        { raw with
+          Cpuid_db.ecx =
+            Int64.logor
+              (Int64.logand raw.Cpuid_db.ecx
+                 (Int64.lognot Cpuid_db.feature_ecx_vmx))
+              0x80000000L }
+      else if leaf = 0xBL then { raw with Cpuid_db.ebx = 1L }
+      else raw
+    end
+  in
+  let ecx =
+    match t.plant with
+    | Some Cpuid_ecx_flip -> Int64.logxor ecx 1L
+    | _ -> ecx
+  in
+  set_gpr t Gpr.Rax eax;
+  set_gpr t Gpr.Rbx ebx;
+  set_gpr t Gpr.Rcx ecx;
+  set_gpr t Gpr.Rdx edx;
+  advance t ~has_next_rip
+
+let do_hlt t ~has_next_rip =
+  touch t Comp.Hvm_c;
+  let rflags = Vmcb.read t.vmcb Vmcb.save_rflags in
+  if not (Rflags.test rflags Rflags.IF) then
+    crash t "guest halted with interrupts disabled"
+  else begin
+    t.blocked <- true;
+    advance t ~has_next_rip
+  end
+
+let do_rdtsc t ~rdtscp ~has_next_rip =
+  (* The counter value is backend-virtual-clock dependent — the
+     oracle masks RAX/RDX (and RCX for RDTSCP), so any deterministic
+     value will do here. *)
+  set_gpr t Gpr.Rax 0L;
+  set_gpr t Gpr.Rdx 0L;
+  if rdtscp then set_gpr t Gpr.Rcx 0L;
+  advance t ~has_next_rip
+
+let do_vmcall t ~has_next_rip =
+  touch t Comp.Hypercall_c;
+  let nr = get_gpr t Gpr.Rax in
+  let arg = get_gpr t Gpr.Rbx in
+  (if nr = 17L (* xen_version *) then set_gpr t Gpr.Rax 0x00040010L
+   else if nr = 18L (* console_io *) then set_gpr t Gpr.Rax 0L
+   else if nr = 29L (* sched_op *) then begin
+     if arg = 1L then t.blocked <- true;
+     set_gpr t Gpr.Rax 0L
+   end
+   else if nr = 12L (* memory_op *) then set_gpr t Gpr.Rax t.mem_pages
+   else if nr = 32L (* event_channel_op *) then set_gpr t Gpr.Rax 0L
+   else if nr = 41L (* vmcs_fuzzing *) then set_gpr t Gpr.Rax 0L
+   else set_gpr t Gpr.Rax (-38L) (* ENOSYS *));
+  advance t ~has_next_rip
+
+let do_xsetbv t ~has_next_rip =
+  touch t Comp.Hvm_c;
+  let idx = get_gpr t Gpr.Rcx in
+  let lo = Int64.logand (get_gpr t Gpr.Rax) 0xFFFFFFFFL in
+  let hi = get_gpr t Gpr.Rdx in
+  let value = Int64.logor lo (Int64.shift_left hi 32) in
+  if idx <> 0L then inject_exception t ~error_code:0L Exn.GP
+  else if Int64.logand value 1L = 0L then
+    inject_exception t ~error_code:0L Exn.GP
+  else if Int64.logand value (Int64.lognot 0x7L) <> 0L then
+    inject_exception t ~error_code:0L Exn.GP
+  else advance t ~has_next_rip
+
+let do_io t ~has_next_rip =
+  touch t Comp.Io_c;
+  (* EXITINFO1 carries the translated VT-x I/O qualification verbatim
+     (the translation contract; real SVM re-encodes it). *)
+  match Q.decode_io (Vmcb.read t.vmcb Vmcb.exitinfo1) with
+  | None -> crash t "undecodable I/O qualification"
+  | Some q ->
+      if q.Q.string_op then
+        (* String I/O needs the instruction emulator + guest memory:
+           outside the modeled surface (the oracle excludes it). *)
+        touch t Comp.Emulate_c
+      else begin
+        (match q.Q.direction with
+        | Q.Io_out -> ()
+        | Q.Io_in ->
+            (* The device result is masked by the oracle; merge a
+               deterministic zero like IN does for sub-64-bit
+               widths. *)
+            let old = get_gpr t Gpr.Rax in
+            let m = Iris_util.Bits.mask (8 * q.Q.size) in
+            set_gpr t Gpr.Rax (Int64.logand old (Int64.lognot m)));
+        advance t ~has_next_rip
+      end
+
+let do_npf t ~has_next_rip =
+  touch t Comp.Ept_c;
+  let gpa = Vmcb.read t.vmcb Vmcb.exitinfo2 in
+  let in_ram = gpa >= 0L && gpa < Int64.mul t.mem_pages 4096L in
+  let in_mmio =
+    Iris_hv.Vlapic.in_range gpa
+    || (gpa >= Iris_hv.Domain.mmio_bar_base
+        && gpa < Int64.add Iris_hv.Domain.mmio_bar_base
+                   Iris_hv.Domain.mmio_bar_size)
+  in
+  if in_mmio then
+    (* MMIO emulation needs guest memory for instruction decode:
+       outside the modeled surface. *)
+    touch t Comp.Emulate_c
+  else if in_ram then
+    (* Populate-on-demand: map and retry, no RIP advance. *)
+    ()
+  else begin
+    inject_exception t ~error_code:0L Exn.GP;
+    advance t ~has_next_rip
+  end
+
+let do_cr t ~has_next_rip =
+  match Q.decode_cr (Vmcb.read t.vmcb Vmcb.exitinfo1) with
+  | None -> crash t "unhandled CR access qualification"
+  | Some { Q.cr; access; gpr } -> (
+      match access with
+      | Q.Mov_to_cr -> (
+          let value = get_gpr t gpr in
+          match cr with
+          | 3 ->
+              if Int64.shift_right_logical value 48 <> 0L then
+                inject_exception t ~error_code:0L Exn.GP
+              else begin
+                Vmcb.write t.vmcb Vmcb.save_cr3 value;
+                let cr0 = Vmcb.read t.vmcb Vmcb.save_cr0 in
+                let cr4 = Vmcb.read t.vmcb Vmcb.save_cr4 in
+                if
+                  Cr0.test cr0 Cr0.PG && Cr4.test cr4 Cr4.PAE
+                  && not (Cr4.test cr4 Cr4.PCIDE)
+                then touch t Comp.Ept_c (* PDPTE reload *);
+                advance t ~has_next_rip
+              end
+          | 8 ->
+              if Int64.logand value (Int64.lognot 0xFL) <> 0L then
+                inject_exception t ~error_code:0L Exn.GP
+              else
+                (* TPR write lands in the (unmodeled) local APIC. *)
+                advance t ~has_next_rip
+          | 0 | 4 ->
+              (* CR0/CR4 writes read the VT-x CR shadows, which have
+                 no VMCB slot — those seeds are translation-lossy and
+                 never compared; crash conservatively if one gets
+                 here. *)
+              crash t (Printf.sprintf "unmodeled MOV to CR%d" cr)
+          | n -> crash t (Printf.sprintf "MOV to unsupported CR%d" n))
+      | Q.Mov_from_cr -> (
+          match cr with
+          | 3 ->
+              set_gpr t gpr (Vmcb.read t.vmcb Vmcb.save_cr3);
+              advance t ~has_next_rip
+          | 8 ->
+              (* TPR value is device state; masked by the oracle. *)
+              set_gpr t gpr 0L;
+              advance t ~has_next_rip
+          | n -> crash t (Printf.sprintf "MOV from unexpected CR%d" n))
+      | Q.Clts_op | Q.Lmsw_op ->
+          (* Shadow-dependent, like MOV to CR0. *)
+          crash t "unmodeled CLTS/LMSW")
+
+let dispatch t code ~has_next_rip =
+  let module E = Exitcode in
+  match code with
+  | E.Vmexit_cpuid -> do_cpuid t ~has_next_rip
+  | E.Vmexit_hlt -> do_hlt t ~has_next_rip
+  | E.Vmexit_rdtsc -> do_rdtsc t ~rdtscp:false ~has_next_rip
+  | E.Vmexit_rdtscp -> do_rdtsc t ~rdtscp:true ~has_next_rip
+  | E.Vmexit_vmmcall -> do_vmcall t ~has_next_rip
+  | E.Vmexit_pause ->
+      touch t Comp.Hvm_c;
+      advance t ~has_next_rip
+  | E.Vmexit_wbinvd ->
+      touch t Comp.Hvm_c;
+      touch t Comp.Ept_c;
+      advance t ~has_next_rip
+  | E.Vmexit_xsetbv -> do_xsetbv t ~has_next_rip
+  | E.Vmexit_invlpg ->
+      touch t Comp.Ept_c;
+      advance t ~has_next_rip
+  | E.Vmexit_invd | E.Vmexit_task_switch | E.Vmexit_gdtr_read
+  | E.Vmexit_idtr_read | E.Vmexit_ldtr_read | E.Vmexit_tr_read ->
+      advance t ~has_next_rip
+  | E.Vmexit_ioio -> do_io t ~has_next_rip
+  | E.Vmexit_npf -> do_npf t ~has_next_rip
+  | E.Vmexit_cr_read _ | E.Vmexit_cr_write _ -> do_cr t ~has_next_rip
+  | E.Vmexit_shutdown ->
+      touch t Comp.Hvm_c;
+      crash t "Triple fault"
+  | E.Vmexit_vmrun | E.Vmexit_vmload | E.Vmexit_vmsave | E.Vmexit_stgi
+  | E.Vmexit_clgi ->
+      (* Nested SVM not exposed: #UD, like the VT-x VMX-instruction
+         handler. *)
+      inject_exception t Exn.UD
+  | E.Vmexit_invalid -> crash t "VM entry failure reported as exit code"
+  | E.Vmexit_mwait | E.Vmexit_monitor | E.Vmexit_rdpmc | E.Vmexit_rsm
+  | E.Vmexit_iret | E.Vmexit_smi | E.Vmexit_init ->
+      (* The VT-x exit path treats these reasons as unexpected and
+         kills the domain; mirror the policy. *)
+      crash t
+        (Printf.sprintf "unexpected exit code %s" (Exitcode.name code))
+  | E.Vmexit_intr | E.Vmexit_nmi | E.Vmexit_vintr | E.Vmexit_excp _
+  | E.Vmexit_msr ->
+      (* Interrupt/exception delivery and MSR direction depend on
+         VT-x-only exit information; lossy, never compared. *)
+      ()
+  | E.Vmexit_invlpga | E.Vmexit_skinit | E.Vmexit_pushf | E.Vmexit_popf
+  | E.Vmexit_swint ->
+      (* SVM-only exits no VT-x trace can produce. *)
+      ()
+
+let vmrun t (tr : Port.translated) =
+  t.touched <- 0;
+  match t.crashed with
+  | Some msg -> Crashed msg
+  | None ->
+      t.blocked <- false;
+      (* Seed injection: plain stores, in seed order. *)
+      Port.apply t.vmcb tr;
+      List.iter (fun (r, v) -> Gpr.set t.gprs r v) tr.Port.gprs;
+      let has_next_rip =
+        List.exists
+          (fun w -> w.Port.field = Vmcb.next_rip)
+          tr.Port.writes
+      in
+      (* Re-inject an interrupted event, as the VT-x exit path does
+         with the IDT-vectoring info. *)
+      let idtv = Vmcb.read t.vmcb Vmcb.exitintinfo in
+      if C.intr_info_is_valid idtv then Vmcb.write t.vmcb Vmcb.eventinj idtv;
+      (match tr.Port.exitcode with
+      | None -> ()
+      | Some code -> dispatch t code ~has_next_rip);
+      (match t.plant with
+      | Some Rflags_cf_flip ->
+          Vmcb.write t.vmcb Vmcb.save_rflags
+            (Int64.logxor (Vmcb.read t.vmcb Vmcb.save_rflags) 1L)
+      | _ -> ());
+      (match t.crashed with
+      | Some msg -> Crashed msg
+      | None -> (
+          (* The VMRUN consistency checks are the analogue of VT-x's
+             VM-entry checks: illegal state means the guest cannot be
+             re-entered. *)
+          match Vmcb.vmrun_valid t.vmcb with
+          | Ok () -> Ran
+          | Error e ->
+              let msg = "VMEXIT_INVALID: " ^ e in
+              crash t msg;
+              Crashed msg))

@@ -1,0 +1,60 @@
+(** An SVM execution surface for differential replay (paper §IX).
+
+    [Machine] replays the translatable subset of recorded VT-x traces
+    on the VMCB substrate: [vmrun] injects a [Port.translated] seed
+    (plain stores — SVM's exit information is writable, so no VMREAD
+    shim is needed), dispatches the decoded EXITCODE through handler
+    emulations mirroring the VT-x handlers' guest-visible effects, and
+    finishes with the VMRUN consistency checks (the analogue of VT-x
+    VM-entry checks; an illegal state is VMEXIT_INVALID).
+
+    The modeled surface is exactly what the differential oracle
+    compares ({!Iris_differential}): deterministic register effects,
+    RIP advancement through the NEXT_RIP decode assist, crash/block
+    policy, and handler-attributable coverage components.  Exits whose
+    semantics depend on VT-x-only state (MSR direction, interruption
+    info, CR shadows) are left inert — the oracle classifies those
+    seeds as translation-lossy and never compares them. *)
+
+(** Intentionally planted backend asymmetries — ground truth for
+    testing the differential detector itself (the [--plant] mode). *)
+type asymmetry =
+  | Next_rip_skew   (** decode assist off-by-one: RIP lands at NEXT_RIP+1 *)
+  | Cpuid_ecx_flip  (** CPUID results come back with ECX bit 0 flipped *)
+  | Rflags_cf_flip  (** every exit flips CF in the saved RFLAGS *)
+  | Reject_asid     (** boots with ASID 0: every VMRUN is VMEXIT_INVALID *)
+
+val asymmetry_name : asymmetry -> string
+val asymmetry_of_name : string -> asymmetry option
+val all_asymmetries : asymmetry list
+
+type t
+
+type outcome = Ran | Crashed of string
+
+val boot : ?plant:asymmetry -> ?mem_pages:int64 -> unit -> t
+(** A machine in architectural reset state, shaped to pass
+    [Vmcb.vmrun_valid] — the SVM analogue of booting the dummy VM.
+    [mem_pages] sizes the modeled guest RAM (default 64 MiB worth,
+    matching [Iris_hv.Domain]); it feeds the memory_op hypercall and
+    the NPF RAM/non-RAM split. *)
+
+val reset : t -> unit
+(** Rewind to the boot state: the revert step between cases. *)
+
+val vmrun : t -> Port.translated -> outcome
+(** Inject the translated seed, dispatch its exit code, run the VMRUN
+    consistency checks.  A crashed machine stays crashed until
+    [reset]. *)
+
+val crashed : t -> string option
+val blocked : t -> bool
+(** Guest gone / guest waiting — mirror [Domain.crashed]/[blocked]. *)
+
+val read_field : t -> Vmcb.field -> int64
+val get_gpr : t -> Iris_x86.Gpr.reg -> int64
+(** Post-case architectural state ([Rax] routes to the VMCB save
+    area). *)
+
+val touched_components : t -> Iris_coverage.Component.t list
+(** Components hit by the last [vmrun], for coverage comparison. *)

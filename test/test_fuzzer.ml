@@ -78,6 +78,118 @@ let test_mutation_random_empty_vmcs () =
   check Alcotest.bool "no reads -> no VMCS mutation" true
     (Mutation.random prng Mutation.Area_vmcs s = None)
 
+let test_mutation_gpr_draws_from_seed () =
+  (* Regression: Area_gpr used to draw from the full register file, so
+     a seed carrying a subset produced silent no-op mutants (flipping
+     a register the replayer never injects).  It must draw only from
+     the seed's own registers — and refuse when there are none. *)
+  let prng = Prng.of_int 9 in
+  let s =
+    { (sample_seed ()) with Seed.gprs = [ (Gpr.Rbx, 1L); (Gpr.Rsi, 2L) ] }
+  in
+  for _ = 1 to 100 do
+    match Mutation.random prng Mutation.Area_gpr s with
+    | Some (Mutation.Flip_gpr (r, _)) ->
+        check Alcotest.bool "register is in the seed" true
+          (r = Gpr.Rbx || r = Gpr.Rsi)
+    | Some (Mutation.Flip_field _) -> Alcotest.fail "GPR area gave field"
+    | None -> Alcotest.fail "non-empty GPR list must mutate"
+  done;
+  check Alcotest.bool "no GPRs -> no mutation" true
+    (Mutation.random prng Mutation.Area_gpr
+       { s with Seed.gprs = [] }
+    = None)
+
+(* Arbitrary seeds with a variable register subset and read list, so
+   the properties cover shapes the workloads never produce. *)
+let arb_mutation_case =
+  let gen =
+    QCheck.Gen.(
+      let* gpr_mask = int_bound ((1 lsl Array.length Gpr.all) - 1) in
+      let* nreads = int_range 1 8 in
+      let* read_vals = list_size (return nreads) int64 in
+      let* gpr_vals =
+        list_size (return (Array.length Gpr.all)) int64
+      in
+      let* area_pick = bool in
+      let* prng_seed = small_nat in
+      let gprs =
+        List.filteri
+          (fun i _ -> gpr_mask land (1 lsl i) <> 0)
+          (List.mapi
+             (fun i v -> (Gpr.all.(i), v))
+             gpr_vals)
+      in
+      let fields =
+        [| F.guest_rip; F.guest_rflags; F.tsc_offset; F.vm_exit_reason;
+           F.guest_cr0; F.guest_rip |]
+      in
+      let reads =
+        List.mapi
+          (fun i v -> (fields.(i mod Array.length fields), v))
+          read_vals
+      in
+      let area =
+        if area_pick then Mutation.Area_vmcs else Mutation.Area_gpr
+      in
+      return
+        ( { (sample_seed ()) with Seed.gprs; Seed.reads },
+          area, prng_seed ))
+  in
+  let print (s, area, pseed) =
+    Printf.sprintf "gprs=%d reads=%d area=%s prng=%d"
+      (List.length s.Seed.gprs)
+      (List.length s.Seed.reads)
+      (Mutation.area_name area) pseed
+  in
+  QCheck.make ~print gen
+
+let prop_mutation_preserves_shape =
+  (* Well-formedness: a mutant differs from its seed only in one
+     value — same index, reason, register names, read fields, and
+     ordering throughout. *)
+  QCheck.Test.make ~name:"mutation preserves seed shape" ~count:500
+    arb_mutation_case
+    (fun (s, area, pseed) ->
+      match Mutation.random (Prng.of_int pseed) area s with
+      | None -> area = Mutation.Area_gpr && s.Seed.gprs = []
+      | Some m ->
+          let s' = Mutation.apply m s in
+          s'.Seed.index = s.Seed.index
+          && s'.Seed.reason = s.Seed.reason
+          && s'.Seed.writes = s.Seed.writes
+          && List.map fst s'.Seed.gprs = List.map fst s.Seed.gprs
+          && List.map fst s'.Seed.reads = List.map fst s.Seed.reads)
+
+let prop_mutation_deterministic =
+  (* Two generators in the same state draw the same mutation — the
+     campaign-level determinism contract, at the unit level. *)
+  QCheck.Test.make ~name:"mutation deterministic for fixed prng state"
+    ~count:300 arb_mutation_case
+    (fun (s, area, pseed) ->
+      let a = Prng.of_int pseed in
+      let b = Prng.copy a in
+      Mutation.random a area s = Mutation.random b area s)
+
+let prop_mutation_in_bounds =
+  (* Every drawn mutation addresses state that actually exists in the
+     seed: an in-seed register with a bit below 64, or a recorded
+     occurrence of a field with a bit inside the field's width. *)
+  QCheck.Test.make ~name:"mutation addresses in-seed state" ~count:500
+    arb_mutation_case
+    (fun (s, area, pseed) ->
+      match Mutation.random (Prng.of_int pseed) area s with
+      | None -> area = Mutation.Area_gpr && s.Seed.gprs = []
+      | Some (Mutation.Flip_gpr (r, bit)) ->
+          List.mem_assoc r s.Seed.gprs && bit >= 0 && bit < 64
+      | Some (Mutation.Flip_field (f, occurrence, bit)) ->
+          let occurrences =
+            List.length
+              (List.filter (fun (g, _) -> g = f) s.Seed.reads)
+          in
+          occurrence >= 0 && occurrence < occurrences && bit >= 0
+          && bit < 8 * F.width_bytes f)
+
 let prop_mutation_single_bit =
   QCheck.Test.make ~name:"mutation flips exactly one bit" ~count:300
     QCheck.(pair small_int small_int)
@@ -382,7 +494,9 @@ let () =
           Alcotest.test_case "pure" `Quick test_mutation_apply_is_pure;
           Alcotest.test_case "random areas" `Quick test_mutation_random_area;
           Alcotest.test_case "empty vmcs area" `Quick
-            test_mutation_random_empty_vmcs ] );
+            test_mutation_random_empty_vmcs;
+          Alcotest.test_case "gpr draws from seed" `Quick
+            test_mutation_gpr_draws_from_seed ] );
       ( "campaign",
         [ Alcotest.test_case "absent reason" `Slow test_campaign_absent_reason;
           Alcotest.test_case "discovers coverage" `Slow
@@ -405,4 +519,7 @@ let () =
         [ Alcotest.test_case "structure" `Quick test_table1_structure;
           Alcotest.test_case "small run + stats" `Slow
             test_table1_small_run_and_stats ] );
-      ("properties", qcheck [ prop_mutation_single_bit ]) ]
+      ( "properties",
+        qcheck
+          [ prop_mutation_single_bit; prop_mutation_preserves_shape;
+            prop_mutation_deterministic; prop_mutation_in_bounds ] ) ]

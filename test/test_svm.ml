@@ -198,6 +198,222 @@ let test_trace_portability_headline () =
     (Printf.sprintf "most records translate (%.1f%%)" pct)
     true (pct > 80.0)
 
+(* --- Machine --- *)
+
+module Machine = Iris_svm.Machine
+
+let cpuid_translated ?(leaf = 1L) () =
+  Port.translate
+    { Iris_core.Seed.index = 0;
+      reason = R.Cpuid;
+      gprs =
+        Array.to_list
+          (Array.map
+             (fun r -> (r, if r = Gpr.Rax then leaf else 0L))
+             Gpr.all);
+      reads =
+        [ (F.vm_exit_reason, 10L); (F.vm_exit_instruction_len, 2L);
+          (F.guest_rip, 0x1000L); (F.guest_rflags, 0x2L) ];
+      writes = [] }
+
+let test_machine_boot_valid () =
+  let m = Machine.boot () in
+  check Alcotest.bool "not crashed" true (Machine.crashed m = None);
+  check Alcotest.bool "not blocked" false (Machine.blocked m);
+  (* Reset state: real-mode entry point, SVME on. *)
+  check Alcotest.int64 "reset RIP" 0xFFF0L
+    (Machine.read_field m Vmcb.save_rip)
+
+let test_machine_cpuid_advances_rip () =
+  let m = Machine.boot () in
+  (match Machine.vmrun m (cpuid_translated ()) with
+  | Machine.Ran -> ()
+  | Machine.Crashed msg -> Alcotest.fail msg);
+  (* NEXT_RIP decode assist: RIP lands past the 2-byte CPUID. *)
+  check Alcotest.int64 "rip advanced" 0x1002L
+    (Machine.read_field m Vmcb.save_rip);
+  check Alcotest.bool "cpuid handler ran" true
+    (List.mem Iris_coverage.Component.Cpuid_c (Machine.touched_components m));
+  (* Leaf 1 ECX carries the hypervisor-present bit the VT-x handler
+     sets (bit 31). *)
+  check Alcotest.bool "hypervisor bit" true
+    (Int64.logand (Machine.get_gpr m Gpr.Rcx) 0x80000000L <> 0L)
+
+let test_machine_reset_restores_boot () =
+  let m = Machine.boot () in
+  ignore (Machine.vmrun m (cpuid_translated ()) : Machine.outcome);
+  Machine.reset m;
+  check Alcotest.int64 "rip back at reset" 0xFFF0L
+    (Machine.read_field m Vmcb.save_rip);
+  check Alcotest.int64 "rcx cleared" 0L (Machine.get_gpr m Gpr.Rcx);
+  check Alcotest.bool "components cleared" true
+    (Machine.touched_components m = [])
+
+let test_machine_planted_asymmetries () =
+  (* next-rip-skew: RIP off by one. *)
+  let skew = Machine.boot ~plant:Machine.Next_rip_skew () in
+  ignore (Machine.vmrun skew (cpuid_translated ()) : Machine.outcome);
+  check Alcotest.int64 "skewed rip" 0x1003L
+    (Machine.read_field skew Vmcb.save_rip);
+  (* cpuid-ecx-flip: ECX bit 0 flipped vs the clean machine. *)
+  let clean = Machine.boot () in
+  ignore (Machine.vmrun clean (cpuid_translated ()) : Machine.outcome);
+  let flip = Machine.boot ~plant:Machine.Cpuid_ecx_flip () in
+  ignore (Machine.vmrun flip (cpuid_translated ()) : Machine.outcome);
+  check Alcotest.int64 "ecx xor 1"
+    (Int64.logxor (Machine.get_gpr clean Gpr.Rcx) 1L)
+    (Machine.get_gpr flip Gpr.Rcx);
+  (* reject-asid: every VMRUN fails the consistency checks. *)
+  let rej = Machine.boot ~plant:Machine.Reject_asid () in
+  match Machine.vmrun rej (cpuid_translated ()) with
+  | Machine.Crashed _ -> ()
+  | Machine.Ran -> Alcotest.fail "ASID 0 must be VMEXIT_INVALID"
+
+let test_machine_crash_is_sticky () =
+  let m = Machine.boot ~plant:Machine.Reject_asid () in
+  ignore (Machine.vmrun m (cpuid_translated ()) : Machine.outcome);
+  check Alcotest.bool "crashed recorded" true (Machine.crashed m <> None);
+  (match Machine.vmrun m (cpuid_translated ()) with
+  | Machine.Crashed _ -> ()
+  | Machine.Ran -> Alcotest.fail "crashed machine must stay crashed");
+  Machine.reset m;
+  check Alcotest.bool "reset clears crash" true (Machine.crashed m = None)
+
+let test_machine_asymmetry_names_roundtrip () =
+  List.iter
+    (fun a ->
+      check Alcotest.bool (Machine.asymmetry_name a) true
+        (Machine.asymmetry_of_name (Machine.asymmetry_name a) = Some a))
+    Machine.all_asymmetries;
+  check Alcotest.bool "unknown name" true
+    (Machine.asymmetry_of_name "no-such-plant" = None)
+
+(* --- properties --- *)
+
+let arb_vmcb_field =
+  QCheck.make ~print:Vmcb.name
+    (QCheck.Gen.map (fun i -> Vmcb.all.(i))
+       (QCheck.Gen.int_bound (Vmcb.count - 1)))
+
+let prop_vmcb_write_read_roundtrip =
+  (* Unlike the VMCS, every VMCB field is plain writable memory. *)
+  QCheck.Test.make ~name:"vmcb write/read roundtrips" ~count:500
+    QCheck.(pair arb_vmcb_field int64)
+    (fun (f, v) ->
+      let vmcb = Vmcb.create () in
+      Vmcb.write vmcb f v;
+      Vmcb.read vmcb f = v)
+
+let prop_vmcb_offset_roundtrip =
+  QCheck.Test.make ~name:"vmcb offset/of_offset roundtrips" ~count:200
+    arb_vmcb_field
+    (fun f -> Vmcb.of_offset (Vmcb.offset f) = Some f)
+
+let prop_vmcb_rewind_restores =
+  QCheck.Test.make ~name:"vmcb checkpoint/rewind restores" ~count:200
+    QCheck.(pair arb_vmcb_field int64)
+    (fun (f, v) ->
+      let vmcb = Vmcb.create () in
+      Vmcb.write vmcb f 0x1234L;
+      let cp = Vmcb.checkpoint vmcb in
+      Vmcb.write vmcb f v;
+      ignore (Vmcb.rewind vmcb cp : int);
+      Vmcb.read vmcb f = 0x1234L)
+
+let arb_exitcode =
+  let codes =
+    [ Exitcode.Vmexit_intr; Exitcode.Vmexit_nmi; Exitcode.Vmexit_cpuid;
+      Exitcode.Vmexit_hlt; Exitcode.Vmexit_ioio; Exitcode.Vmexit_msr;
+      Exitcode.Vmexit_npf; Exitcode.Vmexit_vmmcall; Exitcode.Vmexit_rdtsc;
+      Exitcode.Vmexit_rdtscp; Exitcode.Vmexit_shutdown;
+      Exitcode.Vmexit_xsetbv; Exitcode.Vmexit_invalid ]
+  in
+  QCheck.make ~print:Exitcode.name
+    QCheck.Gen.(
+      frequency
+        [ (2, map (fun c -> Exitcode.Vmexit_cr_read (c mod 16)) small_nat);
+          (2, map (fun c -> Exitcode.Vmexit_cr_write (c mod 16)) small_nat);
+          (2, map (fun v -> Exitcode.Vmexit_excp (v mod 32)) small_nat);
+          (6, oneofl codes) ])
+
+let prop_exitcode_roundtrip =
+  QCheck.Test.make ~name:"exitcode code/of_code roundtrips" ~count:300
+    arb_exitcode
+    (fun t -> Exitcode.of_code (Exitcode.code t) = Some t)
+
+(* Seeds made of arbitrary recorded fields: the translate partition
+   property must hold for *any* seed, not just workload output. *)
+let arb_port_seed =
+  let field_gen =
+    QCheck.Gen.map
+      (fun i -> F.all.(i))
+      (QCheck.Gen.int_bound (F.count - 1))
+  in
+  let reads_gen =
+    QCheck.Gen.(list_size (int_range 0 12) (pair field_gen int64))
+  in
+  let print s =
+    String.concat ","
+      (List.map (fun (f, v) -> Printf.sprintf "%s=%Lx" (F.name f) v)
+         s.Iris_core.Seed.reads)
+  in
+  QCheck.make ~print
+    (QCheck.Gen.map
+       (fun reads ->
+         { Iris_core.Seed.index = 0;
+           reason = R.Cpuid;
+           gprs = Array.to_list (Array.map (fun r -> (r, 0L)) Gpr.all);
+           reads;
+           writes = [] })
+       reads_gen)
+
+let prop_translate_partitions_reads =
+  (* Every recorded read lands exactly once: as a VMCB write (its
+     field maps, or it is the instruction length feeding the computed
+     NEXT_RIP mapping) or as a dropped entry with a reason. *)
+  QCheck.Test.make ~name:"translate partitions reads exactly" ~count:500
+    arb_port_seed
+    (fun s ->
+      let t = Port.translate s in
+      List.length t.Port.writes + List.length t.Port.dropped
+      = List.length s.Iris_core.Seed.reads
+      && List.for_all
+           (fun (f, _) ->
+             let dropped =
+               List.exists (fun d -> d.Port.vmcs_field = f) t.Port.dropped
+             in
+             if f = F.vm_exit_instruction_len then
+               dropped
+               || List.exists
+                    (fun w -> w.Port.field = Vmcb.next_rip)
+                    t.Port.writes
+             else
+               match Port.map_field f with
+               | Some slot ->
+                   List.exists (fun w -> w.Port.field = slot) t.Port.writes
+               | None -> dropped)
+           s.Iris_core.Seed.reads)
+
+let prop_map_field_offsets_roundtrip =
+  (* Every translatable VMCS field maps to a real VMCB slot whose
+     APM offset resolves back to the same slot. *)
+  QCheck.Test.make ~name:"map_field targets roundtrip via offsets"
+    ~count:300
+    (QCheck.make ~print:F.name
+       (QCheck.Gen.map
+          (fun i -> F.all.(i))
+          (QCheck.Gen.int_bound (F.count - 1))))
+    (fun f ->
+      match Port.map_field f with
+      | None -> true
+      | Some slot -> Vmcb.of_offset (Vmcb.offset slot) = Some slot)
+
+let prop_translate_deterministic =
+  QCheck.Test.make ~name:"translate deterministic" ~count:200 arb_port_seed
+    (fun s -> Port.translate s = Port.translate s)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
 let () =
   Alcotest.run "iris_svm"
     [ ( "vmcb",
@@ -222,4 +438,22 @@ let () =
             test_translate_field_mapping;
           Alcotest.test_case "apply" `Quick test_apply_writes_vmcb;
           Alcotest.test_case "trace portability" `Slow
-            test_trace_portability_headline ] ) ]
+            test_trace_portability_headline ] );
+      ( "machine",
+        [ Alcotest.test_case "boot valid" `Quick test_machine_boot_valid;
+          Alcotest.test_case "cpuid advances rip" `Quick
+            test_machine_cpuid_advances_rip;
+          Alcotest.test_case "reset restores boot" `Quick
+            test_machine_reset_restores_boot;
+          Alcotest.test_case "planted asymmetries" `Quick
+            test_machine_planted_asymmetries;
+          Alcotest.test_case "crash sticky" `Quick
+            test_machine_crash_is_sticky;
+          Alcotest.test_case "asymmetry names" `Quick
+            test_machine_asymmetry_names_roundtrip ] );
+      ( "properties",
+        qcheck
+          [ prop_vmcb_write_read_roundtrip; prop_vmcb_offset_roundtrip;
+            prop_vmcb_rewind_restores; prop_exitcode_roundtrip;
+            prop_translate_partitions_reads; prop_map_field_offsets_roundtrip;
+            prop_translate_deterministic ] ) ]
