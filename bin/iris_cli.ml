@@ -89,10 +89,28 @@ let telemetry_hub ~trace_out ~metrics mgr =
     Some hub
   end
 
+(* Allocator-pressure gauges, sampled once at campaign finalize so
+   [stats] can attribute GC load per run.  Sampled here in the CLI
+   layer — never inside per-worker registries, whose merged snapshots
+   must stay byte-identical across [--jobs N] (host GC counters are
+   partition-dependent). *)
+let sample_gc reg =
+  let module R = T.Registry in
+  let g = Gc.quick_stat () in
+  let setf name v = R.set (R.gauge reg name) (Int64.of_float v) in
+  setf "gc.minor_words" g.Gc.minor_words;
+  setf "gc.promoted_words" g.Gc.promoted_words;
+  setf "gc.major_words" g.Gc.major_words;
+  R.set (R.gauge reg "gc.minor_collections")
+    (Int64.of_int g.Gc.minor_collections);
+  R.set (R.gauge reg "gc.major_collections")
+    (Int64.of_int g.Gc.major_collections)
+
 let telemetry_report ~trace_out ~metrics hub =
   match hub with
   | None -> ()
   | Some hub ->
+      sample_gc hub.T.Hub.registry;
       (match trace_out with
       | None -> ()
       | Some path ->
@@ -335,10 +353,12 @@ let fuzz_cmd =
           print_campaign o.Orch.fuzz_result;
           print_newline ();
           print_string (Orch.render_workers o.Orch.fuzz_report);
-          if metrics then
+          if metrics then begin
+            sample_gc o.Orch.fuzz_report.Orch.r_hub.T.Hub.registry;
             print_string
               (T.Hub.summary ~title:"telemetry (merged)"
                  o.Orch.fuzz_report.Orch.r_hub)
+          end
     end
     else begin
       let config = { Iris_fuzzer.Campaign.mutations; prng_seed } in
@@ -404,6 +424,7 @@ let stats_cmd =
       (W.name workload) prng_seed;
     let recording = Manager.record mgr workload ~exits in
     let trace = recording.Manager.trace in
+    sample_gc hub.T.Hub.registry;
     let snap = T.Hub.snapshot hub in
     let by_count =
       List.sort

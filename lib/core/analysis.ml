@@ -220,8 +220,7 @@ let note_divergence ~hub ~recorded dv =
   in
   let total = T.Registry.counter reg "replay.divergent_total" in
   List.iter
-    (fun (r, n) ->
-      for _ = 1 to n do T.Registry.vec_incr vec (R.code r) done)
+    (fun (r, n) -> T.Registry.vec_add64 vec (R.code r) (Int64.of_int n))
     dv.dv_by_reason;
   T.Registry.add total (List.length dv.dv_divergent);
   match dv.dv_divergent with

@@ -183,16 +183,19 @@ let note_outcome t outcome =
   | (Replayed | Vm_crashed _), _ -> ());
   outcome
 
+(* The dummy VM's fetch stream is empty: the timer fires before any
+   fetch.  One shared closure, not one per submit. *)
+let no_fetch () = None
+
 let submit_inner t seed =
   let dom = t.ctx.Ctx.dom in
   if Iris_hv.Domain.crashed dom then Vm_crashed (crashed_reason dom)
   else begin
     maybe_checkpoint t;
-    (* Trigger the next preemption-timer exit of the dummy VM.  The
-       fetch stream is empty: the timer fires before any fetch. *)
+    (* Trigger the next preemption-timer exit of the dummy VM. *)
     (match
        Iris_vtx.Engine.run_until_exit dom.Iris_hv.Domain.engine
-         ~fetch:(fun () -> None)
+         ~fetch:no_fetch
      with
     | Iris_vtx.Engine.Exit _ -> ()
     | Iris_vtx.Engine.Program_done ->

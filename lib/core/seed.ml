@@ -48,9 +48,11 @@ let encode t =
   List.iter (fun (f, v) -> record K_write (F.compact f) v) t.writes;
   Codec.contents w
 
-let decode buf =
+(* Decode one seed from a reader view — the trace loader hands each
+   seed a zero-copy sub-reader over the shared file string instead of
+   materialising a [bytes] copy per seed. *)
+let decode_reader r =
   match
-    let r = Codec.reader buf in
     let index = Codec.r_u32 r in
     let reason_code = Codec.r_u8 r in
     let n = Codec.r_u32 r in
@@ -89,6 +91,8 @@ let decode buf =
   | t -> Ok t
   | exception Failure msg -> Error msg
   | exception Codec.Truncated -> Error "truncated seed"
+
+let decode buf = decode_reader (Codec.reader buf)
 
 let gpr_value t reg =
   match List.assoc_opt reg t.gprs with Some v -> v | None -> 0L

@@ -46,6 +46,10 @@ val preallocated_bytes : int
 val encode : t -> bytes
 val decode : bytes -> (t, string) result
 
+val decode_reader : Iris_util.Codec.reader -> (t, string) result
+(** Decode from a reader view (e.g. a zero-copy sub-reader over a
+    trace file); the reader must contain exactly one seed. *)
+
 val gpr_value : t -> Iris_x86.Gpr.reg -> int64
 (** 0 if absent. *)
 

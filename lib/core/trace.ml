@@ -78,9 +78,9 @@ let encode t =
     t.metrics;
   Codec.contents w
 
-let decode buf =
+let of_string buf =
   match
-    let r = Codec.reader buf in
+    let r = Codec.reader_of_string buf in
     let magic = Codec.r_string r in
     let version =
       match magic with
@@ -92,11 +92,13 @@ let decode buf =
     let prng_seed = Codec.r_u32 r in
     let wall_cycles = Codec.r_i64 r in
     let n = Codec.r_u32 r in
+    (* [Array.init n] preallocates from the header count; each seed
+       decodes through a zero-copy sub-reader over the file string
+       (no per-seed [bytes] copy). *)
     let seeds =
       Array.init n (fun _ ->
           let len = Codec.r_u32 r in
-          let b = Codec.r_bytes r len in
-          match Seed.decode b with
+          match Seed.decode_reader (Codec.r_reader r len) with
           | Ok s -> s
           | Error e -> failwith ("bad seed: " ^ e))
     in
@@ -133,6 +135,59 @@ let decode buf =
   | exception Failure msg -> Error msg
   | exception Codec.Truncated -> Error "truncated trace"
 
+(* [Bytes.unsafe_to_string] is sound: decoding never mutates the
+   buffer and the caller hands over ownership. *)
+let decode buf = of_string (Bytes.unsafe_to_string buf)
+
+(* Incremental fingerprint over the same fields [encode] serialises,
+   in the same order — so equal traces digest equal — without
+   materialising the encoded bytes.  Replay verification compares
+   these instead of re-serialising the whole trace. *)
+let digest t =
+  let module H = Iris_util.Fnv64 in
+  let h = ref H.init in
+  let fold_i64 v = h := H.int64 !h v in
+  let fold_int v = h := H.int !h v in
+  h := H.string !h t.workload;
+  fold_int t.prng_seed;
+  fold_i64 t.wall_cycles;
+  fold_int (Array.length t.seeds);
+  Array.iter
+    (fun s ->
+      fold_int s.Seed.index;
+      fold_int (R.code s.Seed.reason);
+      List.iter
+        (fun (r, v) ->
+          fold_int (Iris_x86.Gpr.encode r);
+          fold_i64 v)
+        s.Seed.gprs;
+      List.iter
+        (fun (f, v) ->
+          fold_int (Iris_vmcs.Field.compact f);
+          fold_i64 v)
+        s.Seed.reads;
+      List.iter
+        (fun (f, v) ->
+          fold_int (Iris_vmcs.Field.compact f);
+          fold_i64 v)
+        s.Seed.writes)
+    t.seeds;
+  fold_int (Array.length t.metrics);
+  Array.iter
+    (fun m ->
+      fold_i64 m.Metrics.handler_cycles;
+      fold_int (List.length m.Metrics.writes);
+      List.iter
+        (fun (f, v) ->
+          fold_int (Iris_vmcs.Field.compact f);
+          fold_i64 v)
+        m.Metrics.writes;
+      fold_int (Iris_coverage.Cov.Pset.cardinal m.Metrics.coverage);
+      Iris_coverage.Cov.Pset.iter (fun p -> fold_int (p :> int))
+        m.Metrics.coverage)
+    t.metrics;
+  H.to_hex !h
+
 let save t ~path =
   let oc = open_out_bin path in
   (try output_bytes oc (encode t)
@@ -147,7 +202,9 @@ let load ~path =
     let len = in_channel_length ic in
     let buf = really_input_string ic len in
     close_in ic;
-    decode (Bytes.of_string buf)
+    (* Decode straight from the file string: the old path copied the
+       whole file into [bytes] first. *)
+    of_string buf
   with
   | r -> r
   | exception Sys_error msg -> Error msg

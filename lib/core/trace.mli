@@ -39,6 +39,15 @@ val max_rw_records : t -> int
 val encode : t -> bytes
 val decode : bytes -> (t, string) result
 
+val of_string : string -> (t, string) result
+(** Decode from an immutable string without copying it ([decode] and
+    [load] are built on this). *)
+
+val digest : t -> string
+(** Incremental FNV-1a fingerprint over the same fields and order as
+    [encode], without serialising.  Equal traces digest equal; used by
+    replay verification instead of re-encoding. *)
+
 val save : t -> path:string -> unit
 val load : path:string -> (t, string) result
 

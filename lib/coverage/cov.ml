@@ -25,13 +25,51 @@ let pp_point fmt p =
 
 module Pset = Set.Make (Int)
 
+(* AFL-style dense store: one flat int-count array per component,
+   indexed by the scaled line.  A probe update is a bounds check plus
+   an increment — no hashing, no boxing, no allocation — which is what
+   keeps the per-exit coverage cost flat across a campaign.
+
+   Capacity follows the same freeze discipline as the VMCS/VMCB field
+   registries: a process-wide high-water mark per component records the
+   largest scaled line any store has ever needed, and new stores
+   preallocate to it.  Once the first campaign has warmed the marks,
+   later collectors never grow on the hot path; growth remains as a
+   correctness fallback for lines above the high-water mark. *)
+
+let min_capacity = 1024
+
+(* Plain (non-atomic) ints on purpose: word-sized stores do not tear,
+   and a lost racing update only weakens a *hint* — the per-store
+   [ensure] below still grows on demand. *)
+let capacity_hint = Array.make Component.count min_capacity
+
+let note_capacity ci n = if n > capacity_hint.(ci) then capacity_hint.(ci) <- n
+
 type t = {
-  counts : (point, int) Hashtbl.t;
+  mutable counts : int array array;  (* per component, scaled-line index *)
+  mutable unique : int;              (* points with count > 0 *)
   mutable on : bool;
-  mutable span : Pset.t option;
+  (* Span capture without a per-hit set: points are deduplicated by a
+     generation stamp per slot and accumulated in a scratch stack; the
+     [Pset] the recorder wants is built once, at [span_end]. *)
+  mutable span_gen : int array array;
+  mutable gen : int;
+  mutable span_on : bool;
+  mutable span_buf : int array;      (* packed points, first span_len live *)
+  mutable span_len : int;
 }
 
-let create () = { counts = Hashtbl.create 1024; on = true; span = None }
+let create () =
+  { counts = Array.init Component.count (fun ci -> Array.make capacity_hint.(ci) 0);
+    unique = 0;
+    on = true;
+    span_gen =
+      Array.init Component.count (fun ci -> Array.make capacity_hint.(ci) 0);
+    gen = 1;
+    span_on = false;
+    span_buf = Array.make 256 0;
+    span_len = 0 }
 
 let enable t = t.on <- true
 
@@ -39,12 +77,45 @@ let disable t = t.on <- false
 
 let enabled t = t.on
 
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let ensure t ci needed =
+  assert (needed <= line_space);
+  let old = t.counts.(ci) in
+  if needed > Array.length old then begin
+    let cap = min line_space (next_pow2 needed (max min_capacity (2 * Array.length old))) in
+    note_capacity ci cap;
+    let counts = Array.make cap 0 in
+    Array.blit old 0 counts 0 (Array.length old);
+    t.counts.(ci) <- counts;
+    let gens = Array.make cap 0 in
+    Array.blit t.span_gen.(ci) 0 gens 0 (Array.length old);
+    t.span_gen.(ci) <- gens
+  end
+
+let span_push t p =
+  if t.span_len >= Array.length t.span_buf then begin
+    let bigger = Array.make (2 * Array.length t.span_buf) 0 in
+    Array.blit t.span_buf 0 bigger 0 t.span_len;
+    t.span_buf <- bigger
+  end;
+  t.span_buf.(t.span_len) <- p;
+  t.span_len <- t.span_len + 1
+
 let hit_one t p =
-  let prev = match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0 in
-  Hashtbl.replace t.counts p (prev + 1);
-  match t.span with
-  | Some s -> t.span <- Some (Pset.add p s)
-  | None -> ()
+  let ci = p / line_space and idx = p mod line_space in
+  ensure t ci (idx + 1);
+  let counts = t.counts.(ci) in
+  let c = counts.(idx) in
+  if c = 0 then t.unique <- t.unique + 1;
+  counts.(idx) <- c + 1;
+  if t.span_on then begin
+    let gens = t.span_gen.(ci) in
+    if gens.(idx) <> t.gen then begin
+      gens.(idx) <- t.gen;
+      span_push t p
+    end
+  end
 
 (* A probe stands for a gcov basic block: executing it covers a short
    run of consecutive source lines, with a per-site deterministic
@@ -58,61 +129,106 @@ let hit t comp line =
     (* Scale the line number so blocks from adjacent probes cannot
        overlap. *)
     let base = line * 16 in
-    for i = 0 to len - 1 do
-      hit_one t (point comp (base + i))
-    done
+    let ci = Component.index comp in
+    ensure t ci (base + len);
+    let counts = t.counts.(ci) in
+    let point_base = ci * line_space in
+    if t.span_on then begin
+      let gens = t.span_gen.(ci) in
+      let gen = t.gen in
+      for i = base to base + len - 1 do
+        let c = Array.unsafe_get counts i in
+        if c = 0 then t.unique <- t.unique + 1;
+        Array.unsafe_set counts i (c + 1);
+        if Array.unsafe_get gens i <> gen then begin
+          Array.unsafe_set gens i gen;
+          span_push t (point_base + i)
+        end
+      done
+    end
+    else
+      for i = base to base + len - 1 do
+        let c = Array.unsafe_get counts i in
+        if c = 0 then t.unique <- t.unique + 1;
+        Array.unsafe_set counts i (c + 1)
+      done
   end
 
-let hits t p = match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0
+let hits t p =
+  let ci = p / line_space and idx = p mod line_space in
+  let counts = t.counts.(ci) in
+  if idx < Array.length counts then counts.(idx) else 0
 
-let covered t = Hashtbl.fold (fun p _ acc -> Pset.add p acc) t.counts Pset.empty
+let covered t =
+  let acc = ref Pset.empty in
+  Array.iteri
+    (fun ci counts ->
+      let point_base = ci * line_space in
+      Array.iteri
+        (fun idx c -> if c > 0 then acc := Pset.add (point_base + idx) !acc)
+        counts)
+    t.counts;
+  !acc
 
-let unique_lines t = Hashtbl.length t.counts
+let unique_lines t = t.unique
 
 let lines_of t comp =
-  Hashtbl.fold
-    (fun p _ acc ->
-      if point_component p = comp then point_line p :: acc else acc)
-    t.counts []
-  |> List.sort compare
+  let counts = t.counts.(Component.index comp) in
+  let acc = ref [] in
+  for idx = Array.length counts - 1 downto 0 do
+    if counts.(idx) > 0 then acc := idx :: !acc
+  done;
+  !acc
 
 (* Union for the orchestrator's join path: hit counts add, so merging
    per-worker collectors in any order equals one sequential run. The
    in-flight span (if any) of [t] is not transferred. *)
 let merge ~into t =
-  Hashtbl.iter
-    (fun p n ->
-      let prev =
-        match Hashtbl.find_opt into.counts p with Some m -> m | None -> 0
-      in
-      Hashtbl.replace into.counts p (prev + n))
+  Array.iteri
+    (fun ci counts ->
+      ensure into ci (Array.length counts);
+      let dst = into.counts.(ci) in
+      Array.iteri
+        (fun idx c ->
+          if c > 0 then begin
+            if dst.(idx) = 0 then into.unique <- into.unique + 1;
+            dst.(idx) <- dst.(idx) + c
+          end)
+        counts)
     t.counts
 
 let reset t =
-  Hashtbl.reset t.counts;
-  t.span <- None
+  Array.iter (fun counts -> Array.fill counts 0 (Array.length counts) 0) t.counts;
+  t.unique <- 0;
+  t.span_on <- false;
+  t.span_len <- 0;
+  t.gen <- t.gen + 1
 
-let span_begin t = t.span <- Some Pset.empty
+let span_begin t =
+  (* A span already in progress is discarded. *)
+  t.gen <- t.gen + 1;
+  t.span_len <- 0;
+  t.span_on <- true
 
 let span_end t =
-  let s = match t.span with Some s -> s | None -> Pset.empty in
-  t.span <- None;
-  s
+  let acc = ref Pset.empty in
+  for i = 0 to t.span_len - 1 do
+    acc := Pset.add t.span_buf.(i) !acc
+  done;
+  t.span_on <- false;
+  t.span_len <- 0;
+  t.gen <- t.gen + 1;
+  !acc
 
 let with_span t f =
-  assert (t.span = None);
-  t.span <- Some Pset.empty;
-  let finish () =
-    let s = match t.span with Some s -> s | None -> Pset.empty in
-    t.span <- None;
-    s
-  in
+  assert (not t.span_on);
+  span_begin t;
   match f () with
   | v ->
-      let s = finish () in
+      let s = span_end t in
       (v, s)
   | exception e ->
-      ignore (finish ());
+      ignore (span_end t);
       raise e
 
 let block_points comp line =
@@ -133,3 +249,7 @@ let by_component pset =
     pset;
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Keep [hit_one] reachable for white-box tests of the single-point
+   path. *)
+let _ = hit_one

@@ -62,7 +62,7 @@ let segments ~jobs ~total =
 let revert_to_anchor ~replayer = function
   | Campaign.Anchor_full snap ->
       Domain.revert (Replayer.ctx replayer).Ctx.dom snap
-  | Campaign.Anchor_cow (cps, mark) ->
+  | Campaign.Anchor_cow (cps, mark, _) ->
       ignore (Checkpoint.rewind cps mark : Domain.revert_stats)
 
 (* Run one [a, b) segment: revert the worker's domain to S_0, replay
@@ -159,7 +159,7 @@ let run_with ?plant ~replayer ~(trace : Trace.t) () =
   in
   (match anchor with
   | Campaign.Anchor_full _ -> ()
-  | Campaign.Anchor_cow (cps, mark) ->
+  | Campaign.Anchor_cow (cps, mark, _) ->
       (* the walk advanced past the mark; rewind before popping so
          the journal folds from a clean S_0 *)
       ignore (Checkpoint.rewind cps mark : Domain.revert_stats);

@@ -171,17 +171,10 @@ type snapshot_mode = Full_restore | Cow
 
 type anchor =
   | Anchor_full of Iris_hv.Domain.snapshot
-  | Anchor_cow of Iris_hv.Checkpoint.t * Iris_hv.Checkpoint.mark
-
-let anchor ?(mode = Cow) ~replayer ~trace ~seed_index () =
-  reach_sr_state ~replayer ~trace ~seed_index;
-  let dom = (Replayer.ctx replayer).Ctx.dom in
-  match mode with
-  | Full_restore -> Anchor_full (Iris_hv.Domain.snapshot dom)
-  | Cow ->
-      let cps = Iris_hv.Checkpoint.start dom in
-      let mark = Iris_hv.Checkpoint.push cps in
-      Anchor_cow (cps, mark)
+  | Anchor_cow of
+      Iris_hv.Checkpoint.t
+      * Iris_hv.Checkpoint.mark
+      * Iris_telemetry.Registry.slots option
 
 (* Per-exit-reason label array for COW revert telemetry, indexed by
    the basic exit-reason code (the code space has holes). *)
@@ -200,31 +193,64 @@ let exit_labels =
        Iris_vtx.Exit_reason.all;
      a)
 
-(* COW-effectiveness telemetry (visible in [stats]): how many reverts
-   took the journal path and how little they had to restore, broken
-   down by the exit reason under test. *)
-let note_cow ctx ~reason rs =
+(* Slot layout for the COW revert batch (see [note_cow]). *)
+let slot_reverts = 0
+let slot_pages = 1
+let slot_ept = 2
+let slot_vmcs_fields = 3
+let slot_by_reason = 4  (* + exit-reason code *)
+
+(* Resolve the COW telemetry counters to one slot batch, once per
+   anchor.  The old path did four string lookups, a counter_vec
+   re-registration and a [Lazy.force] on *every revert*; with the
+   batch, [note_cow] is nothing but int-array stores, and the sums
+   reach the named counters at snapshot/merge (flush) time. *)
+let cow_slots ctx =
   match Iris_hv.Observe.probe ctx with
-  | None -> ()
+  | None -> None
   | Some p ->
       let reg =
         (Iris_telemetry.Probe.hub p).Iris_telemetry.Hub.registry
       in
       let module R = Iris_telemetry.Registry in
-      R.incr (R.counter reg "cow.reverts");
-      R.add (R.counter reg "cow.pages_restored")
-        rs.Iris_hv.Domain.rs_pages;
-      R.add (R.counter reg "cow.ept_restored")
-        rs.Iris_hv.Domain.rs_ept_entries;
-      R.add (R.counter reg "cow.vmcs_fields_restored")
-        rs.Iris_hv.Domain.rs_vmcs_fields;
+      let fixed =
+        [| R.counter reg "cow.reverts";
+           R.counter reg "cow.pages_restored";
+           R.counter reg "cow.ept_restored";
+           R.counter reg "cow.vmcs_fields_restored" |]
+      in
       let vec =
         R.counter_vec reg "cow.pages_by_reason"
           ~labels:(Lazy.force exit_labels)
       in
-      R.vec_add64 vec
-        (Iris_vtx.Exit_reason.code reason)
-        (Int64.of_int rs.Iris_hv.Domain.rs_pages)
+      Some (R.slots_of reg (Array.append fixed (R.vec_counters vec)))
+
+let anchor ?(mode = Cow) ~replayer ~trace ~seed_index () =
+  reach_sr_state ~replayer ~trace ~seed_index;
+  let ctx = Replayer.ctx replayer in
+  let dom = ctx.Ctx.dom in
+  match mode with
+  | Full_restore -> Anchor_full (Iris_hv.Domain.snapshot dom)
+  | Cow ->
+      let cps = Iris_hv.Checkpoint.start dom in
+      let mark = Iris_hv.Checkpoint.push cps in
+      Anchor_cow (cps, mark, cow_slots ctx)
+
+(* COW-effectiveness telemetry (visible in [stats]): how many reverts
+   took the journal path and how little they had to restore, broken
+   down by the exit reason under test. *)
+let note_cow slots ~reason rs =
+  match slots with
+  | None -> ()
+  | Some sl ->
+      let module R = Iris_telemetry.Registry in
+      R.slot_incr sl slot_reverts;
+      R.slot_add sl slot_pages rs.Iris_hv.Domain.rs_pages;
+      R.slot_add sl slot_ept rs.Iris_hv.Domain.rs_ept_entries;
+      R.slot_add sl slot_vmcs_fields rs.Iris_hv.Domain.rs_vmcs_fields;
+      R.slot_add sl
+        (slot_by_reason + Iris_vtx.Exit_reason.code reason)
+        rs.Iris_hv.Domain.rs_pages
 
 let execute_case ~replayer ~anchor seed =
   let ctx = Replayer.ctx replayer in
@@ -234,9 +260,9 @@ let execute_case ~replayer ~anchor seed =
   (* Every test starts again from the valid state S_R. *)
   (match anchor with
   | Anchor_full s_r -> Iris_hv.Domain.revert ctx.Ctx.dom s_r
-  | Anchor_cow (cps, mark) ->
+  | Anchor_cow (cps, mark, slots) ->
       let rs = Iris_hv.Checkpoint.rewind cps mark in
-      note_cow ctx ~reason:seed.Seed.reason rs);
+      note_cow slots ~reason:seed.Seed.reason rs);
   { raw_failure; raw_detail; raw_span; raw_cycles }
 
 (* --- ordered merge (pure) ---
@@ -324,7 +350,7 @@ let run_with ?(snapshot_mode = Cow) ~config ~replayer ~trace ~reason ~area
       in
       (match anch with
       | Anchor_full _ -> ()
-      | Anchor_cow (cps, mark) -> Iris_hv.Checkpoint.pop cps mark);
+      | Anchor_cow (cps, mark, _) -> Iris_hv.Checkpoint.pop cps mark);
       let result = finalize ~plan:p ~raws in
       (match fi with
       | None -> ()

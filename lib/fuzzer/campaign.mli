@@ -125,9 +125,15 @@ val reach_sr :
 
 type anchor =
   | Anchor_full of Iris_hv.Domain.snapshot
-  | Anchor_cow of Iris_hv.Checkpoint.t * Iris_hv.Checkpoint.mark
+  | Anchor_cow of
+      Iris_hv.Checkpoint.t
+      * Iris_hv.Checkpoint.mark
+      * Iris_telemetry.Registry.slots option
 (** How a worker holds on to S_R between cases — a deep snapshot to
-    transplant back, or a live journal mark to rewind to. *)
+    transplant back, or a live journal mark to rewind to.  The COW
+    anchor carries the revert-telemetry slot batch, resolved once at
+    anchor time so each revert is counter-lookup-free ([None] when the
+    replayer's context has no probe). *)
 
 val anchor :
   ?mode:snapshot_mode ->

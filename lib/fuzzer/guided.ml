@@ -93,7 +93,7 @@ let run_with ?(snapshot_mode = Campaign.Cow) ~config ~replayer ~trace
       let restore_to_sr () =
         match anchor with
         | Campaign.Anchor_full s_r -> Iris_hv.Domain.revert ctx.Ctx.dom s_r
-        | Campaign.Anchor_cow (cps, mark) ->
+        | Campaign.Anchor_cow (cps, mark, _) ->
             ignore (Iris_hv.Checkpoint.rewind cps mark
                     : Iris_hv.Domain.revert_stats)
       in
@@ -163,7 +163,7 @@ let run_with ?(snapshot_mode = Campaign.Cow) ~config ~replayer ~trace
       sample config.iterations;
       (match anchor with
       | Campaign.Anchor_full _ -> ()
-      | Campaign.Anchor_cow (cps, mark) -> Iris_hv.Checkpoint.pop cps mark);
+      | Campaign.Anchor_cow (cps, mark, _) -> Iris_hv.Checkpoint.pop cps mark);
       Some
         { seed_index = target.Seed.index;
           executed = config.iterations;

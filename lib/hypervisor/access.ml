@@ -1,7 +1,7 @@
 module F = Iris_vmcs.Field
 module Op = Iris_vmcs.Vmx_op
 
-let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+let charge ctx n = ctx.Ctx.charge n
 
 let vmx ctx = (Ctx.vcpu ctx).Iris_vtx.Vcpu.vmx
 
@@ -15,30 +15,44 @@ let probe_vmwrite ctx =
   | None -> ()
   | Some p -> Iris_telemetry.Probe.on_vmwrite p
 
+(* The hypervisor's own VMCS accesses treat failure as fatal, so the
+   hot path reads the current VMCS directly instead of routing through
+   [Op.vmread]'s Result (whose closure + [Ok] box are per-call minor
+   allocations on every exit). *)
+
+let current_vmcs ctx op =
+  if Op.in_vmx_operation op then
+    match Op.current op with
+    | Some vmcs -> vmcs
+    | None -> Ctx.panic ctx "VMCS access with no current VMCS"
+  else Ctx.panic ctx "VMCS access outside VMX operation"
+
 let vmread ctx field =
   charge ctx Iris_vtx.Cost.vmread_cost;
   probe_vmread ctx;
-  match Op.vmread (vmx ctx) field with
-  | Error e ->
-      Ctx.panic ctx
-        (Format.asprintf "vmread(%s) failed: %a" (F.name field) Op.pp_error e)
-  | Ok raw ->
-      let hooks = ctx.Ctx.hooks in
-      let charge = charge ctx in
-      let value = Hooks.fire_vmread_filter hooks ~charge field raw in
-      Hooks.fire_vmread hooks ~charge field value;
-      value
+  let vmcs = current_vmcs ctx (vmx ctx) in
+  let raw = Iris_vmcs.Vmcs.read vmcs field in
+  let hooks = ctx.Ctx.hooks in
+  let charge = ctx.Ctx.charge in
+  let value = Hooks.fire_vmread_filter hooks ~charge field raw in
+  Hooks.fire_vmread hooks ~charge field value;
+  value
 
 let vmwrite ctx field value =
   charge ctx Iris_vtx.Cost.vmwrite_cost;
   probe_vmwrite ctx;
-  Hooks.fire_vmwrite ctx.Ctx.hooks ~charge:(charge ctx) field value;
-  match Op.vmwrite (vmx ctx) field value with
+  Hooks.fire_vmwrite ctx.Ctx.hooks ~charge:ctx.Ctx.charge field value;
+  let vmcs = current_vmcs ctx (vmx ctx) in
+  match Iris_vmcs.Vmcs.write vmcs field value with
   | Ok () -> ()
-  | Error e ->
+  | Error (Iris_vmcs.Vmcs.Readonly_field f) ->
       Ctx.panic ctx
-        (Format.asprintf "vmwrite(%s, 0x%Lx) failed: %a" (F.name field) value
-           Op.pp_error e)
+        (Format.asprintf "vmwrite(%s, 0x%Lx) failed: read-only field"
+           (F.name f) value)
+  | Error (Iris_vmcs.Vmcs.Unsupported_field enc) ->
+      Ctx.panic ctx
+        (Format.asprintf "vmwrite(%s, 0x%Lx) failed: unsupported encoding 0x%x"
+           (F.name field) value enc)
 
 let vmread_raw ctx field =
   match Op.vmread (vmx ctx) field with

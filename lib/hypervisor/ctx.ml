@@ -10,12 +10,18 @@ type t = {
   hooks : Hooks.t;
   log : string list ref;
   mutable backend : coverage_backend;
+  charge : int -> unit;
 }
 
 let gcov_probe_cycles = 60
 
 let create ~dom ~cov ~hooks =
-  { dom; cov; hooks; log = ref []; backend = Gcov }
+  (* [charge] is built once here: the exit path passes it to every
+     [Hooks.fire_*] call, and a fresh closure per exit would be an
+     allocation on the hottest path in the model. *)
+  let clock = dom.Domain.vcpu.Iris_vtx.Vcpu.clock in
+  { dom; cov; hooks; log = ref []; backend = Gcov;
+    charge = (fun n -> Iris_vtx.Clock.advance clock n) }
 
 let log t line = t.log := line :: !(t.log)
 

@@ -24,6 +24,10 @@ type t = {
   hooks : Hooks.t;
   log : string list ref;  (** newest first *)
   mutable backend : coverage_backend;
+  charge : int -> unit;
+      (** advance this domain's virtual clock by [n] cycles; built
+          once at {!create} so the per-exit hook calls share a single
+          closure instead of allocating one each *)
 }
 
 val create : dom:Domain.t -> cov:Iris_coverage.Cov.t -> hooks:Hooks.t -> t

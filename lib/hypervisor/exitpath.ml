@@ -4,7 +4,7 @@ module R = Iris_vtx.Exit_reason
 
 let hit ctx line = Ctx.hit ctx Comp.Vmx_c line
 
-let charge ctx n = Iris_vtx.Clock.advance (Ctx.clock ctx) n
+let charge ctx n = ctx.Ctx.charge n
 
 let dispatch_reason ctx reason =
   match reason with
@@ -77,7 +77,7 @@ let handle ctx =
   (* The per-exit telemetry label: what the reason field resolves to,
      or the preemption-timer placeholder when it never resolves. *)
   let probed_reason = ref (R.code R.Preemption_timer) in
-  Hooks.fire_exit_start ctx.Ctx.hooks ~charge:(charge ctx);
+  Hooks.fire_exit_start ctx.Ctx.hooks ~charge:ctx.Ctx.charge;
   charge ctx Iris_vtx.Cost.dispatch_base;
   hit ctx __LINE__;
   (* Opportunistic platform-timer processing, as Xen does on its exit
@@ -138,7 +138,7 @@ let handle ctx =
                ~now:(Iris_vtx.Clock.now (Ctx.clock ctx))
                ~name:(R.name reason)));
   if not (Domain.crashed ctx.Ctx.dom) then H_intr.assist ctx;
-  Hooks.fire_exit_end ctx.Ctx.hooks ~charge:(charge ctx);
+  Hooks.fire_exit_end ctx.Ctx.hooks ~charge:ctx.Ctx.charge;
   match probe with
   | None -> ()
   | Some p ->

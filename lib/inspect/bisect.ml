@@ -56,7 +56,9 @@ let digest_of_verification ~make_replayer ~seeds =
   (try Array.iter (fun s -> ignore (Replayer.submit rep s)) seeds
    with Iris_hv.Ctx.Hypervisor_panic _ -> ());
   let trace = Recorder.stop recorder ~workload:"bisect-verify" ~prng_seed:0 in
-  Digest.to_hex (Digest.bytes (Trace.encode trace))
+  (* Incremental digest: fingerprints the same fields [encode] writes
+     without materialising the serialised trace. *)
+  Trace.digest trace
 
 let minimize ~make_replayer ~prefix ~crasher =
   let seeds_replayed = ref 0 and attempts = ref 0 in

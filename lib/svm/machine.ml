@@ -412,6 +412,12 @@ let dispatch t code ~has_next_rip =
       (* SVM-only exits no VT-x trace can produce. *)
       ()
 
+(* Module-level scan instead of a [List.exists] closure so the
+   per-vmrun dispatch allocates nothing. *)
+let rec writes_next_rip = function
+  | [] -> false
+  | w :: rest -> w.Port.field = Vmcb.next_rip || writes_next_rip rest
+
 let vmrun t (tr : Port.translated) =
   t.touched <- 0;
   match t.crashed with
@@ -421,11 +427,7 @@ let vmrun t (tr : Port.translated) =
       (* Seed injection: plain stores, in seed order. *)
       Port.apply t.vmcb tr;
       List.iter (fun (r, v) -> Gpr.set t.gprs r v) tr.Port.gprs;
-      let has_next_rip =
-        List.exists
-          (fun w -> w.Port.field = Vmcb.next_rip)
-          tr.Port.writes
-      in
+      let has_next_rip = writes_next_rip tr.Port.writes in
       (* Re-inject an interrupted event, as the VT-x exit path does
          with the IDT-vectoring info. *)
       let idtv = Vmcb.read t.vmcb Vmcb.exitintinfo in

@@ -1,20 +1,32 @@
-type counter = { mutable c : int64 }
+(* Counters and histograms hold native [int]s internally: a mutable
+   [int64] field is a boxed pointer in OCaml, so every increment on
+   the old representation allocated a fresh box — pure GC tax on the
+   hottest counters (per-exit vecs, cycle histograms).  63-bit ints
+   cannot overflow for anything these instruments count.  The external
+   API stays [int64]; conversions happen only on the cold query/export
+   path. *)
+type counter = { mutable c : int }
 
 type gauge = { mutable g : int64 }
 
 let nbuckets = 64
 
 type histogram = {
-  buckets : int64 array; (* log2 buckets *)
-  mutable count : int64;
-  mutable sum : int64;
-  mutable min : int64;
-  mutable max : int64;
+  buckets : int array; (* log2 buckets *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
 }
 
 type vec = counter array
 
 type hist_vec = histogram array
+
+(* A batch of slot handles: the hot loop does plain int-array stores
+   into [sl_pending]; the deferred sums reach the named counters in
+   [sl_targets] only at flush (snapshot/merge) time. *)
+type slots = { sl_pending : int array; sl_targets : counter array }
 
 type metric =
   | M_counter of counter
@@ -23,9 +35,12 @@ type metric =
   | M_vec of vec * string array
   | M_hist_vec of hist_vec * string array
 
-type t = { metrics : (string, metric) Hashtbl.t }
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable batches : slots list;
+}
 
-let create () = { metrics = Hashtbl.create 32 }
+let create () = { metrics = Hashtbl.create 32; batches = [] }
 
 (* --- registration --- *)
 
@@ -43,7 +58,7 @@ let register t name build extract =
 let counter t name =
   register t name
     (fun () ->
-      let c = { c = 0L } in
+      let c = { c = 0 } in
       (M_counter c, c))
     (function M_counter c -> Some c | _ -> None)
 
@@ -55,11 +70,11 @@ let gauge t name =
     (function M_gauge g -> Some g | _ -> None)
 
 let fresh_histogram () =
-  { buckets = Array.make nbuckets 0L;
-    count = 0L;
-    sum = 0L;
-    min = Int64.max_int;
-    max = Int64.min_int }
+  { buckets = Array.make nbuckets 0;
+    count = 0;
+    sum = 0;
+    min = max_int;
+    max = min_int }
 
 let histogram t name =
   register t name
@@ -71,7 +86,7 @@ let histogram t name =
 let counter_vec t name ~labels =
   register t name
     (fun () ->
-      let v = Array.map (fun _ -> { c = 0L }) labels in
+      let v = Array.map (fun _ -> { c = 0 }) labels in
       (M_vec (v, labels), v))
     (function M_vec (v, _) -> Some v | _ -> None)
 
@@ -84,29 +99,50 @@ let histogram_vec t name ~labels =
 
 (* --- updates --- *)
 
-let incr c = c.c <- Int64.add c.c 1L
+let incr c = c.c <- c.c + 1
 
-let add c n = c.c <- Int64.add c.c (Int64.of_int n)
+let add c n = c.c <- c.c + n
 
-let add64 c n = c.c <- Int64.add c.c n
+let add64 c n = c.c <- c.c + Int64.to_int n
 
-let counter_value c = c.c
+let counter_value c = Int64.of_int c.c
 
 let set g v = g.g <- v
 
 let gauge_value g = g.g
 
+(* --- slot batches --- *)
+
+let slots_of t targets =
+  let sl = { sl_pending = Array.make (Array.length targets) 0;
+             sl_targets = targets } in
+  t.batches <- sl :: t.batches;
+  sl
+
+let slot_add sl i n = sl.sl_pending.(i) <- sl.sl_pending.(i) + n
+
+let slot_incr sl i = sl.sl_pending.(i) <- sl.sl_pending.(i) + 1
+
+let flush_slots sl =
+  for i = 0 to Array.length sl.sl_pending - 1 do
+    let n = sl.sl_pending.(i) in
+    if n <> 0 then begin
+      sl.sl_targets.(i).c <- sl.sl_targets.(i).c + n;
+      sl.sl_pending.(i) <- 0
+    end
+  done
+
+let flush t = List.iter flush_slots t.batches
+
+let vec_counters (v : vec) : counter array = v
+
 (* Index of the highest set bit, by binary search: O(1), no loop over
    64 positions on the hot path. *)
 let log2_bucket x =
-  if Int64.compare x 2L < 0 then 0
+  if x < 2 then 0
   else begin
     let x = ref x and b = ref 0 in
-    if Int64.shift_right_logical !x 32 <> 0L then begin
-      b := !b + 32;
-      x := Int64.shift_right_logical !x 32
-    end;
-    let x = ref (Int64.to_int !x) in
+    if !x lsr 32 <> 0 then begin b := !b + 32; x := !x lsr 32 end;
     if !x lsr 16 <> 0 then begin b := !b + 16; x := !x lsr 16 end;
     if !x lsr 8 <> 0 then begin b := !b + 8; x := !x lsr 8 end;
     if !x lsr 4 <> 0 then begin b := !b + 4; x := !x lsr 4 end;
@@ -116,13 +152,13 @@ let log2_bucket x =
   end
 
 let observe h x =
-  let x = if Int64.compare x 0L < 0 then 0L else x in
+  let x = if Int64.compare x 0L < 0 then 0 else Int64.to_int x in
   let b = log2_bucket x in
-  h.buckets.(b) <- Int64.add h.buckets.(b) 1L;
-  h.count <- Int64.add h.count 1L;
-  h.sum <- Int64.add h.sum x;
-  if Int64.compare x h.min < 0 then h.min <- x;
-  if Int64.compare x h.max > 0 then h.max <- x
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + x;
+  if x < h.min then h.min <- x;
+  if x > h.max then h.max <- x
 
 let vec_incr v code = if code >= 0 && code < Array.length v then incr v.(code)
 
@@ -134,9 +170,9 @@ let hist_observe v code x =
 
 (* --- histogram queries --- *)
 
-let hist_count h = h.count
+let hist_count h = Int64.of_int h.count
 
-let hist_sum h = h.sum
+let hist_sum h = Int64.of_int h.sum
 
 let bucket_bounds i =
   if i = 0 then (0.0, 2.0)
@@ -144,33 +180,33 @@ let bucket_bounds i =
         Int64.to_float (Int64.shift_left 1L (min 62 (i + 1))))
 
 let hist_quantile h q =
-  if h.count = 0L then nan
+  if h.count = 0 then nan
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
-    let target = q *. Int64.to_float h.count in
+    let target = q *. float_of_int h.count in
     let rec find i acc =
       if i >= nbuckets then (nbuckets - 1, acc)
       else
-        let acc' = Int64.add acc h.buckets.(i) in
-        if Int64.to_float acc' >= target && h.buckets.(i) > 0L then (i, acc)
+        let acc' = acc + h.buckets.(i) in
+        if float_of_int acc' >= target && h.buckets.(i) > 0 then (i, acc)
         else find (i + 1) acc'
     in
-    let bucket, below = find 0 0L in
-    let inside = Int64.to_float h.buckets.(bucket) in
+    let bucket, below = find 0 0 in
+    let inside = float_of_int h.buckets.(bucket) in
     let frac =
       if inside <= 0.0 then 0.0
-      else (target -. Int64.to_float below) /. inside
+      else (target -. float_of_int below) /. inside
     in
     let lo, hi = bucket_bounds bucket in
     (* Clamp the interpolated value to the observed extremes so p0/p100
        report real samples rather than bucket edges. *)
     let v = lo +. (frac *. (hi -. lo)) in
-    Float.max (Int64.to_float h.min) (Float.min (Int64.to_float h.max) v)
+    Float.max (float_of_int h.min) (Float.min (float_of_int h.max) v)
   end
 
 (* --- merge --- *)
 
-let merge_counter (dst : counter) (src : counter) = dst.c <- Int64.add dst.c src.c
+let merge_counter (dst : counter) (src : counter) = dst.c <- dst.c + src.c
 
 (* Gauges record "last set value"; across workers the only
    order-independent combination is the max, which is also what the
@@ -180,12 +216,12 @@ let merge_gauge (dst : gauge) (src : gauge) =
 
 let merge_histogram (dst : histogram) (src : histogram) =
   for i = 0 to nbuckets - 1 do
-    dst.buckets.(i) <- Int64.add dst.buckets.(i) src.buckets.(i)
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
   done;
-  dst.count <- Int64.add dst.count src.count;
-  dst.sum <- Int64.add dst.sum src.sum;
-  if Int64.compare src.min dst.min < 0 then dst.min <- src.min;
-  if Int64.compare src.max dst.max > 0 then dst.max <- src.max
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.min < dst.min then dst.min <- src.min;
+  if src.max > dst.max then dst.max <- src.max
 
 (* Commutative, associative merge used at orchestrator join time:
    counters and histograms add, gauges take the max.  Merging N
@@ -193,6 +229,8 @@ let merge_histogram (dst : histogram) (src : histogram) =
    snapshot, which is what makes the merged report partition-
    independent. *)
 let merge_into ~into src =
+  flush src;
+  flush into;
   Hashtbl.iter
     (fun name m ->
       match m with
@@ -231,28 +269,31 @@ type snapshot = (string * sample) list
 let hist_sample h =
   let buckets = ref [] in
   for i = nbuckets - 1 downto 0 do
-    if h.buckets.(i) > 0L then buckets := (i, h.buckets.(i)) :: !buckets
+    if h.buckets.(i) > 0 then
+      buckets := (i, Int64.of_int h.buckets.(i)) :: !buckets
   done;
   S_histogram
-    { count = h.count;
-      sum = h.sum;
-      min = (if h.count = 0L then 0L else h.min);
-      max = (if h.count = 0L then 0L else h.max);
+    { count = Int64.of_int h.count;
+      sum = Int64.of_int h.sum;
+      min = (if h.count = 0 then 0L else Int64.of_int h.min);
+      max = (if h.count = 0 then 0L else Int64.of_int h.max);
       buckets = !buckets }
 
 let snapshot t =
+  flush t;
   let entries = ref [] in
   Hashtbl.iter
     (fun name m ->
       match m with
-      | M_counter c -> entries := (name, S_counter c.c) :: !entries
+      | M_counter c -> entries := (name, S_counter (Int64.of_int c.c)) :: !entries
       | M_gauge g -> entries := (name, S_gauge g.g) :: !entries
       | M_histogram h -> entries := (name, hist_sample h) :: !entries
       | M_vec (v, labels) ->
           Array.iteri
             (fun i c ->
               entries :=
-                (Printf.sprintf "%s{%s}" name labels.(i), S_counter c.c)
+                ( Printf.sprintf "%s{%s}" name labels.(i),
+                  S_counter (Int64.of_int c.c) )
                 :: !entries)
             v
       | M_hist_vec (v, labels) ->

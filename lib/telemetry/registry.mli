@@ -62,6 +62,33 @@ val vec_incr : vec -> int -> unit
 val vec_add64 : vec -> int -> int64 -> unit
 val hist_observe : hist_vec -> int -> int64 -> unit
 
+(* --- slot batches (hot path, plain int-array stores) --- *)
+
+type slots
+(** A batch of preallocated slot handles over registered counters.
+    Hot loops resolve their counters to a [slots] value once (at
+    probe/anchor install time) and then do nothing but int-array
+    stores; the deferred sums reach the named counters at flush time.
+    [snapshot] and [merge_into] flush automatically, so exported
+    output is indistinguishable from direct counter updates. *)
+
+val slots_of : t -> counter array -> slots
+(** Build a batch whose slot [i] feeds [targets.(i)].  The batch is
+    tracked by the registry for flush-on-export. *)
+
+val slot_add : slots -> int -> int -> unit
+(** [slot_add sl i n] defers adding [n] to slot [i]'s counter. *)
+
+val slot_incr : slots -> int -> unit
+
+val flush : t -> unit
+(** Fold every batch's pending values into its counters.  Idempotent;
+    called implicitly by [snapshot] and [merge_into]. *)
+
+val vec_counters : vec -> counter array
+(** The underlying per-label counters, e.g. to target vec members
+    from a slot batch. *)
+
 (* --- histogram queries --- *)
 
 val hist_count : histogram -> int64

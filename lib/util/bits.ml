@@ -34,8 +34,10 @@ let popcount v =
   loop v 0
 
 let truncate_width bytes v =
+  (* In-range values come back as-is: returning the argument reuses
+     its box, where [logand] would allocate a fresh one per call. *)
   match bytes with
-  | 2 -> Int64.logand v 0xFFFFL
-  | 4 -> Int64.logand v 0xFFFFFFFFL
+  | 2 -> if v >= 0L && v <= 0xFFFFL then v else Int64.logand v 0xFFFFL
+  | 4 -> if v >= 0L && v <= 0xFFFFFFFFL then v else Int64.logand v 0xFFFFFFFFL
   | 8 -> v
   | _ -> invalid_arg "Bits.truncate_width"

@@ -35,19 +35,35 @@ let contents b = Buffer.to_bytes b
 
 let length = Buffer.length
 
-type reader = { buf : bytes; mutable pos : int; limit : int }
+(* Readers decode straight from an immutable [string] view: loading a
+   trace used to copy the whole file into [bytes] first, which doubled
+   peak memory for big corpora and showed up as allocator churn on the
+   replay path. *)
+type reader = { buf : string; mutable pos : int; limit : int }
 
-let reader buf = { buf; pos = 0; limit = Bytes.length buf }
+let reader_of_string buf = { buf; pos = 0; limit = String.length buf }
+
+(* [Bytes.unsafe_to_string] is sound here because the reader never
+   mutates [buf] and callers hand over ownership of the buffer. *)
+let reader buf = reader_of_string (Bytes.unsafe_to_string buf)
 
 let reader_sub buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then raise Truncated;
-  { buf; pos; limit = pos + len }
+  { buf = Bytes.unsafe_to_string buf; pos; limit = pos + len }
 
 let need r n = if r.pos + n > r.limit then raise Truncated
 
+(* A sub-reader over the next [len] bytes, sharing the backing string
+   (no copy); the parent skips past them. *)
+let r_reader r len =
+  need r len;
+  let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
+  r.pos <- r.pos + len;
+  sub
+
 let r_u8 r =
   need r 1;
-  let v = Char.code (Bytes.get r.buf r.pos) in
+  let v = Char.code (String.unsafe_get r.buf r.pos) in
   r.pos <- r.pos + 1;
   v
 
@@ -60,7 +76,7 @@ let r_u32 r =
   need r 4;
   let v = ref 0 in
   for i = 0 to 3 do
-    v := !v lor (Char.code (Bytes.get r.buf (r.pos + i)) lsl (8 * i))
+    v := !v lor (Char.code (String.unsafe_get r.buf (r.pos + i)) lsl (8 * i))
   done;
   r.pos <- r.pos + 4;
   !v
@@ -69,7 +85,7 @@ let r_i64 r =
   need r 8;
   let v = ref 0L in
   for i = 0 to 7 do
-    let byte = Int64.of_int (Char.code (Bytes.get r.buf (r.pos + i))) in
+    let byte = Int64.of_int (Char.code (String.unsafe_get r.buf (r.pos + i))) in
     v := Int64.logor !v (Int64.shift_left byte (8 * i))
   done;
   r.pos <- r.pos + 8;
@@ -77,13 +93,16 @@ let r_i64 r =
 
 let r_bytes r n =
   need r n;
-  let b = Bytes.sub r.buf r.pos n in
+  let b = Bytes.of_string (String.sub r.buf r.pos n) in
   r.pos <- r.pos + n;
   b
 
 let r_string r =
   let n = r_u32 r in
-  Bytes.to_string (r_bytes r n)
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
 
 let remaining r = r.limit - r.pos
 

@@ -23,9 +23,18 @@ val contents : writer -> bytes
 val length : writer -> int
 
 type reader
+(** Decodes from an immutable string view of the input; construction
+    from [bytes] does not copy (the reader takes ownership and never
+    mutates). *)
 
 val reader : bytes -> reader
+val reader_of_string : string -> reader
 val reader_sub : bytes -> pos:int -> len:int -> reader
+
+val r_reader : reader -> int -> reader
+(** [r_reader r len] carves a sub-reader over the next [len] bytes
+    without copying; [r] skips past them. *)
+
 val r_u8 : reader -> int
 val r_u16 : reader -> int
 val r_u32 : reader -> int

@@ -1,0 +1,29 @@
+(* FNV-1a, 64-bit: the incremental digest used where a structure must
+   be fingerprinted without first serializing it (replay verification
+   folds the trace fields directly instead of paying [Trace.encode]).
+   Not cryptographic — it guards against accidental divergence, the
+   same job the paper's replay-accuracy check does. *)
+
+type t = int64
+
+let init = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let byte (h : t) b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) prime
+
+let int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let int h v = int64 h (Int64.of_int v)
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,22 @@
+(** Incremental FNV-1a 64-bit fingerprint.
+
+    Fold values into the running hash in a fixed order; equal folds
+    give equal digests.  Used to fingerprint structures without
+    serializing them first (e.g. replay verification over traces).
+    Not cryptographic. *)
+
+type t = int64
+
+val init : t
+
+val byte : t -> int -> t
+(** Fold one byte (low 8 bits). *)
+
+val int : t -> int -> t
+(** Fold a native int as 8 little-endian bytes. *)
+
+val int64 : t -> int64 -> t
+
+val string : t -> string -> t
+
+val to_hex : t -> string

@@ -14,45 +14,44 @@ let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
 
 (* ---- Control-field checks (SDM 26.2.1) ---- *)
 
+(* These run on every VM entry, so they are written as plain if/else
+   chains over direct reads: the [let*] continuation closures this
+   replaced were a per-entry allocation with nothing to show for it on
+   the success path. *)
+
+let has v mask = Int64.logand v mask = mask
+
 let check_controls vmcs =
-  let rd f = Vmcs.read vmcs f in
-  let has v mask = Int64.logand v mask = mask in
-  let pin = rd Field.pin_based_vm_exec_control in
-  let cpu = rd Field.cpu_based_vm_exec_control in
-  let entry = rd Field.vm_entry_controls in
-  let exit = rd Field.vm_exit_controls in
-  let* () =
-    if has pin Controls.pin_reserved_one_mask then Ok ()
-    else Error (Invalid_control "pin-based controls: default1 bits clear")
-  in
-  let* () =
-    if has cpu Controls.cpu_reserved_one_mask then Ok ()
-    else Error (Invalid_control "proc-based controls: default1 bits clear")
-  in
-  let* () =
-    if has entry Controls.entry_reserved_one_mask then Ok ()
-    else Error (Invalid_control "entry controls: default1 bits clear")
-  in
-  let* () =
-    if has exit Controls.exit_reserved_one_mask then Ok ()
-    else Error (Invalid_control "exit controls: default1 bits clear")
-  in
-  let* () =
+  let pin = Vmcs.read vmcs Field.pin_based_vm_exec_control in
+  let cpu = Vmcs.read vmcs Field.cpu_based_vm_exec_control in
+  let entry = Vmcs.read vmcs Field.vm_entry_controls in
+  let exit = Vmcs.read vmcs Field.vm_exit_controls in
+  if not (has pin Controls.pin_reserved_one_mask) then
+    Error (Invalid_control "pin-based controls: default1 bits clear")
+  else if not (has cpu Controls.cpu_reserved_one_mask) then
+    Error (Invalid_control "proc-based controls: default1 bits clear")
+  else if not (has entry Controls.entry_reserved_one_mask) then
+    Error (Invalid_control "entry controls: default1 bits clear")
+  else if not (has exit Controls.exit_reserved_one_mask) then
+    Error (Invalid_control "exit controls: default1 bits clear")
+  else if
     (* CR3-target count must be at most 4. *)
-    if rd Field.cr3_target_count <= 4L then Ok ()
-    else Error (Invalid_control "CR3-target count > 4")
-  in
-  let info = rd Field.vm_entry_intr_info in
-  if not (Controls.intr_info_is_valid info) then Ok ()
+    Vmcs.read vmcs Field.cr3_target_count > 4L
+  then Error (Invalid_control "CR3-target count > 4")
   else begin
-    match Controls.intr_info_type info with
-    | None -> Error (Invalid_control "entry interruption info: bad type")
-    | Some Controls.Hardware_exception
-      when Controls.intr_info_vector info > 31 ->
-        Error (Invalid_control "entry interruption info: exception vector > 31")
-    | Some Controls.Nmi when Controls.intr_info_vector info <> 2 ->
-        Error (Invalid_control "entry interruption info: NMI vector not 2")
-    | Some _ -> Ok ()
+    let info = Vmcs.read vmcs Field.vm_entry_intr_info in
+    if not (Controls.intr_info_is_valid info) then Ok ()
+    else begin
+      match Controls.intr_info_type info with
+      | None -> Error (Invalid_control "entry interruption info: bad type")
+      | Some Controls.Hardware_exception
+        when Controls.intr_info_vector info > 31 ->
+          Error
+            (Invalid_control "entry interruption info: exception vector > 31")
+      | Some Controls.Nmi when Controls.intr_info_vector info <> 2 ->
+          Error (Invalid_control "entry interruption info: NMI vector not 2")
+      | Some _ -> Ok ()
+    end
   end
 
 (* ---- Host-state checks (SDM 26.2.2/26.2.3) ---- *)
@@ -62,31 +61,23 @@ let canonical addr =
   top = 0L || top = -1L
 
 let check_host_state vmcs =
-  let rd f = Vmcs.read vmcs f in
-  let* () =
-    let cr0 = rd Field.host_cr0 in
-    if Iris_x86.Cr0.test cr0 Iris_x86.Cr0.PE
-       && Iris_x86.Cr0.test cr0 Iris_x86.Cr0.PG
-    then Ok ()
-    else Error (Invalid_host_state "host CR0 must have PE and PG")
-  in
-  let* () =
-    let cr4 = rd Field.host_cr4 in
-    if Iris_x86.Cr4.test cr4 Iris_x86.Cr4.VMXE then Ok ()
-    else Error (Invalid_host_state "host CR4.VMXE clear")
-  in
-  let* () =
-    if rd Field.host_rip <> 0L && canonical (rd Field.host_rip) then Ok ()
-    else Error (Invalid_host_state "host RIP zero or non-canonical")
-  in
-  let* () =
-    let sel = rd Field.host_cs_selector in
-    if sel <> 0L && Int64.logand sel 0x7L = 0L then Ok ()
-    else Error (Invalid_host_state "host CS selector null or bad RPL/TI")
-  in
-  if Int64.logand (rd Field.host_tr_selector) 0x7L = 0L
-     && rd Field.host_tr_selector <> 0L
-  then Ok ()
+  let cr0 = Vmcs.read vmcs Field.host_cr0 in
+  let cr4 = Vmcs.read vmcs Field.host_cr4 in
+  let rip = Vmcs.read vmcs Field.host_rip in
+  let cs_sel = Vmcs.read vmcs Field.host_cs_selector in
+  let tr_sel = Vmcs.read vmcs Field.host_tr_selector in
+  if
+    not
+      (Iris_x86.Cr0.test cr0 Iris_x86.Cr0.PE
+      && Iris_x86.Cr0.test cr0 Iris_x86.Cr0.PG)
+  then Error (Invalid_host_state "host CR0 must have PE and PG")
+  else if not (Iris_x86.Cr4.test cr4 Iris_x86.Cr4.VMXE) then
+    Error (Invalid_host_state "host CR4.VMXE clear")
+  else if not (rip <> 0L && canonical rip) then
+    Error (Invalid_host_state "host RIP zero or non-canonical")
+  else if not (cs_sel <> 0L && Int64.logand cs_sel 0x7L = 0L) then
+    Error (Invalid_host_state "host CS selector null or bad RPL/TI")
+  else if Int64.logand tr_sel 0x7L = 0L && tr_sel <> 0L then Ok ()
   else Error (Invalid_host_state "host TR selector null or bad RPL/TI")
 
 (* ---- Guest-state checks (SDM 26.3.1) ---- *)

@@ -268,19 +268,29 @@ let in_area a =
 
 let pp fmt f = Format.pp_print_string fmt (name f)
 
+(* Hoisted so [segment_fields] returns a preallocated tuple: it runs
+   inside the state save/load of every exit and entry transition. *)
+let cs_fields = (guest_cs_selector, guest_cs_base, guest_cs_limit, guest_cs_ar_bytes)
+let ds_fields = (guest_ds_selector, guest_ds_base, guest_ds_limit, guest_ds_ar_bytes)
+let es_fields = (guest_es_selector, guest_es_base, guest_es_limit, guest_es_ar_bytes)
+let fs_fields = (guest_fs_selector, guest_fs_base, guest_fs_limit, guest_fs_ar_bytes)
+let gs_fields = (guest_gs_selector, guest_gs_base, guest_gs_limit, guest_gs_ar_bytes)
+let ss_fields = (guest_ss_selector, guest_ss_base, guest_ss_limit, guest_ss_ar_bytes)
+let tr_fields = (guest_tr_selector, guest_tr_base, guest_tr_limit, guest_tr_ar_bytes)
+let ldtr_fields =
+  (guest_ldtr_selector, guest_ldtr_base, guest_ldtr_limit, guest_ldtr_ar_bytes)
+
 let segment_fields seg =
   let open Iris_x86.Segment in
   match seg with
-  | Cs -> (guest_cs_selector, guest_cs_base, guest_cs_limit, guest_cs_ar_bytes)
-  | Ds -> (guest_ds_selector, guest_ds_base, guest_ds_limit, guest_ds_ar_bytes)
-  | Es -> (guest_es_selector, guest_es_base, guest_es_limit, guest_es_ar_bytes)
-  | Fs -> (guest_fs_selector, guest_fs_base, guest_fs_limit, guest_fs_ar_bytes)
-  | Gs -> (guest_gs_selector, guest_gs_base, guest_gs_limit, guest_gs_ar_bytes)
-  | Ss -> (guest_ss_selector, guest_ss_base, guest_ss_limit, guest_ss_ar_bytes)
-  | Tr -> (guest_tr_selector, guest_tr_base, guest_tr_limit, guest_tr_ar_bytes)
-  | Ldtr ->
-      (guest_ldtr_selector, guest_ldtr_base, guest_ldtr_limit,
-       guest_ldtr_ar_bytes)
+  | Cs -> cs_fields
+  | Ds -> ds_fields
+  | Es -> es_fields
+  | Fs -> fs_fields
+  | Gs -> gs_fields
+  | Ss -> ss_fields
+  | Tr -> tr_fields
+  | Ldtr -> ldtr_fields
 
 (* Silence unused warnings for table-only fields that have no direct
    consumer yet but must exist for encoding completeness. *)

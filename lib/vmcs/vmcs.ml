@@ -2,22 +2,47 @@ type launch_state = Clear | Active_current_clear | Active_current_launched
 
 (* One copy-on-write epoch: the prior value of every field written
    since the checkpoint that opened the epoch, plus the launch state
-   at that instant. *)
+   at that instant.
+
+   The epoch is a dense journal over the compact field space — an
+   old-value slot and a seen byte per field plus a dirty-index stack —
+   so the per-write probe is a single byte load instead of the
+   mem-then-add double Hashtbl lookup it replaced, and rewind/commit
+   walk only the dirty stack.  Journals are pooled on [t] so steady-
+   state checkpointing allocates nothing. *)
 type journal = {
-  j_old : (int, int64) Hashtbl.t;  (* compact index -> old value *)
-  j_launch : launch_state;
+  j_old : int64 array;   (* old value per touched compact index *)
+  j_seen : Bytes.t;      (* '\001' when the index is journaled *)
+  j_dirty : int array;   (* touched indices, oldest first *)
+  mutable j_n : int;
+  mutable j_launch : launch_state;
 }
 
 type t = {
   values : int64 array; (* indexed by Field.compact *)
   mutable launch : launch_state;
   mutable journals : journal list;  (* innermost epoch first *)
+  mutable pool : journal list;      (* recycled epochs *)
 }
+
+let fresh_journal launch =
+  { j_old = Array.make Field.count 0L;
+    j_seen = Bytes.make Field.count '\000';
+    j_dirty = Array.make Field.count 0;
+    j_n = 0;
+    j_launch = launch }
+
+let clear_journal j =
+  for k = 0 to j.j_n - 1 do
+    Bytes.unsafe_set j.j_seen j.j_dirty.(k) '\000'
+  done;
+  j.j_n <- 0
 
 let revision_id = 0x00DE5E27L
 
 let create () =
-  { values = Array.make Field.count 0L; launch = Clear; journals = [] }
+  { values = Array.make Field.count 0L; launch = Clear; journals = [];
+    pool = [] }
 
 let state t = t.launch
 
@@ -42,8 +67,14 @@ let journal_write t idx =
   match t.journals with
   | [] -> ()
   | j :: _ ->
-      if not (Hashtbl.mem j.j_old idx) then
-        Hashtbl.add j.j_old idx t.values.(idx)
+      (* Single probe: one byte load decides; no second lookup on the
+         insert path. *)
+      if Bytes.unsafe_get j.j_seen idx = '\000' then begin
+        Bytes.unsafe_set j.j_seen idx '\001';
+        j.j_old.(idx) <- t.values.(idx);
+        j.j_dirty.(j.j_n) <- idx;
+        j.j_n <- j.j_n + 1
+      end
 
 let write t f v =
   if Field.readonly f then Error (Readonly_field f)
@@ -74,12 +105,17 @@ let write_by_encoding t enc v =
   | Some f -> write t f v
 
 let copy t =
-  { values = Array.copy t.values; launch = t.launch; journals = [] }
+  { values = Array.copy t.values; launch = t.launch; journals = []; pool = [] }
+
+let recycle t j =
+  clear_journal j;
+  t.pool <- j :: t.pool
 
 let restore_from t ~src =
   Array.blit src.values 0 t.values 0 Field.count;
   t.launch <- src.launch;
   (* Full restore: any outstanding checkpoints are meaningless now. *)
+  List.iter (recycle t) t.journals;
   t.journals <- []
 
 (* --- incremental (copy-on-write) checkpoints --- *)
@@ -87,18 +123,29 @@ let restore_from t ~src =
 type checkpoint = int
 
 let checkpoint t =
-  t.journals <- { j_old = Hashtbl.create 8; j_launch = t.launch } :: t.journals;
+  let j =
+    match t.pool with
+    | j :: rest ->
+        t.pool <- rest;
+        j.j_launch <- t.launch;
+        j
+    | [] -> fresh_journal t.launch
+  in
+  t.journals <- j :: t.journals;
   List.length t.journals
 
 let checkpoint_depth t = List.length t.journals
 
 let journaled_fields t =
-  match t.journals with [] -> 0 | j :: _ -> Hashtbl.length j.j_old
+  match t.journals with [] -> 0 | j :: _ -> j.j_n
 
 let apply_journal t j =
-  Hashtbl.iter (fun idx old -> t.values.(idx) <- old) j.j_old;
+  for k = 0 to j.j_n - 1 do
+    let idx = j.j_dirty.(k) in
+    t.values.(idx) <- j.j_old.(idx)
+  done;
   t.launch <- j.j_launch;
-  Hashtbl.length j.j_old
+  j.j_n
 
 let rewind t cp =
   if cp <= 0 || cp > List.length t.journals then
@@ -109,10 +156,13 @@ let rewind t cp =
     | j :: rest as js ->
         restored := !restored + apply_journal t j;
         if List.length js = cp then begin
-          Hashtbl.reset j.j_old;
+          clear_journal j;
           t.journals <- js
         end
-        else undo rest
+        else begin
+          recycle t j;
+          undo rest
+        end
   in
   undo t.journals;
   !restored
@@ -126,11 +176,16 @@ let commit t cp =
       (match rest with
       | [] -> ()
       | parent :: _ ->
-          Hashtbl.iter
-            (fun idx old ->
-              if not (Hashtbl.mem parent.j_old idx) then
-                Hashtbl.add parent.j_old idx old)
-            j.j_old);
+          for k = 0 to j.j_n - 1 do
+            let idx = j.j_dirty.(k) in
+            if Bytes.unsafe_get parent.j_seen idx = '\000' then begin
+              Bytes.unsafe_set parent.j_seen idx '\001';
+              parent.j_old.(idx) <- j.j_old.(idx);
+              parent.j_dirty.(parent.j_n) <- idx;
+              parent.j_n <- parent.j_n + 1
+            end
+          done);
+      recycle t j;
       t.journals <- rest
 
 let equal_area a b area =

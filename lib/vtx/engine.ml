@@ -3,31 +3,65 @@ module F = Iris_vmcs.Field
 module V = Iris_vmcs.Vmcs
 module C = Iris_vmcs.Controls
 
+type event = {
+  mutable reason : Exit_reason.t;
+  mutable qualification : int64;
+  mutable guest_linear : int64;
+  mutable guest_physical : int64;
+  mutable intr_info : int64;
+  mutable intr_error : int64;
+  mutable insn_len : int;
+  mutable insn : Insn.t option;
+}
+
+type outcome =
+  | Exit of event
+  | Program_done
+
 type t = {
   vcpu : Vcpu.t;
   mem : Iris_memory.Gmem.t;
   ept : Iris_memory.Ept.t;
   mutable exit_counters : Iris_telemetry.Registry.vec option;
+  scratch : event;
+  scratch_exit : outcome;
 }
 
-type event = {
-  reason : Exit_reason.t;
-  qualification : int64;
-  guest_linear : int64;
-  guest_physical : int64;
-  intr_info : int64;
-  intr_error : int64;
-  insn_len : int;
-  insn : Insn.t option;
-}
+let null_event reason =
+  { reason;
+    qualification = 0L;
+    guest_linear = 0L;
+    guest_physical = 0L;
+    intr_info = 0L;
+    intr_error = 0L;
+    insn_len = 0;
+    insn = None }
 
-let create ~vcpu ~mem ~ept = { vcpu; mem; ept; exit_counters = None }
+let create ~vcpu ~mem ~ept =
+  let scratch = null_event Exit_reason.Preemption_timer in
+  { vcpu; mem; ept; exit_counters = None; scratch;
+    scratch_exit = Exit scratch }
 
 let set_exit_counters t vec = t.exit_counters <- vec
 
-type outcome =
-  | Exit of event
-  | Program_done
+(* Reset the per-vCPU scratch event for a new exit.  All exits flow
+   through this one record: the old path allocated a fresh [event]
+   (plus an [Exit] block) per VM exit, which at campaign rates was the
+   engine's entire allocation budget.  Consumers pattern-match
+   [Exit ev] and consume [ev] before the next call into the engine —
+   the same single-ownership discipline hardware imposes on the
+   VMCS exit-information area. *)
+let scratch_reset t reason =
+  let ev = t.scratch in
+  ev.reason <- reason;
+  ev.qualification <- 0L;
+  ev.guest_linear <- 0L;
+  ev.guest_physical <- 0L;
+  ev.intr_info <- 0L;
+  ev.intr_error <- 0L;
+  ev.insn_len <- 0;
+  ev.insn <- None;
+  ev
 
 let insn_length insn =
   match insn with
@@ -47,16 +81,6 @@ let insn_length insn =
   | Insn.Far_jump _ -> 7
   | Insn.Invlpg _ -> 3
   | Insn.Xsetbv _ -> 3
-
-let null_event reason =
-  { reason;
-    qualification = 0L;
-    guest_linear = 0L;
-    guest_physical = 0L;
-    intr_info = 0L;
-    intr_error = 0L;
-    insn_len = 0;
-    insn = None }
 
 (* The faulting instruction's bytes live in guest memory at CS:RIP —
    that is where a hypervisor's emulator re-fetches them from.  The
@@ -95,7 +119,9 @@ let materialize_insn_bytes t insn =
       end
 
 (* The VM-exit transition: charge the hardware context-switch cost,
-   save the live guest state and exit information into the VMCS. *)
+   save the live guest state and exit information into the VMCS.
+   [ev] is always [t.scratch]; the preallocated [t.scratch_exit]
+   returned here keeps the transition allocation-free. *)
 let do_exit t ev =
   let v = t.vcpu in
   (match ev.insn with
@@ -103,24 +129,25 @@ let do_exit t ev =
   | None -> ());
   Clock.advance v.Vcpu.clock Cost.exit_transition;
   Vcpu.save_to_vmcs v;
-  let w f value = V.write_exit_info v.Vcpu.vmcs f value in
-  w F.vm_exit_reason (Exit_reason.reason_field_value ev.reason);
-  w F.exit_qualification ev.qualification;
-  w F.guest_linear_address ev.guest_linear;
-  w F.guest_physical_address ev.guest_physical;
-  w F.vm_exit_intr_info ev.intr_info;
-  w F.vm_exit_intr_error_code ev.intr_error;
-  w F.vm_exit_instruction_len (Int64.of_int ev.insn_len);
-  w F.io_rcx (Gpr.get v.Vcpu.regs Gpr.Rcx);
-  w F.io_rsi (Gpr.get v.Vcpu.regs Gpr.Rsi);
-  w F.io_rdi (Gpr.get v.Vcpu.regs Gpr.Rdi);
-  w F.io_rip v.Vcpu.rip;
+  let vmcs = v.Vcpu.vmcs in
+  V.write_exit_info vmcs F.vm_exit_reason
+    (Exit_reason.reason_field_value ev.reason);
+  V.write_exit_info vmcs F.exit_qualification ev.qualification;
+  V.write_exit_info vmcs F.guest_linear_address ev.guest_linear;
+  V.write_exit_info vmcs F.guest_physical_address ev.guest_physical;
+  V.write_exit_info vmcs F.vm_exit_intr_info ev.intr_info;
+  V.write_exit_info vmcs F.vm_exit_intr_error_code ev.intr_error;
+  V.write_exit_info vmcs F.vm_exit_instruction_len (Int64.of_int ev.insn_len);
+  V.write_exit_info vmcs F.io_rcx (Gpr.get v.Vcpu.regs Gpr.Rcx);
+  V.write_exit_info vmcs F.io_rsi (Gpr.get v.Vcpu.regs Gpr.Rsi);
+  V.write_exit_info vmcs F.io_rdi (Gpr.get v.Vcpu.regs Gpr.Rdi);
+  V.write_exit_info vmcs F.io_rip v.Vcpu.rip;
   v.Vcpu.exits <- v.Vcpu.exits + 1;
   (match t.exit_counters with
   | None -> ()
   | Some vec ->
       Iris_telemetry.Registry.vec_incr vec (Exit_reason.code ev.reason));
-  Exit ev
+  t.scratch_exit
 
 let ctrl t f = V.read t.vcpu.Vcpu.vmcs f
 
@@ -228,7 +255,8 @@ let apply_non_trapping t insn =
          the classifier. *)
       assert false
 
-(* Decide whether an instruction traps and, if so, build the event. *)
+(* Decide whether an instruction traps and, if so, fill the scratch
+   event with its exit information. *)
 let classify t insn =
   let len = insn_length insn in
   let qual_cr cr access gpr =
@@ -236,13 +264,13 @@ let classify t insn =
   in
   let trap ?(qualification = 0L) ?(guest_linear = 0L) ?(guest_physical = 0L)
       reason =
-    Some
-      { (null_event reason) with
-        qualification;
-        guest_linear;
-        guest_physical;
-        insn_len = len;
-        insn = Some insn }
+    let ev = scratch_reset t reason in
+    ev.qualification <- qualification;
+    ev.guest_linear <- guest_linear;
+    ev.guest_physical <- guest_physical;
+    ev.insn_len <- len;
+    ev.insn <- Some insn;
+    true
   in
   match insn with
   | Insn.Cpuid _ -> trap Exit_reason.Cpuid
@@ -251,19 +279,19 @@ let classify t insn =
   | Insn.Rdmsr _ -> trap Exit_reason.Rdmsr
   | Insn.Wrmsr _ -> trap Exit_reason.Wrmsr
   | Insn.Rdtsc ->
-      if cpu_has t C.cpu_rdtsc_exiting then trap Exit_reason.Rdtsc else None
+      if cpu_has t C.cpu_rdtsc_exiting then trap Exit_reason.Rdtsc else false
   | Insn.Rdtscp ->
-      if cpu_has t C.cpu_rdtsc_exiting then trap Exit_reason.Rdtscp else None
+      if cpu_has t C.cpu_rdtsc_exiting then trap Exit_reason.Rdtscp else false
   | Insn.Hlt ->
-      if cpu_has t C.cpu_hlt_exiting then trap Exit_reason.Hlt else None
+      if cpu_has t C.cpu_hlt_exiting then trap Exit_reason.Hlt else false
   | Insn.Pause ->
-      if cpu_has t C.cpu_pause_exiting then trap Exit_reason.Pause else None
+      if cpu_has t C.cpu_pause_exiting then trap Exit_reason.Pause else false
   | Insn.Invlpg addr ->
       if cpu_has t C.cpu_invlpg_exiting then
         trap ~qualification:addr Exit_reason.Invlpg
-      else None
+      else false
   | Insn.Wbinvd ->
-      if sec_has t C.sec_wbinvd_exiting then trap Exit_reason.Wbinvd else None
+      if sec_has t C.sec_wbinvd_exiting then trap Exit_reason.Wbinvd else false
   | Insn.Mov_to_cr (cr, value) -> (
       match cr with
       | Insn.Creg0 | Insn.Creg4 ->
@@ -276,19 +304,19 @@ let classify t insn =
             trap
               ~qualification:(qual_cr crn Exit_qual.Mov_to_cr Gpr.Rax)
               Exit_reason.Cr_access
-          else None
+          else false
       | Insn.Creg3 ->
           if cpu_has t C.cpu_cr3_load_exiting then
             trap
               ~qualification:(qual_cr 3 Exit_qual.Mov_to_cr Gpr.Rax)
               Exit_reason.Cr_access
-          else None
+          else false
       | Insn.Creg8 ->
           if cpu_has t C.cpu_cr8_load_exiting then
             trap
               ~qualification:(qual_cr 8 Exit_qual.Mov_to_cr Gpr.Rax)
               Exit_reason.Cr_access
-          else None)
+          else false)
   | Insn.Mov_from_cr (cr, dst) -> (
       match cr with
       | Insn.Creg3 ->
@@ -296,21 +324,21 @@ let classify t insn =
             trap
               ~qualification:(qual_cr 3 Exit_qual.Mov_from_cr dst)
               Exit_reason.Cr_access
-          else None
+          else false
       | Insn.Creg8 ->
           if cpu_has t C.cpu_cr8_store_exiting then
             trap
               ~qualification:(qual_cr 8 Exit_qual.Mov_from_cr dst)
               Exit_reason.Cr_access
-          else None
-      | Insn.Creg0 | Insn.Creg4 -> None)
+          else false
+      | Insn.Creg0 | Insn.Creg4 -> false)
   | Insn.Clts ->
       let mask = ctrl t F.cr0_guest_host_mask in
       if Iris_util.Bits.test mask (Cr0.bit_of_flag Cr0.TS) then
         trap
           ~qualification:(qual_cr 0 Exit_qual.Clts_op Gpr.Rax)
           Exit_reason.Cr_access
-      else None
+      else false
   | Insn.Out { port; width; _ } | Insn.In { port; width; _ } ->
       if cpu_has t C.cpu_uncond_io_exiting || cpu_has t C.cpu_use_io_bitmaps
       then begin
@@ -327,7 +355,7 @@ let classify t insn =
         in
         trap ~qualification:q Exit_reason.Io_instruction
       end
-      else None
+      else false
   | Insn.Outs { port; width; src; count } ->
       let q =
         Exit_qual.encode_io
@@ -350,14 +378,14 @@ let classify t insn =
       trap ~qualification:q ~guest_linear:dst_mem Exit_reason.Io_instruction
   | Insn.Read_mem { gpa; _ } -> (
       match Iris_memory.Ept.check t.ept ~gpa Iris_memory.Ept.Read with
-      | Ok () -> None
+      | Ok () -> false
       | Error viol ->
           trap
             ~qualification:(Iris_memory.Ept.qualification viol)
             ~guest_linear:gpa ~guest_physical:gpa Exit_reason.Ept_violation)
   | Insn.Write_mem { gpa; _ } -> (
       match Iris_memory.Ept.check t.ept ~gpa Iris_memory.Ept.Write with
-      | Ok () -> None
+      | Ok () -> false
       | Error viol ->
           trap
             ~qualification:(Iris_memory.Ept.qualification viol)
@@ -365,25 +393,24 @@ let classify t insn =
   | Insn.Lgdt _ | Insn.Lidt _ ->
       if sec_has t C.sec_desc_table_exiting then
         trap Exit_reason.Gdtr_idtr_access
-      else None
+      else false
   | Insn.Ltr _ ->
       if sec_has t C.sec_desc_table_exiting then
         trap Exit_reason.Ldtr_tr_access
-      else None
+      else false
   | Insn.Int3 ->
       if Iris_util.Bits.test (ctrl t F.exception_bitmap) (Exn.vector Exn.BP)
-      then
-        trap
-          ~qualification:0L Exit_reason.Exception_or_nmi
-        |> Option.map (fun ev ->
-               { ev with
-                 intr_info =
-                   C.make_intr_info ~typ:C.Software_exception
-                     ~vector:(Exn.vector Exn.BP) () })
-      else None
+      then begin
+        let trapped = trap ~qualification:0L Exit_reason.Exception_or_nmi in
+        t.scratch.intr_info <-
+          C.make_intr_info ~typ:C.Software_exception
+            ~vector:(Exn.vector Exn.BP) ();
+        trapped
+      end
+      else false
   | Insn.Compute _ | Insn.Set_gpr _ | Insn.Sti | Insn.Cli | Insn.Far_jump _
     ->
-      None
+      false
 
 (* Trapping instructions carry operands in architectural registers:
    the handler reads them from the hypervisor-saved GPR file, so the
@@ -445,10 +472,10 @@ let rec run_until_exit t ~fetch =
   poll_host_timer v;
   if v.Vcpu.force_triple_fault then begin
     v.Vcpu.force_triple_fault <- false;
-    do_exit t (null_event Exit_reason.Triple_fault)
+    do_exit t (scratch_reset t Exit_reason.Triple_fault)
   end
   else if pin_has t C.pin_preemption_timer && v.Vcpu.preemption_timer <= 0L
-  then do_exit t (null_event Exit_reason.Preemption_timer)
+  then do_exit t (scratch_reset t Exit_reason.Preemption_timer)
   else begin
     match v.Vcpu.pending_extint with
     | Some vector when pin_has t C.pin_ext_intr_exiting ->
@@ -466,24 +493,27 @@ let rec run_until_exit t ~fetch =
           else 0L
         in
         if ack then v.Vcpu.pending_extint <- None;
-        do_exit t { (null_event Exit_reason.External_interrupt) with intr_info }
+        let ev = scratch_reset t Exit_reason.External_interrupt in
+        ev.intr_info <- intr_info;
+        do_exit t ev
     | Some _ when cpu_has t C.cpu_intr_window_exiting && Vcpu.if_enabled v ->
-        do_exit t (null_event Exit_reason.Interrupt_window)
+        do_exit t (scratch_reset t Exit_reason.Interrupt_window)
     | None when cpu_has t C.cpu_intr_window_exiting && Vcpu.if_enabled v ->
-        do_exit t (null_event Exit_reason.Interrupt_window)
+        do_exit t (scratch_reset t Exit_reason.Interrupt_window)
     | Some _ | None -> (
         match fetch () with
         | None -> Program_done
-        | Some insn -> (
-            match classify t insn with
-            | Some ev ->
-                (* Decode cost of the trapping instruction. *)
-                charge t insn;
-                setup_trap_registers v insn;
-                do_exit t ev
-            | None ->
-                apply_non_trapping t insn;
-                run_until_exit t ~fetch))
+        | Some insn ->
+            if classify t insn then begin
+              (* Decode cost of the trapping instruction. *)
+              charge t insn;
+              setup_trap_registers v insn;
+              do_exit t t.scratch
+            end
+            else begin
+              apply_non_trapping t insn;
+              run_until_exit t ~fetch
+            end)
   end
 
 let complete_entry t =

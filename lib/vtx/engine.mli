@@ -9,6 +9,31 @@
     the hypervisor queued in the entry interruption-information
     field. *)
 
+type event = {
+  mutable reason : Exit_reason.t;
+  mutable qualification : int64;
+  mutable guest_linear : int64;
+  mutable guest_physical : int64;
+  mutable intr_info : int64;
+  mutable intr_error : int64;
+  mutable insn_len : int;
+  mutable insn : Iris_x86.Insn.t option;
+      (** the trapping instruction, available to the emulator on the
+          record side; [None] on replayed exits, where there is no
+          guest instruction stream to fetch from *)
+}
+(** Exit information, mirroring the VMCS exit-information area.  The
+    fields are mutable because every exit of a vCPU is delivered
+    through one preallocated scratch record (see {!t.scratch}):
+    consume the event before the next call into the engine, exactly
+    as a hypervisor must read the exit-information fields before the
+    next VMLAUNCH overwrites them. *)
+
+type outcome =
+  | Exit of event
+  | Program_done
+      (** the instruction stream is exhausted without a trap *)
+
 type t = {
   vcpu : Vcpu.t;
   mem : Iris_memory.Gmem.t;
@@ -17,20 +42,12 @@ type t = {
       (** per-exit-reason telemetry counters, bumped at the VM-exit
           transition (hardware side, before the hypervisor dispatches);
           [None] keeps the transition uninstrumented *)
-}
-
-type event = {
-  reason : Exit_reason.t;
-  qualification : int64;
-  guest_linear : int64;
-  guest_physical : int64;
-  intr_info : int64;
-  intr_error : int64;
-  insn_len : int;
-  insn : Iris_x86.Insn.t option;
-      (** the trapping instruction, available to the emulator on the
-          record side; [None] on replayed exits, where there is no
-          guest instruction stream to fetch from *)
+  scratch : event;
+      (** the per-vCPU exit-information scratch record; every
+          [Exit ev] returned by {!run_until_exit} aliases it *)
+  scratch_exit : outcome;
+      (** preallocated [Exit scratch] so the exit transition
+          allocates nothing *)
 }
 
 val create :
@@ -40,15 +57,13 @@ val set_exit_counters : t -> Iris_telemetry.Registry.vec option -> unit
 (** Install (or remove) the per-reason exit counter family, indexed by
     {!Exit_reason.code}. *)
 
-type outcome =
-  | Exit of event
-  | Program_done
-      (** the instruction stream is exhausted without a trap *)
-
 val run_until_exit : t -> fetch:(unit -> Iris_x86.Insn.t option) -> outcome
 (** Execute from the current guest state.  Checks, in priority order:
     forced triple fault, preemption-timer expiry, pending external
-    interrupt (if unmasked), interrupt-window, then instructions. *)
+    interrupt (if unmasked), interrupt-window, then instructions.
+
+    The returned [Exit ev] aliases the engine's scratch event; read
+    what you need from it before calling into the engine again. *)
 
 val complete_entry : t -> unit
 (** VM-entry tail: load guest state from the VMCS, deliver a pending

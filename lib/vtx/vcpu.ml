@@ -104,64 +104,74 @@ let advance_rip t len =
 (* Hardware guest-state save.  Uses the processor-internal write path:
    these stores are performed by the CPU during the exit transition,
    not by hypervisor VMWRITEs, so they are invisible to IRIS hooks. *)
+let save_seg t name =
+  let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
+  let s = get_seg t name in
+  V.write_exit_info t.vmcs sel_f (Int64.of_int s.Segment.selector);
+  V.write_exit_info t.vmcs base_f s.Segment.base;
+  V.write_exit_info t.vmcs limit_f s.Segment.limit;
+  V.write_exit_info t.vmcs ar_f (Int64.of_int s.Segment.ar)
+
 let save_to_vmcs t =
-  let w f v = V.write_exit_info t.vmcs f v in
-  w F.guest_cr0 t.cr0;
-  w F.guest_cr3 t.cr3;
-  w F.guest_cr4 t.cr4;
-  w F.guest_rip t.rip;
-  w F.guest_rsp t.rsp;
-  w F.guest_rflags t.rflags;
-  w F.guest_ia32_efer t.efer;
-  w F.guest_dr7 t.dr7;
-  w F.guest_activity_state t.activity;
-  w F.guest_interruptibility_info t.interruptibility;
-  w F.guest_gdtr_base t.gdtr_base;
-  w F.guest_gdtr_limit t.gdtr_limit;
-  w F.guest_idtr_base t.idtr_base;
-  w F.guest_idtr_limit t.idtr_limit;
-  w F.guest_sysenter_cs (Msr.read t.msrs Msr.Ia32_sysenter_cs);
-  w F.guest_sysenter_esp (Msr.read t.msrs Msr.Ia32_sysenter_esp);
-  w F.guest_sysenter_eip (Msr.read t.msrs Msr.Ia32_sysenter_eip);
-  List.iter
-    (fun name ->
-      let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
-      let s = get_seg t name in
-      w sel_f (Int64.of_int s.Segment.selector);
-      w base_f s.Segment.base;
-      w limit_f s.Segment.limit;
-      w ar_f (Int64.of_int s.Segment.ar))
-    Segment.all_names
+  let vmcs = t.vmcs in
+  V.write_exit_info vmcs F.guest_cr0 t.cr0;
+  V.write_exit_info vmcs F.guest_cr3 t.cr3;
+  V.write_exit_info vmcs F.guest_cr4 t.cr4;
+  V.write_exit_info vmcs F.guest_rip t.rip;
+  V.write_exit_info vmcs F.guest_rsp t.rsp;
+  V.write_exit_info vmcs F.guest_rflags t.rflags;
+  V.write_exit_info vmcs F.guest_ia32_efer t.efer;
+  V.write_exit_info vmcs F.guest_dr7 t.dr7;
+  V.write_exit_info vmcs F.guest_activity_state t.activity;
+  V.write_exit_info vmcs F.guest_interruptibility_info t.interruptibility;
+  V.write_exit_info vmcs F.guest_gdtr_base t.gdtr_base;
+  V.write_exit_info vmcs F.guest_gdtr_limit t.gdtr_limit;
+  V.write_exit_info vmcs F.guest_idtr_base t.idtr_base;
+  V.write_exit_info vmcs F.guest_idtr_limit t.idtr_limit;
+  V.write_exit_info vmcs F.guest_sysenter_cs (Msr.read t.msrs Msr.Ia32_sysenter_cs);
+  V.write_exit_info vmcs F.guest_sysenter_esp (Msr.read t.msrs Msr.Ia32_sysenter_esp);
+  V.write_exit_info vmcs F.guest_sysenter_eip (Msr.read t.msrs Msr.Ia32_sysenter_eip);
+  List.iter (save_seg t) Segment.all_names
+
+(* Rebuild the cached segment record only when the VMCS copy actually
+   moved: segment state is cold on the exit hot path, and skipping the
+   rebuild keeps the entry transition from allocating six records per
+   entry. *)
+let load_seg t name =
+  let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
+  let selector = Int64.to_int (V.read t.vmcs sel_f) in
+  let base = V.read t.vmcs base_f in
+  let limit = V.read t.vmcs limit_f in
+  let ar = Int64.to_int (V.read t.vmcs ar_f) in
+  let s = get_seg t name in
+  if
+    s.Segment.selector <> selector
+    || s.Segment.base <> base
+    || s.Segment.limit <> limit
+    || s.Segment.ar <> ar
+  then set_seg t name { Segment.selector; base; limit; ar }
 
 let load_from_vmcs t =
-  let r f = V.read t.vmcs f in
-  t.cr0 <- r F.guest_cr0;
-  t.cr3 <- r F.guest_cr3;
-  t.cr4 <- r F.guest_cr4;
-  t.rip <- r F.guest_rip;
-  t.rsp <- r F.guest_rsp;
-  t.rflags <- Rflags.canonical (r F.guest_rflags);
-  t.efer <- r F.guest_ia32_efer;
-  t.dr7 <- r F.guest_dr7;
-  t.activity <- r F.guest_activity_state;
-  t.interruptibility <- r F.guest_interruptibility_info;
-  t.gdtr_base <- r F.guest_gdtr_base;
-  t.gdtr_limit <- r F.guest_gdtr_limit;
-  t.idtr_base <- r F.guest_idtr_base;
-  t.idtr_limit <- r F.guest_idtr_limit;
-  Msr.write t.msrs Msr.Ia32_sysenter_cs (r F.guest_sysenter_cs);
-  Msr.write t.msrs Msr.Ia32_sysenter_esp (r F.guest_sysenter_esp);
-  Msr.write t.msrs Msr.Ia32_sysenter_eip (r F.guest_sysenter_eip);
-  List.iter
-    (fun name ->
-      let sel_f, base_f, limit_f, ar_f = F.segment_fields name in
-      set_seg t name
-        { Segment.selector = Int64.to_int (r sel_f);
-          base = r base_f;
-          limit = r limit_f;
-          ar = Int64.to_int (r ar_f) })
-    Segment.all_names;
-  t.preemption_timer <- r F.guest_preemption_timer
+  let vmcs = t.vmcs in
+  t.cr0 <- V.read vmcs F.guest_cr0;
+  t.cr3 <- V.read vmcs F.guest_cr3;
+  t.cr4 <- V.read vmcs F.guest_cr4;
+  t.rip <- V.read vmcs F.guest_rip;
+  t.rsp <- V.read vmcs F.guest_rsp;
+  t.rflags <- Rflags.canonical (V.read vmcs F.guest_rflags);
+  t.efer <- V.read vmcs F.guest_ia32_efer;
+  t.dr7 <- V.read vmcs F.guest_dr7;
+  t.activity <- V.read vmcs F.guest_activity_state;
+  t.interruptibility <- V.read vmcs F.guest_interruptibility_info;
+  t.gdtr_base <- V.read vmcs F.guest_gdtr_base;
+  t.gdtr_limit <- V.read vmcs F.guest_gdtr_limit;
+  t.idtr_base <- V.read vmcs F.guest_idtr_base;
+  t.idtr_limit <- V.read vmcs F.guest_idtr_limit;
+  Msr.write t.msrs Msr.Ia32_sysenter_cs (V.read vmcs F.guest_sysenter_cs);
+  Msr.write t.msrs Msr.Ia32_sysenter_esp (V.read vmcs F.guest_sysenter_esp);
+  Msr.write t.msrs Msr.Ia32_sysenter_eip (V.read vmcs F.guest_sysenter_eip);
+  List.iter (load_seg t) Segment.all_names;
+  t.preemption_timer <- V.read vmcs F.guest_preemption_timer
 
 let snapshot t =
   { t with

@@ -315,6 +315,215 @@ let test_block_points_matches_hit () =
   check Alcotest.bool "block_points = hit expansion" true
     (Cov.Pset.equal (Cov.block_points Comp.Ept_c 42) (Cov.covered c))
 
+(* --- oracle equivalence ---
+
+   A reference collector with the semantics of the store the dense
+   arrays replaced: a (point -> count) Hashtbl plus a Pset for the
+   in-flight span.  Random operation interleavings must be observably
+   identical between it and [Cov] — same uniques, same covered set,
+   same per-point counts, same span results, same export ordering. *)
+
+module Oracle = struct
+  module Pset = Cov.Pset
+
+  type t = {
+    counts : (Cov.point, int) Hashtbl.t;
+    mutable on : bool;
+    mutable span : Pset.t option;
+  }
+
+  let create () = { counts = Hashtbl.create 64; on = true; span = None }
+
+  let enable t = t.on <- true
+
+  let disable t = t.on <- false
+
+  (* Same gcov block model as the dense store. *)
+  let block_len line = 1 + (line * 2654435761) land 5
+
+  let hit t comp line =
+    if t.on && Comp.instrumented comp then begin
+      let len = block_len line in
+      let base = line * 16 in
+      for i = base to base + len - 1 do
+        let p = Cov.point comp i in
+        let prev =
+          match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0
+        in
+        Hashtbl.replace t.counts p (prev + 1);
+        match t.span with
+        | Some s -> t.span <- Some (Pset.add p s)
+        | None -> ()
+      done
+    end
+
+  let hits t p =
+    match Hashtbl.find_opt t.counts p with Some n -> n | None -> 0
+
+  let covered t =
+    Hashtbl.fold
+      (fun p c acc -> if c > 0 then Pset.add p acc else acc)
+      t.counts Pset.empty
+
+  let unique_lines t =
+    Hashtbl.fold (fun _ c acc -> if c > 0 then acc + 1 else acc) t.counts 0
+
+  let lines_of t comp =
+    Hashtbl.fold
+      (fun p c acc ->
+        if c > 0 && Cov.point_component p = comp then Cov.point_line p :: acc
+        else acc)
+      t.counts []
+    |> List.sort compare
+
+  let span_begin t = t.span <- Some Pset.empty
+
+  let span_end t =
+    match t.span with
+    | Some s ->
+        t.span <- None;
+        s
+    | None -> Pset.empty
+
+  let reset t =
+    Hashtbl.reset t.counts;
+    t.span <- None
+
+  let merge ~into t =
+    Hashtbl.iter
+      (fun p c ->
+        let prev =
+          match Hashtbl.find_opt into.counts p with Some n -> n | None -> 0
+        in
+        Hashtbl.replace into.counts p (prev + c))
+      t.counts
+end
+
+type cov_op =
+  | Op_hit of Comp.t * int
+  | Op_span_begin
+  | Op_span_end
+  | Op_reset
+  | Op_enable
+  | Op_disable
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (8,
+         map2
+           (fun c l -> Op_hit (c, l))
+           (oneofl Comp.all) (int_range 0 500));
+        (2, return Op_span_begin);
+        (2, return Op_span_end);
+        (1, return Op_reset);
+        (1, return Op_enable);
+        (1, return Op_disable) ])
+
+let ops_gen = QCheck.Gen.(list_size (int_range 0 80) op_gen)
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Op_hit (c, l) -> Printf.sprintf "hit(%s,%d)" (Comp.name c) l
+             | Op_span_begin -> "span_begin"
+             | Op_span_end -> "span_end"
+             | Op_reset -> "reset"
+             | Op_enable -> "enable"
+             | Op_disable -> "disable")
+           ops))
+    ops_gen
+
+(* Every observable the recorder/orchestrator reads from a collector. *)
+let observables_agree c o =
+  Cov.unique_lines c = Oracle.unique_lines o
+  && Cov.Pset.equal (Cov.covered c) (Oracle.covered o)
+  && Cov.Pset.for_all (fun p -> Cov.hits c p = Oracle.hits o p)
+       (Oracle.covered o)
+  && List.for_all
+       (fun comp -> Cov.lines_of c comp = Oracle.lines_of o comp)
+       Comp.all
+
+let prop_oracle_interleavings =
+  QCheck.Test.make ~name:"dense store = Hashtbl oracle on random ops"
+    ~count:300 arb_ops (fun ops ->
+      let c = Cov.create () and o = Oracle.create () in
+      let spans_agree = ref true in
+      List.iter
+        (function
+          | Op_hit (comp, l) ->
+              Cov.hit c comp l;
+              Oracle.hit o comp l
+          | Op_span_begin ->
+              Cov.span_begin c;
+              Oracle.span_begin o
+          | Op_span_end ->
+              let sc = Cov.span_end c and so = Oracle.span_end o in
+              if not (Cov.Pset.equal sc so) then spans_agree := false
+          | Op_reset ->
+              Cov.reset c;
+              Oracle.reset o
+          | Op_enable ->
+              Cov.enable c;
+              Oracle.enable o
+          | Op_disable ->
+              Cov.disable c;
+              Oracle.disable o)
+        ops;
+      !spans_agree && observables_agree c o)
+
+let probes_to_both probes =
+  let c = Cov.create () and o = Oracle.create () in
+  List.iter
+    (fun (comp, l) ->
+      Cov.hit c comp l;
+      Oracle.hit o comp l)
+    probes;
+  (c, o)
+
+let prop_oracle_merge_commutes =
+  QCheck.Test.make
+    ~name:"merge = oracle merge, in either order" ~count:200
+    (QCheck.pair
+       (QCheck.make
+          QCheck.Gen.(
+            list_size (int_range 0 20)
+              (pair (oneofl Comp.all) (int_range 0 500))))
+       (QCheck.make
+          QCheck.Gen.(
+            list_size (int_range 0 20)
+              (pair (oneofl Comp.all) (int_range 0 500)))))
+    (fun (pa, pb) ->
+      let a1, oa1 = probes_to_both pa and b1, ob1 = probes_to_both pb in
+      let a2, _ = probes_to_both pa and b2, _ = probes_to_both pb in
+      Cov.merge ~into:a1 b1;
+      Oracle.merge ~into:oa1 ob1;
+      Cov.merge ~into:b2 a2;
+      (* a <- b equals the oracle merge... *)
+      observables_agree a1 oa1
+      (* ...and commutes with b <- a. *)
+      && Cov.Pset.equal (Cov.covered a1) (Cov.covered b2)
+      && Cov.unique_lines a1 = Cov.unique_lines b2
+      && Cov.Pset.for_all
+           (fun p -> Cov.hits a1 p = Cov.hits b2 p)
+           (Cov.covered a1))
+
+let prop_lines_of_sorted =
+  QCheck.Test.make ~name:"lines_of exports in ascending order" ~count:200
+    arb_ops (fun ops ->
+      let c = Cov.create () in
+      List.iter
+        (function Op_hit (comp, l) -> Cov.hit c comp l | _ -> ())
+        ops;
+      List.for_all
+        (fun comp ->
+          let lines = Cov.lines_of c comp in
+          List.sort compare lines = lines)
+        Comp.all)
+
 (* --- properties --- *)
 
 let comp_gen =
@@ -386,4 +595,8 @@ let () =
           Alcotest.test_case "block points" `Quick
             test_block_points_matches_hit ] );
       ( "properties",
-        qcheck [ prop_span_subset_of_covered; prop_diff_symmetric_total ] ) ]
+        qcheck [ prop_span_subset_of_covered; prop_diff_symmetric_total ] );
+      ( "oracle",
+        qcheck
+          [ prop_oracle_interleavings; prop_oracle_merge_commutes;
+            prop_lines_of_sorted ] ) ]

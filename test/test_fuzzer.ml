@@ -360,7 +360,7 @@ let test_nested_checkpoint_rewind () =
       in
       let cps, base =
         match anchor with
-        | Campaign.Anchor_cow (cps, base) -> (cps, base)
+        | Campaign.Anchor_cow (cps, base, _) -> (cps, base)
         | Campaign.Anchor_full _ -> Alcotest.fail "cow anchor expected"
       in
       let case_a = Campaign.case plan 1 and case_b = Campaign.case plan 2 in
@@ -369,7 +369,7 @@ let test_nested_checkpoint_rewind () =
       (* Open a nested mark, run B on top of it twice. *)
       let m2 = Iris_hv.Checkpoint.push cps in
       check Alcotest.int "two marks live" 2 (Iris_hv.Checkpoint.depth cps);
-      let anchor2 = Campaign.Anchor_cow (cps, m2) in
+      let anchor2 = Campaign.Anchor_cow (cps, m2, None) in
       let raw_b = Campaign.execute_case ~replayer ~anchor:anchor2 case_b in
       let raw_b' = Campaign.execute_case ~replayer ~anchor:anchor2 case_b in
       check Alcotest.string "rerun from nested mark identical"

@@ -310,7 +310,8 @@ let test_bisect_minimizes_and_is_deterministic () =
         (b.Bisect.b_attempts <= 2 + 8 (* log2 120 *) + 2);
       check Alcotest.bool "digests stable across two replays" true
         b.Bisect.b_deterministic;
-      check Alcotest.int "hex digest" 32 (String.length b.Bisect.b_digest);
+      (* FNV-1a 64-bit: 16 hex chars. *)
+      check Alcotest.int "hex digest" 16 (String.length b.Bisect.b_digest);
       (* The reproducer round-trips through the trace format. *)
       let t = Bisect.to_trace b in
       (match Trace.decode (Trace.encode t) with
