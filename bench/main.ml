@@ -62,35 +62,27 @@ end
 
 let report_path = "BENCH_iris.json"
 
-(* Read one float back out of the previous report before [Report.write]
-   overwrites it.  The Json module is writer-only, so this is a plain
-   string scan for the ["key": value] pair. *)
+(* Read one number back out of the previous report before
+   [Report.write] overwrites it: parse the whole document and look the
+   key up under "results".  A malformed or missing report behaves like
+   a first run (no baseline), never like a silent pass on garbage. *)
+let prior_report =
+  lazy
+    (match open_in report_path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Report.J.of_string s with
+        | Ok j -> Report.J.member "results" j
+        | Error e ->
+            Printf.printf "note: ignoring unparseable %s: %s\n" report_path e;
+            None))
+
 let prior_result key =
-  match open_in report_path with
-  | exception Sys_error _ -> None
-  | ic ->
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      let pat = Printf.sprintf "%S:" key in
-      let n = String.length s and m = String.length pat in
-      let rec find i =
-        if i + m > n then None
-        else if String.sub s i m = pat then Some (i + m)
-        else find (i + 1)
-      in
-      (match find 0 with
-      | None -> None
-      | Some j ->
-          let k = ref j in
-          while
-            !k < n
-            && (match s.[!k] with
-               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-               | _ -> false)
-          do
-            incr k
-          done;
-          float_of_string_opt (String.sub s j (!k - j)))
+  Option.bind
+    (Option.bind (Lazy.force prior_report) (Report.J.member key))
+    Report.J.float_value
 
 let prng_seed = 2023
 
@@ -468,7 +460,11 @@ let throughput () =
   | Some prev ->
       Printf.printf "regression guard: %.0f exits/s vs recorded %.0f (ok)\n"
         ideal_tp prev
-  | None -> ());
+  | None ->
+      Printf.printf
+        "regression guard: no prior %s baseline; skipping the >20%% check \
+         this run\n"
+        report_path);
   List.iter
     (fun w ->
       let recording, replay = recorded_run w in
@@ -1560,6 +1556,109 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* serve: the campaign service's determinism and distillation gates   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three hard gates over a standard multi-tenant scenario set:
+     1. the drained queue's merged report is byte-identical across
+        --jobs 1/4 and across two submission orders;
+     2. corpus distillation shrinks the store >= 2x with zero
+        coverage loss;
+     3. every corpus entry and every triage bucket's minimized
+        reproducer re-replays to its stored digest. *)
+let serve_bench () =
+  let module Svc = Iris_service in
+  let module J = Report.J in
+  section "campaign service (serve): determinism + corpus distillation";
+  let spec ~tenant ~priority ~reason ~area ~prng_seed =
+    Svc.Jobspec.make ~tenant ~priority ~boot_scale:0.05
+      ~workload:W.Cpu_bound ~exits:1_200 ~reason ~area ~mutations:400
+      ~prng_seed ()
+  in
+  (* Two tenants at different priorities; overlapping scenarios (same
+     target at several PRNG seeds) are exactly what distillation is
+     for — their admitted seeds mostly cover the same lines. *)
+  let scenario =
+    [ spec ~tenant:"alice" ~priority:3 ~reason:R.Rdtsc
+        ~area:Iris_fuzzer.Mutation.Area_gpr ~prng_seed:21;
+      spec ~tenant:"alice" ~priority:3 ~reason:R.Rdtsc
+        ~area:Iris_fuzzer.Mutation.Area_gpr ~prng_seed:22;
+      spec ~tenant:"alice" ~priority:3 ~reason:R.Rdtsc
+        ~area:Iris_fuzzer.Mutation.Area_vmcs ~prng_seed:21;
+      spec ~tenant:"bob" ~priority:1 ~reason:R.Cpuid
+        ~area:Iris_fuzzer.Mutation.Area_vmcs ~prng_seed:21;
+      spec ~tenant:"bob" ~priority:1 ~reason:R.Cpuid
+        ~area:Iris_fuzzer.Mutation.Area_vmcs ~prng_seed:22;
+      spec ~tenant:"bob" ~priority:1 ~reason:R.Cpuid
+        ~area:Iris_fuzzer.Mutation.Area_gpr ~prng_seed:21 ]
+  in
+  let cache = Svc.Server.recordings () in
+  let drained ~jobs ~specs =
+    let t0 = Sys.time () in
+    let server = Svc.Server.create ~jobs ~quantum:48 ~recordings:cache () in
+    List.iter (fun s -> ignore (Svc.Server.submit server s : int)) specs;
+    let summary = Svc.Server.drain server in
+    Printf.printf
+      "  jobs=%d: %d rounds, %d completed, %d crashes -> %d buckets, corpus \
+       %d (%.2f s)\n%!"
+      jobs summary.Svc.Server.d_rounds summary.Svc.Server.d_completed
+      summary.Svc.Server.d_crashes summary.Svc.Server.d_buckets
+      summary.Svc.Server.d_corpus (Sys.time () -. t0);
+    (server, summary)
+  in
+  let s1, sum1 = drained ~jobs:1 ~specs:scenario in
+  let s4, sum4 = drained ~jobs:4 ~specs:scenario in
+  let s4r, _ = drained ~jobs:4 ~specs:(List.rev scenario) in
+  if sum1.Svc.Server.d_completed <> List.length scenario then
+    failwith "serve: not every job completed";
+  (* gate 1: scheduling-independent report bytes *)
+  let r1 = J.to_string (Svc.Server.report s1) in
+  let r4 = J.to_string (Svc.Server.report s4) in
+  let r4r = J.to_string (Svc.Server.report s4r) in
+  if r1 <> r4 then
+    failwith "serve: report differs between --jobs 1 and --jobs 4";
+  if r1 <> r4r then
+    failwith "serve: report depends on submission order";
+  Printf.printf
+    "report: %d bytes, byte-identical across jobs=1/4 and both orders \
+     (digest %s)\n"
+    (String.length r1) sum4.Svc.Server.d_report_digest;
+  (* gate 2: distillation shrinks >= 2x, coverage preserved exactly *)
+  let corpus = Svc.Server.corpus s4 in
+  let cov_before = Svc.Corpus.coverage corpus in
+  let before, after = Svc.Server.distill s4 in
+  let cov_after = Svc.Corpus.coverage corpus in
+  if cov_before <> cov_after then
+    failwith "serve: distillation lost coverage";
+  let ratio = float_of_int before /. float_of_int (max 1 after) in
+  Printf.printf
+    "distillation: %d seeds -> %d (%.2fx) over %d coverage points, zero \
+     loss\n"
+    before after ratio (Array.length cov_after);
+  if ratio < 2.0 then
+    failwith
+      (Printf.sprintf "serve: distillation only %.2fx (gate: >= 2x)" ratio);
+  (* gate 3: the determinism contract re-replays byte-identically *)
+  let v = Svc.Server.verify s4 in
+  Printf.printf
+    "verify: %d corpus entries, %d triage buckets re-replayed; %d/%d \
+     mismatches, %d unreproduced\n"
+    v.Svc.Server.v_corpus_checked v.Svc.Server.v_buckets_checked
+    v.Svc.Server.v_corpus_mismatches v.Svc.Server.v_bucket_mismatches
+    v.Svc.Server.v_buckets_unreproduced;
+  if not (Svc.Server.verify_ok v) then
+    failwith "serve: replay-from-corpus verification failed";
+  Report.put "serve.report_digest"
+    (J.String sum4.Svc.Server.d_report_digest);
+  Report.put_i "serve.jobs_completed" sum4.Svc.Server.d_completed;
+  Report.put_i "serve.crashes" sum4.Svc.Server.d_crashes;
+  Report.put_i "serve.triage_buckets" sum4.Svc.Server.d_buckets;
+  Report.put_i "serve.corpus_before_distill" before;
+  Report.put_i "serve.corpus_after_distill" after;
+  Report.put_f "serve.distill_ratio" ratio;
+  Report.put_i "serve.coverage_points" (Array.length cov_after)
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1573,7 +1672,8 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-coverage", ablation_coverage); ("batch", batch);
     ("guided", guided); ("portability", portability); ("scaling", scaling);
     ("revert", revert_bench); ("inspect", inspect_bench);
-    ("diff", diff_bench); ("hotpath", hotpath); ("micro", micro) ]
+    ("diff", diff_bench); ("hotpath", hotpath); ("serve", serve_bench);
+    ("micro", micro) ]
 
 let timed name f =
   let t0 = Sys.time () in

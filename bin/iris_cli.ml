@@ -1045,6 +1045,269 @@ let diff_cmd =
       const run $ workload $ exits $ prng_seed $ boot_scale $ jobs $ plant
       $ trace_out $ metrics_flag)
 
+(* --- serve / submit / status / corpus: the campaign service --- *)
+
+module Svc = Iris_service
+
+let socket_path =
+  Arg.(
+    value
+    & opt string "/tmp/iris-serve.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on (clients dial it).")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width: runnable jobs dispatched per scheduling \
+             round, each on its own worker domain.")
+  in
+  let quantum =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "quantum" ] ~docv:"CASES"
+          ~doc:"Deficit-round-robin base budget, in campaign cases.")
+  in
+  let stdin_mode =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Pipe mode: read request lines from stdin and answer on stdout \
+             instead of binding a socket (what CI drives); exits non-zero \
+             if any response was not ok.")
+  in
+  let status_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status-out" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL status snapshot per scheduling round \
+             (sequence number, queue depths, corpus and triage sizes, \
+             merged metrics).")
+  in
+  let corpus_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-file" ] ~docv:"FILE"
+          ~doc:
+            "Durable corpus: load it at startup when present, save it back \
+             on shutdown.")
+  in
+  let run jobs quantum socket stdin_mode status_out corpus_file =
+    let status_chan = Option.map open_out status_out in
+    let status_sink =
+      Option.map
+        (fun oc line ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+        status_chan
+    in
+    let server = Svc.Server.create ~jobs ~quantum ?status_sink () in
+    (match corpus_file with
+    | Some path when Sys.file_exists path -> (
+        match Svc.Corpus.load ~path with
+        | Ok loaded ->
+            let added =
+              Svc.Corpus.merge_from (Svc.Server.corpus server) loaded
+            in
+            Printf.eprintf "corpus: loaded %d entries from %s\n%!" added path
+        | Error e ->
+            Printf.eprintf "cannot load corpus %s: %s\n" path e;
+            exit 1)
+    | _ -> ());
+    let ok =
+      if stdin_mode then Svc.Wire.serve_pipe server Stdlib.stdin Stdlib.stdout
+      else begin
+        Printf.eprintf "iris serve: listening on %s (jobs=%d quantum=%d)\n%!"
+          socket jobs quantum;
+        Svc.Wire.serve_socket server ~path:socket
+      end
+    in
+    (match corpus_file with
+    | Some path ->
+        Svc.Corpus.save (Svc.Server.corpus server) ~path;
+        Printf.eprintf "corpus: saved %d entries to %s\n%!"
+          (Svc.Corpus.count (Svc.Server.corpus server))
+          path
+    | None -> ());
+    Option.iter close_out status_chan;
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent campaign daemon: a multi-tenant job queue with \
+          deficit-round-robin fair scheduling, a coverage-keyed corpus \
+          store and automatic crash triage.  Drained reports are \
+          byte-identical across --jobs counts and submission orders.")
+    Term.(
+      const run $ jobs $ quantum $ socket_path $ stdin_mode $ status_out
+      $ corpus_file)
+
+(* Client side: one request line against a running daemon. *)
+let client_call ~socket line =
+  match Svc.Wire.call ~path:socket line with
+  | Error e ->
+      Printf.eprintf "cannot reach daemon at %s: %s\n" socket e;
+      exit 1
+  | Ok resp ->
+      print_endline resp;
+      if not (Svc.Wire.response_ok resp) then exit 1
+
+let submit_cmd =
+  let tenant =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Owner of the job; the fair scheduler's flow id.")
+  in
+  let priority =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "p"; "priority" ] ~docv:"N"
+          ~doc:"Scheduling weight (>= 1): deficit accrues N times faster.")
+  in
+  let reason =
+    Arg.(
+      value
+      & opt reason_conv R.Rdtsc
+      & info [ "r"; "reason" ] ~docv:"REASON"
+          ~doc:"Exit reason of the target seed.")
+  in
+  let area =
+    Arg.(
+      value
+      & opt (enum [ ("vmcs", Iris_fuzzer.Mutation.Area_vmcs);
+                    ("gpr", Iris_fuzzer.Mutation.Area_gpr) ])
+          Iris_fuzzer.Mutation.Area_vmcs
+      & info [ "a"; "area" ] ~docv:"AREA" ~doc:"Seed area to mutate.")
+  in
+  let mutations =
+    Arg.(
+      value
+      & opt int 1_000
+      & info [ "m"; "mutations" ] ~docv:"N" ~doc:"Campaign budget.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "timeout-cycles" ] ~docv:"CYCLES"
+          ~doc:
+            "Modeled-cycle budget; the job truncates at the same case \
+             regardless of scheduling.")
+  in
+  let run socket tenant priority workload exits reason area mutations
+      prng_seed boot_scale timeout =
+    let spec =
+      Svc.Jobspec.make ~tenant ~priority ~boot_scale
+        ?timeout_cycles:timeout ~workload ~exits ~reason ~area ~mutations
+        ~prng_seed ()
+    in
+    client_call ~socket (Svc.Wire.request_to_line (Svc.Wire.Submit spec))
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a campaign job to a running daemon.")
+    Term.(
+      const run $ socket_path $ tenant $ priority $ workload $ exits $ reason
+      $ area $ mutations $ prng_seed $ boot_scale $ timeout)
+
+let status_cmd =
+  let drain =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Block until the queue is empty and print the drain summary \
+             (including the scheduling-independent report digest).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-replay the determinism contract: every corpus entry and \
+             every triage reproducer must land on its stored digest.")
+  in
+  let cancel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel this job id instead.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to exit instead.")
+  in
+  let run socket drain verify cancel shutdown =
+    let req =
+      match (cancel, drain, verify, shutdown) with
+      | Some id, _, _, _ -> Svc.Wire.Cancel id
+      | None, true, _, _ -> Svc.Wire.Drain
+      | None, false, true, _ -> Svc.Wire.Verify
+      | None, false, false, true -> Svc.Wire.Shutdown
+      | None, false, false, false -> Svc.Wire.Status
+    in
+    client_call ~socket (Svc.Wire.request_to_line req)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Query a running daemon: queue snapshot by default, or --drain, \
+          --verify, --cancel ID, --shutdown.")
+    Term.(const run $ socket_path $ drain $ verify $ cancel $ shutdown)
+
+let corpus_cmd =
+  let distill =
+    Arg.(
+      value & flag
+      & info [ "distill" ]
+          ~doc:
+            "Drop corpus entries whose coverage is subsumed by the rest \
+             (greedy set cover; the coverage union is preserved exactly).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the daemon's corpus here.")
+  in
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Merge a saved corpus into the daemon's store.")
+  in
+  let run socket distill save load =
+    let req =
+      match (distill, save, load) with
+      | true, _, _ -> Svc.Wire.Distill
+      | false, Some p, _ -> Svc.Wire.Corpus_save p
+      | false, None, Some p -> Svc.Wire.Corpus_load p
+      | false, None, None -> Svc.Wire.Corpus_stats
+    in
+    client_call ~socket (Svc.Wire.request_to_line req)
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Inspect or manage a running daemon's corpus: stats by default, \
+          or --distill, --save FILE, --load FILE.")
+    Term.(const run $ socket_path $ distill $ save $ load)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -1055,4 +1318,5 @@ let () =
                "Record and replay of hardware-assisted virtualization \
                 behaviors (IRIS, DSN'23) on a simulated Xen/VT-x substrate.")
           [ record_cmd; replay_cmd; fuzz_cmd; diff_cmd; inspect_cmd; bisect_cmd;
+            serve_cmd; submit_cmd; status_cmd; corpus_cmd;
             stats_cmd; info_cmd; port_cmd ]))

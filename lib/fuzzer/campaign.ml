@@ -147,6 +147,27 @@ type raw = {
   raw_cycles : int64;
 }
 
+(* Fingerprint of a case outcome, folding every [raw] field in a fixed
+   order (span points ascend — [Pset.fold] is ordered).  Since a raw is
+   a pure function of (S_R, seed), equal digests across independent
+   replays are the service layer's byte-identity check. *)
+let raw_digest raw =
+  let module Fnv = Iris_util.Fnv64 in
+  let h = Fnv.init in
+  let h =
+    Fnv.int h
+      (match raw.raw_failure with
+      | No_failure -> 0
+      | Vm_crash -> 1
+      | Hypervisor_crash -> 2)
+  in
+  let h = Fnv.string h raw.raw_detail in
+  let h =
+    Cov.Pset.fold (fun p h -> Fnv.int h (p : Cov.point :> int)) raw.raw_span h
+  in
+  let h = Fnv.int64 h raw.raw_cycles in
+  Fnv.to_hex h
+
 (* Reach the valid state S_R by replaying the recorded prefix.  Every
    subsequent test case restores to here, which also resets the
    virtual clock — the reason a test case's outcome is independent of

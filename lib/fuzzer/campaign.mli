@@ -116,6 +116,12 @@ type raw = {
     Reverting resets the virtual clock to [S_R]'s, so every field is
     a function of (S_R, seed) alone. *)
 
+val raw_digest : raw -> string
+(** FNV-64 fingerprint over every [raw] field (span points in
+    ascending order).  Equal outcomes digest equal, so independent
+    replays of the same (S_R, seed) can be compared without keeping
+    the spans around — the service layer's corpus replay check. *)
+
 val reach_sr :
   replayer:Iris_core.Replayer.t -> trace:Iris_core.Trace.t ->
   seed_index:int -> Iris_hv.Domain.snapshot

@@ -13,11 +13,37 @@ type touch = {
   t_value : int64;
 }
 
+type device = Pic | Pit | Rtc | Uart | Pci | Port_other
+
+let device_name = function
+  | Pic -> "PIC"
+  | Pit -> "PIT"
+  | Rtc -> "RTC"
+  | Uart -> "UART"
+  | Pci -> "PCI"
+  | Port_other -> "port"
+
+let all_devices = [ Pic; Pit; Rtc; Uart; Pci; Port_other ]
+
+(* The port map mirrors what the device models register on the bus
+   (lib/devices): both PICs, the PIT channels, RTC/CMOS, COM1 and the
+   PCI config-mechanism-1 pair. *)
+let device_of_port p =
+  if (p >= 0x20 && p <= 0x21) || (p >= 0xA0 && p <= 0xA1) then Pic
+  else if p >= 0x40 && p <= 0x43 then Pit
+  else if p >= 0x70 && p <= 0x71 then Rtc
+  else if p >= 0x3F8 && p <= 0x3FF then Uart
+  else if p >= 0xCF8 && p <= 0xCFF then Pci
+  else Port_other
+
 type t = {
   seed_count : int;
   by_field : (F.t, touch list) Hashtbl.t;  (** ascending index *)
   msrs : (int64, touch list) Hashtbl.t;
   gpas : touch list;  (** ascending index; t_value = faulting GPA *)
+  ports : (int, touch list) Hashtbl.t;
+      (** I/O-instruction exits per port; OUT touches carry the
+          written value, IN touches 0 *)
 }
 
 let push tbl key touch =
@@ -29,6 +55,7 @@ let finalize tbl = Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) 
 let build (trace : Trace.t) =
   let by_field = Hashtbl.create 64 in
   let msrs = Hashtbl.create 16 in
+  let ports = Hashtbl.create 16 in
   let gpas = ref [] in
   Array.iter
     (fun (s : Seed.t) ->
@@ -66,12 +93,37 @@ let build (trace : Trace.t) =
                 { t_index = s.Seed.index; t_reason = s.Seed.reason;
                   t_access = access; t_value = gpa }
                 :: !gpas)
+      | R.Io_instruction -> (
+          match
+            Option.bind
+              (Seed.first_read s F.exit_qualification)
+              Iris_vtx.Exit_qual.decode_io
+          with
+          | None -> ()
+          | Some io ->
+              let open Iris_vtx.Exit_qual in
+              let access, value =
+                match io.direction with
+                | Io_out ->
+                    let mask =
+                      match io.size with
+                      | 1 -> 0xFFL
+                      | 2 -> 0xFFFFL
+                      | _ -> 0xFFFF_FFFFL
+                    in
+                    (Write, Int64.logand (Seed.gpr_value s Gpr.Rax) mask)
+                | Io_in -> (Read, 0L)
+              in
+              push ports io.port
+                { t_index = s.Seed.index; t_reason = s.Seed.reason;
+                  t_access = access; t_value = value })
       | _ -> ()))
     trace.Trace.seeds;
   finalize by_field;
   finalize msrs;
+  finalize ports;
   { seed_count = Array.length trace.Trace.seeds;
-    by_field; msrs; gpas = List.rev !gpas }
+    by_field; msrs; gpas = List.rev !gpas; ports }
 
 let seed_count t = t.seed_count
 
@@ -93,3 +145,32 @@ let msr_touches t m = try Hashtbl.find t.msrs m with Not_found -> []
 
 let gpa_touches t ~lo ~hi =
   List.filter (fun touch -> touch.t_value >= lo && touch.t_value <= hi) t.gpas
+
+let port_touches t p = try Hashtbl.find t.ports p with Not_found -> []
+
+let device_touches t d =
+  Hashtbl.fold
+    (fun p touches acc ->
+      if device_of_port p = d then List.rev_append touches acc else acc)
+    t.ports []
+  |> List.sort (fun a b -> compare a.t_index b.t_index)
+
+let devices_touched ?(before = max_int) t =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun p touches ->
+      let d = device_of_port p in
+      let n =
+        List.fold_left
+          (fun n touch -> if touch.t_index < before then n + 1 else n)
+          0 touches
+      in
+      let prev = try Hashtbl.find counts d with Not_found -> 0 in
+      Hashtbl.replace counts d (prev + n))
+    t.ports;
+  List.filter_map
+    (fun d ->
+      match Hashtbl.find_opt counts d with
+      | Some n when n > 0 -> Some (d, n)
+      | _ -> None)
+    all_devices

@@ -52,3 +52,31 @@ val gpa_touches : t -> lo:int64 -> hi:int64 -> touch list
 (** EPT violations whose guest-physical address falls in
     [\[lo, hi\]]; access direction from the exit qualification
     (bit 1 = write).  The touch value is the faulting GPA. *)
+
+(** {2 Device-state provenance}
+
+    I/O-instruction exits decoded through the exit qualification:
+    which emulated platform device each port access went to.  OUT
+    exits are [Write] touches carrying the written value (RAX masked
+    to the access size); IN exits are [Read] touches carrying 0 (the
+    read result is produced by the device model, not the seed). *)
+
+type device = Pic | Pit | Rtc | Uart | Pci | Port_other
+
+val device_name : device -> string
+val device_of_port : int -> device
+(** The lib/devices port map: PIC 0x20/0x21 + 0xA0/0xA1, PIT
+    0x40-0x43, RTC/CMOS 0x70/0x71, COM1 UART 0x3F8-0x3FF, PCI
+    config 0xCF8-0xCFF; anything else is [Port_other]. *)
+
+val port_touches : t -> int -> touch list
+(** Accesses to one port, ascending index. *)
+
+val device_touches : t -> device -> touch list
+(** Accesses to any port of one device, ascending index. *)
+
+val devices_touched : ?before:int -> t -> (device * int) list
+(** Touch counts per device (declaration order, zero counts
+    omitted), optionally restricted to exits strictly before seed
+    [before] — the device state a replay prefix has established,
+    which is what triage buckets cite. *)

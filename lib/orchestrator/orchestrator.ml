@@ -49,26 +49,33 @@ type worker = {
   wk_anchor : Campaign.anchor;
 }
 
-(* Boot one worker universe: construct an isolated dummy domain, arm
-   it on the recording snapshot, replay the prefix to S_R.  The probe
-   is attached to the worker's private hub only after S_R so that
-   per-worker setup never reaches the merged counters. *)
-let boot_worker ~recording ~seed_index ~hub ~setups wid =
+(* Boot one isolated universe: construct a dummy domain, arm it on the
+   recording snapshot, replay the prefix to S_R.  When a hub is given
+   the probe is attached only after S_R so that setup (boot + prefix
+   replay) never reaches the merged counters.  Exposed for the service
+   layer, whose per-job universes boot exactly like workers. *)
+let boot_universe ?hub ~recording ~seed_index ~name () =
   let trace = recording.Manager.trace in
   let cov = Cov.create () in
   let hooks = Iris_hv.Hooks.create () in
-  let ctx =
-    Iris_hv.Xen.construct ~dummy:true ~cov ~hooks
-      ~name:(Printf.sprintf "worker%d-dummy" wid) ()
-  in
+  let ctx = Iris_hv.Xen.construct ~dummy:true ~cov ~hooks ~name () in
   Manager.arm_dummy ctx ~revert_to:(Some recording.Manager.snapshot)
     ~keep_memory:false;
   let replayer = Replayer.create ctx in
   let t0 = Iris_vtx.Clock.now (Ctx.clock ctx) in
   let anchor = Campaign.anchor ~replayer ~trace ~seed_index () in
   let setup = Int64.sub (Iris_vtx.Clock.now (Ctx.clock ctx)) t0 in
+  (match hub with
+  | Some hub -> ignore (Iris_hv.Observe.attach hub ctx : Iris_telemetry.Probe.t)
+  | None -> ());
+  (replayer, anchor, setup)
+
+let boot_worker ~recording ~seed_index ~hub ~setups wid =
+  let replayer, anchor, setup =
+    boot_universe ~hub ~recording ~seed_index
+      ~name:(Printf.sprintf "worker%d-dummy" wid) ()
+  in
   setups.(wid) <- Int64.add setups.(wid) setup;
-  ignore (Iris_hv.Observe.attach hub ctx : Iris_telemetry.Probe.t);
   { wk_replayer = replayer; wk_anchor = anchor }
 
 (* --- reports --- *)

@@ -42,6 +42,19 @@ type report = {
 val utilization : report -> worker_report -> float
 (** (setup + busy) / model wall, in [0, 1]. *)
 
+val boot_universe :
+  ?hub:Iris_telemetry.Hub.t ->
+  recording:Iris_core.Manager.recording ->
+  seed_index:int -> name:string -> unit ->
+  Iris_core.Replayer.t * Iris_fuzzer.Campaign.anchor * int64
+(** Boot one isolated worker universe: construct a dummy domain, arm
+    it on the recording snapshot, replay the prefix to the valid
+    state S_R and pin it (COW anchor).  Returns the replayer, the
+    anchor and the setup cost in modeled cycles.  When [hub] is given
+    the telemetry probe is attached only after S_R, keeping setup out
+    of mergeable counters.  The building block behind {!fuzz}'s
+    workers, exposed for the service layer's per-job universes. *)
+
 val render_workers : report -> string
 (** Per-worker utilization table plus the model-wall summary line. *)
 

@@ -12,6 +12,15 @@ let summary ?title snap =
 
 let metrics_jsonl = Registry.to_jsonl
 
+(* One self-contained JSONL status snapshot: a monotonic sequence
+   number, caller context fields, then the full metrics snapshot.
+   The service daemon streams these; `tail -f | jq` is the consumer
+   contract, hence one object per line. *)
+let status_line ?(extra = []) ~seq snap =
+  Json.to_string
+    (Json.Obj
+       (("seq", Json.Int seq) :: extra @ [ ("metrics", Registry.to_json snap) ]))
+
 (* The paper's testbed clock: 3.6 GHz => 3600 virtual cycles per
    microsecond.  Kept as a default, not a hard dependency on
    [Iris_vtx.Clock], so the library stays at the bottom of the

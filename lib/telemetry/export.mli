@@ -13,6 +13,12 @@ val summary : ?title:string -> Registry.snapshot -> string
 
 val metrics_jsonl : Registry.snapshot -> string
 
+val status_line :
+  ?extra:(string * Json.t) list -> seq:int -> Registry.snapshot -> string
+(** One JSONL status snapshot:
+    [{"seq":N, <extra fields>, "metrics":{...}}] — what the service
+    daemon streams to its status sink, one object per line. *)
+
 val chrome_trace :
   ?cycles_per_us:float -> ?process_name:string -> Tracer.t -> Json.t
 (** Complete ("ph":"X") events for closed spans, instant ("ph":"i")

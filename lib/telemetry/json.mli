@@ -33,3 +33,6 @@ val to_list : t -> t list
 
 val string_value : t -> string option
 val int_value : t -> int option
+
+val float_value : t -> float option
+(** [Float] directly, [Int] widened; [None] elsewhere. *)

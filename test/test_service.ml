@@ -1,0 +1,457 @@
+(* Tests for the fuzzing-as-a-service layer: the DRR job queue, the
+   corpus store's set-theoretic properties (dedup idempotence,
+   coverage-preserving distillation), crash-triage bucketing, the wire
+   protocol, and — the tentpole contract — schedule-order independence
+   of a drained queue's merged report plus replay-from-corpus
+   byte-identity. *)
+
+module Jobspec = Iris_service.Jobspec
+module Jobqueue = Iris_service.Jobqueue
+module Corpus = Iris_service.Corpus
+module Triage = Iris_service.Triage
+module Server = Iris_service.Server
+module Wire = Iris_service.Wire
+module Campaign = Iris_fuzzer.Campaign
+module Mutation = Iris_fuzzer.Mutation
+module Provenance = Iris_inspect.Provenance
+module Manager = Iris_core.Manager
+module Seed = Iris_core.Seed
+module J = Iris_telemetry.Json
+module Export = Iris_telemetry.Export
+module Registry = Iris_telemetry.Registry
+module R = Iris_vtx.Exit_reason
+module W = Iris_guest.Workload
+module Gpr = Iris_x86.Gpr
+module F = Iris_vmcs.Field
+module Cov = Iris_coverage.Cov
+
+let check = Alcotest.check
+
+(* --- Jobqueue: deficit round-robin --- *)
+
+(* Simulate a drain where every pick consumes its full budget, and
+   measure per-tenant service while both tenants still have work:
+   consumption must track the 3:1 weight ratio. *)
+let test_drr_fairness () =
+  let q = Jobqueue.create ~quantum:100 () in
+  Jobqueue.submit q ~id:1 ~tenant:"alice" ~weight:3;
+  Jobqueue.submit q ~id:2 ~tenant:"bob" ~weight:1;
+  let remaining = Hashtbl.create 4 in
+  Hashtbl.replace remaining 1 50_000;
+  Hashtbl.replace remaining 2 50_000;
+  let served = Hashtbl.create 4 in
+  Hashtbl.replace served 1 0;
+  Hashtbl.replace served 2 0;
+  let rounds = ref 0 in
+  while (not (Jobqueue.is_idle q)) && !rounds < 10_000 do
+    incr rounds;
+    let picks = Jobqueue.next q ~max:2 in
+    List.iter
+      (fun (id, budget) ->
+        let rem = Hashtbl.find remaining id in
+        let eat = min budget rem in
+        Hashtbl.replace remaining id (rem - eat);
+        Hashtbl.replace served id (Hashtbl.find served id + eat);
+        Jobqueue.complete q ~id ~consumed:eat ~finished:(rem - eat = 0))
+      picks;
+    (* stop measuring once either job drained *)
+    if Hashtbl.find remaining 1 = 0 || Hashtbl.find remaining 2 = 0 then begin
+      Hashtbl.replace remaining 1 0;
+      Hashtbl.replace remaining 2 0;
+      (* flush any jobs still queued *)
+      let rec flush () =
+        match Jobqueue.next q ~max:2 with
+        | [] -> if not (Jobqueue.is_idle q) then flush ()
+        | picks ->
+            List.iter
+              (fun (id, _) ->
+                Jobqueue.complete q ~id ~consumed:0 ~finished:true)
+              picks;
+            flush ()
+      in
+      flush ()
+    end
+  done;
+  let a = float_of_int (Hashtbl.find served 1) in
+  let b = float_of_int (Hashtbl.find served 2) in
+  Alcotest.(check bool) "both tenants served" true (a > 0.0 && b > 0.0);
+  let ratio = a /. b in
+  if ratio < 2.0 || ratio > 4.5 then
+    Alcotest.failf "weight-3 tenant got %.2fx the weight-1 tenant" ratio
+
+let test_queue_cancel_defer () =
+  let q = Jobqueue.create ~quantum:10 () in
+  Jobqueue.submit q ~id:1 ~tenant:"a" ~weight:1;
+  Jobqueue.submit q ~id:2 ~tenant:"a" ~weight:1;
+  Alcotest.(check bool) "cancel queued" true (Jobqueue.cancel q 2);
+  Alcotest.(check bool) "cancel gone" false (Jobqueue.cancel q 2);
+  (match Jobqueue.next q ~max:4 with
+  | [ (1, _) ] -> ()
+  | picks -> Alcotest.failf "expected pick of job 1, got %d picks" (List.length picks));
+  Alcotest.(check bool) "in flight not cancellable at queue level" false
+    (Jobqueue.cancel q 1);
+  Jobqueue.defer q 1 ~rounds:3;
+  Jobqueue.complete q ~id:1 ~consumed:5 ~finished:false;
+  check Alcotest.(list (pair int int)) "deferred job yields no picks" []
+    (Jobqueue.next q ~max:4);
+  ignore (Jobqueue.next q ~max:4 : (int * int) list);
+  (* deferral expires after the requested rounds *)
+  (match Jobqueue.next q ~max:4 with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "deferred job should be eligible again");
+  Jobqueue.complete q ~id:1 ~consumed:0 ~finished:true;
+  Alcotest.(check bool) "idle after drain" true (Jobqueue.is_idle q)
+
+(* --- Triage --- *)
+
+let test_normalize_detail () =
+  check Alcotest.string "hex run" "bad RIP 0x# for mode #"
+    (Triage.normalize_detail "bad RIP 0x3fe4a for mode 0");
+  check Alcotest.string "decimal runs" "entry failure # (code #)"
+    (Triage.normalize_detail "entry failure 33 (code 2047)");
+  check Alcotest.string "no digits" "triple fault"
+    (Triage.normalize_detail "triple fault")
+
+let prop_signature_digit_blind =
+  QCheck.Test.make ~name:"signatures blind to embedded numbers" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let detail n = Printf.sprintf "bad RIP 0x%x for mode %d" n (n mod 7) in
+      let span = [| 3; 17; 99 |] in
+      Triage.signature ~failure:Campaign.Vm_crash ~reason:R.Rdtsc ~span
+        ~detail:(detail a)
+      = Triage.signature ~failure:Campaign.Vm_crash ~reason:R.Rdtsc ~span
+          ~detail:(detail b))
+
+let test_triage_rep_order_independent () =
+  let crash key case =
+    { Triage.c_spec_key = key;
+      c_case = case;
+      c_reason = R.Rdtsc;
+      c_failure = Campaign.Vm_crash;
+      c_detail = "bad RIP 0x10";
+      c_span = [| 1; 2 |];
+      c_devices = [] }
+  in
+  let minimize_tag tag () =
+    Some
+      { Triage.r_digest = tag; r_seeds = 1; r_deterministic = true;
+        r_attempts = 0 }
+  in
+  let t1 = Triage.create () in
+  ignore (Triage.note t1 (crash "aa" 5) ~minimize:(minimize_tag "rep-aa5"));
+  ignore (Triage.note t1 (crash "bb" 1) ~minimize:(minimize_tag "rep-bb1"));
+  let t2 = Triage.create () in
+  ignore (Triage.note t2 (crash "bb" 1) ~minimize:(minimize_tag "rep-bb1"));
+  ignore (Triage.note t2 (crash "aa" 5) ~minimize:(minimize_tag "rep-aa5"));
+  check Alcotest.string "same buckets either order"
+    (J.to_string (Triage.to_json t1))
+    (J.to_string (Triage.to_json t2));
+  (match Triage.buckets t1 with
+  | [ b ] -> (
+      check Alcotest.int "both crashes counted" 2 b.Triage.b_count;
+      check Alcotest.string "smallest (key, case) is representative" "aa"
+        b.Triage.b_rep.Triage.c_spec_key;
+      match b.Triage.b_repro with
+      | Some r -> check Alcotest.string "repro follows representative" "rep-aa5"
+                    r.Triage.r_digest
+      | None -> Alcotest.fail "expected a repro")
+  | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
+
+(* --- Corpus properties --- *)
+
+let mk_seed idx v =
+  { Seed.index = idx;
+    reason = R.Rdtsc;
+    gprs = [ (Gpr.Rax, Int64.of_int v); (Gpr.Rbx, 7L) ];
+    reads = [ (F.all.(v mod F.count), Int64.of_int (v * 3)) ];
+    writes = [] }
+
+let meta =
+  { Corpus.m_workload = W.Cpu_bound;
+    m_exits = 300;
+    m_prng_seed = 21;
+    m_boot_scale = 0.02;
+    m_seed_index = 17 }
+
+let mk_entry (idx, v, points) =
+  let span =
+    List.fold_left
+      (fun acc p ->
+        match Cov.point_of_int p with
+        | Some pt -> Cov.Pset.add pt acc
+        | None -> acc)
+      Cov.Pset.empty points
+  in
+  Corpus.entry ~meta ~seed:(mk_seed idx v) ~span
+    ~digest:(Printf.sprintf "d%04x" (idx * 31 + v))
+
+let arb_entries =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 30)
+        (let* idx = int_bound 50 in
+         let* v = int_bound 50 in
+         let+ points = list_size (int_range 0 8) (int_range 1 200) in
+         (idx, v, points)))
+
+let store_of specs =
+  let t = Corpus.create () in
+  List.iter (fun s -> ignore (Corpus.add t (mk_entry s) : bool)) specs;
+  t
+
+let prop_dedup_idempotent =
+  QCheck.Test.make ~name:"corpus dedup is idempotent" ~count:100 arb_entries
+    (fun specs ->
+      let once = store_of specs in
+      let twice = store_of (specs @ specs) in
+      Corpus.count once = Corpus.count twice
+      && Corpus.digest once = Corpus.digest twice)
+
+let prop_distill_preserves_coverage =
+  QCheck.Test.make ~name:"distillation preserves total coverage" ~count:100
+    arb_entries
+    (fun specs ->
+      let t = store_of specs in
+      let cov_before = Corpus.coverage t in
+      let before, after = Corpus.distill t in
+      let cov_after = Corpus.coverage t in
+      before >= after && cov_before = cov_after)
+
+let prop_distill_idempotent =
+  QCheck.Test.make ~name:"distillation is idempotent" ~count:100 arb_entries
+    (fun specs ->
+      let t = store_of specs in
+      ignore (Corpus.distill t : int * int);
+      let d1 = Corpus.digest t in
+      let _, after1 = Corpus.distill t in
+      d1 = Corpus.digest t && after1 = Corpus.count t)
+
+let prop_save_load_roundtrip =
+  QCheck.Test.make ~name:"corpus save/load round-trips" ~count:50 arb_entries
+    (fun specs ->
+      let t = store_of specs in
+      let path = Filename.temp_file "iris_corpus" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Corpus.save t ~path;
+          match Corpus.load ~path with
+          | Ok t' -> Corpus.digest t = Corpus.digest t'
+          | Error e -> QCheck.Test.fail_report e))
+
+(* --- Wire protocol --- *)
+
+let spec_a =
+  Jobspec.make ~tenant:"alice" ~priority:3 ~boot_scale:0.02
+    ~workload:W.Cpu_bound ~exits:300 ~reason:R.Rdtsc ~area:Mutation.Area_gpr
+    ~mutations:90 ~prng_seed:21 ()
+
+let spec_b =
+  Jobspec.make ~tenant:"bob" ~priority:1 ~boot_scale:0.02
+    ~workload:W.Cpu_bound ~exits:300 ~reason:R.Cpuid ~area:Mutation.Area_vmcs
+    ~mutations:60 ~prng_seed:21 ()
+
+let test_wire_roundtrip () =
+  let reqs =
+    [ Wire.Submit spec_a;
+      Wire.Status;
+      Wire.Cancel 3;
+      Wire.Drain;
+      Wire.Verify;
+      Wire.Corpus_stats;
+      Wire.Distill;
+      Wire.Corpus_save "/tmp/c.json";
+      Wire.Corpus_load "/tmp/c.json";
+      Wire.Shutdown ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.request_of_line (Wire.request_to_line r) with
+      | Ok r' ->
+          check Alcotest.string "request round-trips"
+            (Wire.request_to_line r) (Wire.request_to_line r')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    reqs
+
+let test_jobspec_key_content_derived () =
+  let a1 = Jobspec.key spec_a in
+  let a2 =
+    Jobspec.key
+      (Jobspec.make ~tenant:"alice" ~priority:3 ~boot_scale:0.02
+         ~workload:W.Cpu_bound ~exits:300 ~reason:R.Rdtsc
+         ~area:Mutation.Area_gpr ~mutations:90 ~prng_seed:21 ())
+  in
+  check Alcotest.string "equal specs share a key" a1 a2;
+  Alcotest.(check bool) "distinct specs differ" false
+    (Jobspec.key spec_a = Jobspec.key spec_b)
+
+let test_status_line_shape () =
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "service.rounds");
+  let line =
+    Export.status_line ~extra:[ ("corpus", J.Int 4) ] ~seq:7
+      (Registry.snapshot reg)
+  in
+  match J.of_string line with
+  | Error e -> Alcotest.failf "status line is not JSON: %s" e
+  | Ok j ->
+      check Alcotest.(option int) "seq" (Some 7)
+        (Option.bind (J.member "seq" j) J.int_value);
+      check Alcotest.(option int) "extra field" (Some 4)
+        (Option.bind (J.member "corpus" j) J.int_value);
+      Alcotest.(check bool) "metrics present" true
+        (J.member "metrics" j <> None)
+
+(* --- The tentpole: end-to-end determinism of a drained queue --- *)
+
+(* One shared recording cache: the scenario records once, every
+   server replays from the same recording — which is also how the
+   long-lived daemon amortises recording cost. *)
+let shared_cache = Server.recordings ()
+
+let drained_server ~jobs ~specs =
+  let server = Server.create ~jobs ~quantum:24 ~recordings:shared_cache () in
+  List.iter (fun s -> ignore (Server.submit server s : int)) specs;
+  let summary = Server.drain server in
+  (server, summary)
+
+let test_server_report_schedule_independent () =
+  let s1, sum1 = drained_server ~jobs:1 ~specs:[ spec_a; spec_b ] in
+  let s2, sum2 = drained_server ~jobs:2 ~specs:[ spec_b; spec_a ] in
+  check Alcotest.int "all jobs completed (jobs=1)" 2 sum1.Server.d_completed;
+  check Alcotest.int "all jobs completed (jobs=2)" 2 sum2.Server.d_completed;
+  check Alcotest.string "merged report independent of jobs and order"
+    (J.to_string (Server.report s1))
+    (J.to_string (Server.report s2));
+  check Alcotest.string "report digest matches"
+    sum1.Server.d_report_digest sum2.Server.d_report_digest;
+  (* identical campaigns on both servers admit an identical corpus *)
+  check Alcotest.string "corpus digests equal"
+    (Corpus.digest (Server.corpus s1))
+    (Corpus.digest (Server.corpus s2));
+  Alcotest.(check bool) "corpus not empty" true
+    (Corpus.count (Server.corpus s1) > 0)
+
+let test_server_replay_from_corpus () =
+  let server, summary = drained_server ~jobs:2 ~specs:[ spec_a; spec_b ] in
+  Alcotest.(check bool) "jobs completed" true (summary.Server.d_completed = 2);
+  let v = Server.verify server in
+  Alcotest.(check bool) "corpus entries checked" true
+    (v.Server.v_corpus_checked >= Corpus.count (Server.corpus server));
+  check Alcotest.int "no corpus replay mismatches" 0
+    v.Server.v_corpus_mismatches;
+  check Alcotest.int "no triage repro mismatches" 0
+    v.Server.v_bucket_mismatches;
+  check Alcotest.int "every bucket has a reproducer" 0
+    v.Server.v_buckets_unreproduced;
+  (* distillation never loses coverage on the real store either *)
+  let cov_before = Corpus.coverage (Server.corpus server) in
+  let before, after = Server.distill server in
+  Alcotest.(check bool) "distillation reduced or kept" true (after <= before);
+  check
+    Alcotest.(list int)
+    "distillation preserved live coverage"
+    (Array.to_list cov_before)
+    (Array.to_list (Corpus.coverage (Server.corpus server)))
+
+let test_wire_pipe_session () =
+  let server = Server.create ~jobs:1 ~quantum:24 ~recordings:shared_cache () in
+  let submit =
+    J.to_string
+      (J.Obj [ ("cmd", J.String "submit"); ("spec", Jobspec.to_json spec_a) ])
+  in
+  let r1, stop1 = Wire.handle_line server submit in
+  Alcotest.(check bool) "submit ok" true (Wire.response_ok r1);
+  Alcotest.(check bool) "submit continues" false stop1;
+  let r2, _ = Wire.handle_line server {|{"cmd":"drain"}|} in
+  Alcotest.(check bool) "drain ok" true (Wire.response_ok r2);
+  let r3, _ = Wire.handle_line server {|{"cmd":"corpus"}|} in
+  Alcotest.(check bool) "corpus ok" true (Wire.response_ok r3);
+  let r4, _ = Wire.handle_line server {|{"nonsense":1}|} in
+  Alcotest.(check bool) "parse error not ok" false (Wire.response_ok r4);
+  let r5, stop5 = Wire.handle_line server {|{"cmd":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown ok" true (Wire.response_ok r5);
+  Alcotest.(check bool) "shutdown stops" true stop5
+
+(* --- Device provenance --- *)
+
+let test_provenance_devices () =
+  check Alcotest.string "pic" "PIC"
+    (Provenance.device_name (Provenance.device_of_port 0x20));
+  check Alcotest.string "pit" "PIT"
+    (Provenance.device_name (Provenance.device_of_port 0x43));
+  check Alcotest.string "rtc" "RTC"
+    (Provenance.device_name (Provenance.device_of_port 0x71));
+  check Alcotest.string "uart" "UART"
+    (Provenance.device_name (Provenance.device_of_port 0x3F8));
+  check Alcotest.string "pci" "PCI"
+    (Provenance.device_name (Provenance.device_of_port 0xCFC));
+  check Alcotest.string "other" "port"
+    (Provenance.device_name (Provenance.device_of_port 0x1234));
+  let mgr = Manager.create ~boot_scale:0.02 ~prng_seed:21 () in
+  let recording = Manager.record mgr W.Io_bound ~exits:300 in
+  let prov = Provenance.build recording.Manager.trace in
+  let touched = Provenance.devices_touched prov in
+  Alcotest.(check bool) "io-bound workload touches devices" true
+    (touched <> []);
+  List.iter
+    (fun (d, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has positive touches" (Provenance.device_name d))
+        true (n > 0))
+    touched;
+  check
+    Alcotest.(list (pair string int))
+    "before:0 sees nothing" []
+    (List.map
+       (fun (d, n) -> (Provenance.device_name d, n))
+       (Provenance.devices_touched ~before:0 prov));
+  (* per-device touch lists ascend by index *)
+  List.iter
+    (fun (d, _) ->
+      let touches = Provenance.device_touches prov d in
+      let idxs = List.map (fun t -> t.Provenance.t_index) touches in
+      Alcotest.(check bool)
+        (Provenance.device_name d ^ " touches ascend")
+        true
+        (List.sort compare idxs = idxs))
+    touched
+
+(* --- runner --- *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iris_service"
+    [ ( "jobqueue",
+        [ Alcotest.test_case "drr fairness" `Quick test_drr_fairness;
+          Alcotest.test_case "cancel and defer" `Quick test_queue_cancel_defer
+        ] );
+      ( "triage",
+        Alcotest.test_case "normalize detail" `Quick test_normalize_detail
+        :: Alcotest.test_case "representative order-independent" `Quick
+             test_triage_rep_order_independent
+        :: qcheck [ prop_signature_digit_blind ] );
+      ( "corpus",
+        qcheck
+          [ prop_dedup_idempotent;
+            prop_distill_preserves_coverage;
+            prop_distill_idempotent;
+            prop_save_load_roundtrip ] );
+      ( "wire",
+        [ Alcotest.test_case "request roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "spec keys content-derived" `Quick
+            test_jobspec_key_content_derived;
+          Alcotest.test_case "status line shape" `Quick test_status_line_shape
+        ] );
+      ( "server",
+        [ Alcotest.test_case "report schedule-independent" `Slow
+            test_server_report_schedule_independent;
+          Alcotest.test_case "replay-from-corpus byte-identity" `Slow
+            test_server_replay_from_corpus;
+          Alcotest.test_case "wire pipe session" `Slow test_wire_pipe_session
+        ] );
+      ( "provenance",
+        [ Alcotest.test_case "device touches" `Slow test_provenance_devices ]
+      ) ]
